@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: scale
+ * knobs from the environment and common run helpers.
+ *
+ * Every bench accepts MRP_BENCH_INSTS (single-thread trace length),
+ * MRP_BENCH_MIXES (number of 4-core mixes), and MRP_BENCH_SETS
+ * (feature-search candidates) so the paper-scale experiment can be
+ * approached on bigger machines while defaults finish in minutes.
+ */
+
+#ifndef MRP_BENCH_BENCH_UTIL_HPP
+#define MRP_BENCH_BENCH_UTIL_HPP
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/multi_core.hpp"
+#include "sim/single_core.hpp"
+#include "trace/mix.hpp"
+#include "trace/workloads.hpp"
+#include "util/math_util.hpp"
+
+namespace mrp::bench {
+
+inline std::uint64_t
+envCount(const char* name, std::uint64_t fallback)
+{
+    if (const char* s = std::getenv(name))
+        return std::strtoull(s, nullptr, 10);
+    return fallback;
+}
+
+inline InstCount
+singleThreadInsts()
+{
+    return envCount("MRP_BENCH_INSTS", 2500000);
+}
+
+inline InstCount
+multiCoreInsts()
+{
+    return envCount("MRP_BENCH_MC_INSTS", 800000);
+}
+
+inline unsigned
+mixCount(unsigned fallback)
+{
+    return static_cast<unsigned>(envCount("MRP_BENCH_MIXES", fallback));
+}
+
+/** Pre-generate the multi-core region traces of the whole suite. */
+inline std::vector<trace::Trace>
+makeSuiteRegions(InstCount insts)
+{
+    std::vector<trace::Trace> out;
+    out.reserve(trace::suiteSize());
+    for (unsigned i = 0; i < trace::suiteSize(); ++i)
+        out.push_back(trace::makeSuiteTrace(i, insts));
+    return out;
+}
+
+/** Trace pointers of one mix. */
+inline std::array<const trace::Trace*, 4>
+mixTraces(const std::vector<trace::Trace>& suite, const trace::Mix& mix)
+{
+    std::array<const trace::Trace*, 4> out{};
+    for (unsigned c = 0; c < 4; ++c)
+        out[c] = &suite[mix.benchmarks[c]];
+    return out;
+}
+
+/**
+ * Standalone LRU IPC for every benchmark of the suite (SingleIPC_i of
+ * §4.5), computed once and indexed by benchmark id.
+ */
+inline std::vector<double>
+standaloneIpcTable(const std::vector<trace::Trace>& suite,
+                   const sim::MultiCoreConfig& cfg)
+{
+    std::vector<double> out;
+    out.reserve(suite.size());
+    for (const auto& t : suite)
+        out.push_back(sim::standaloneIpc(t, cfg));
+    return out;
+}
+
+/** Normalized weighted speedups of one policy over a mix list. */
+struct MultiCorePolicyResult
+{
+    std::string policy;
+    std::vector<double> normalizedWs; //!< per mix, vs LRU
+    std::vector<double> mpki;         //!< per mix
+};
+
+} // namespace mrp::bench
+
+#endif // MRP_BENCH_BENCH_UTIL_HPP

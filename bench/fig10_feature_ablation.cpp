@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Figure 10: the performance impact of removing each
+ * feature of the Table 1(a) set, measured as normalized weighted
+ * speedup on the multi-programmed workloads (the paper runs the
+ * single-thread-developed set on the 900 mixes; individual features
+ * contribute small deltas, and at least one removal *helps* —
+ * insert(17,1) in the paper — showing the set is not minimal).
+ */
+
+#include "bench_util.hpp"
+#include "core/feature_sets.hpp"
+#include "core/mpppb.hpp"
+
+int
+main()
+{
+    using namespace mrp;
+    const unsigned n_mixes = bench::mixCount(8);
+    const auto suite = bench::makeSuiteRegions(bench::multiCoreInsts());
+    const auto split = trace::makeMixSplit(16, n_mixes);
+    const sim::MultiCoreConfig cfg;
+    const auto single_ipc = bench::standaloneIpcTable(suite, cfg);
+
+    // Figure 10 analyzes the Table 1(a) single-thread set running on
+    // the multi-programmed workloads, over the SRRIP substrate.
+    core::MpppbConfig base_cfg = core::multiCoreMpppbConfig();
+    base_cfg.predictor.features = core::featureSetTable1A();
+
+    std::vector<double> lru_ws;
+    for (const auto& mix : split.test) {
+        const auto traces = bench::mixTraces(suite, mix);
+        std::array<double, 4> single{};
+        for (unsigned c = 0; c < 4; ++c)
+            single[c] = single_ipc[mix.benchmarks[c]];
+        lru_ws.push_back(
+            sim::runMultiCore(traces, sim::makePolicyFactory("LRU"), cfg)
+                .weightedSpeedup(single));
+    }
+
+    auto evaluate = [&](const core::MpppbConfig& mcfg) {
+        std::vector<double> ws;
+        for (std::size_t m = 0; m < split.test.size(); ++m) {
+            const auto traces = bench::mixTraces(suite, split.test[m]);
+            std::array<double, 4> single{};
+            for (unsigned c = 0; c < 4; ++c)
+                single[c] = single_ipc[split.test[m].benchmarks[c]];
+            const auto r = sim::runMultiCore(
+                traces, sim::makeMpppbFactory(mcfg), cfg);
+            ws.push_back(r.weightedSpeedup(single) / lru_ws[m]);
+        }
+        return geomean(ws);
+    };
+
+    std::printf("# Figure 10: leave-one-feature-out over Table 1(a), "
+                "4-core (%zu mixes)\n",
+                split.test.size());
+    const double original = evaluate(base_cfg);
+    std::printf("%-20s %20s %10s\n", "omitted", "norm.weighted.speedup",
+                "delta");
+    std::printf("%-20s %20.4f %10s\n", "(none)", original, "-");
+    for (std::size_t f = 0; f < base_cfg.predictor.features.size();
+         ++f) {
+        core::MpppbConfig mcfg = base_cfg;
+        mcfg.predictor.features =
+            core::without(base_cfg.predictor.features, f);
+        // The confidence sum shrinks with the feature count; scale the
+        // thresholds so the decision operating point stays comparable.
+        const double scale =
+            static_cast<double>(mcfg.predictor.features.size()) /
+            static_cast<double>(base_cfg.predictor.features.size());
+        mcfg.thresholds.tauBypass = static_cast<int>(
+            mcfg.thresholds.tauBypass * scale);
+        for (auto& t : mcfg.thresholds.tau)
+            t = static_cast<int>(t * scale);
+        mcfg.thresholds.tauNoPromote = static_cast<int>(
+            mcfg.thresholds.tauNoPromote * scale);
+        const double ws = evaluate(mcfg);
+        std::printf("%-20s %20.4f %+10.4f\n",
+                    base_cfg.predictor.features[f].toString().c_str(),
+                    ws, ws - original);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Figure 7: single-thread LLC demand MPKI per benchmark
+ * for LRU, Hawkeye, Perceptron, MPPPB, and MIN (paper means: LRU >
+ * Hawkeye 3.8 > Perceptron 3.7 > MPPPB 3.5 > MIN; our synthetic suite
+ * is more memory-intensive so absolute values are higher — the
+ * ordering is the target).
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace mrp;
+    const InstCount insts = bench::singleThreadInsts();
+    const std::vector<std::string> policies = {"LRU", "Hawkeye",
+                                               "Perceptron", "MPPPB"};
+
+    std::printf("# Figure 7: LLC demand MPKI, single-thread, 2MB LLC\n");
+    std::printf("%-16s", "benchmark");
+    for (const auto& p : policies)
+        std::printf(" %10s", p.c_str());
+    std::printf(" %10s\n", "MIN");
+
+    std::vector<std::vector<double>> mpkis(policies.size() + 1);
+    for (unsigned b = 0; b < trace::suiteSize(); ++b) {
+        const auto tr = trace::makeSuiteTrace(b, insts);
+        std::printf("%-16s", tr.name().c_str());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const double m =
+                sim::runSingleCore(tr,
+                                   sim::makePolicyFactory(policies[p]),
+                                   {})
+                    .mpki;
+            mpkis[p].push_back(m);
+            std::printf(" %10.2f", m);
+        }
+        const double m = sim::runSingleCoreMin(tr, {}).mpki;
+        mpkis.back().push_back(m);
+        std::printf(" %10.2f\n", m);
+        std::fflush(stdout);
+    }
+
+    std::printf("%-16s", "arith.mean");
+    for (const auto& col : mpkis)
+        std::printf(" %10.2f", mean(col));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table 3: for each held-out workload (standing in for the
+ * SPEC CPU 2017 simpoints that arrived after the feature design), run
+ * MPPPB with the Table 1(b) features 17 times — full set, then
+ * leave-one-out per feature — and report, per workload, the feature
+ * whose removal increases MPKI the most (the workload's dominant
+ * feature), with the MPKI with/without it and the percent increase.
+ */
+
+#include "bench_util.hpp"
+#include "core/feature_sets.hpp"
+#include "core/mpppb.hpp"
+
+int
+main()
+{
+    using namespace mrp;
+    const InstCount insts = bench::envCount("MRP_BENCH_INSTS", 1500000);
+
+    core::MpppbConfig base_cfg = core::singleThreadMpppbConfig();
+    base_cfg.predictor.features = core::featureSetTable1B();
+    const auto& features = base_cfg.predictor.features;
+
+    std::printf("# Table 3: dominant feature per held-out workload "
+                "(Table 1(b) set)\n");
+    std::printf("%-18s %-20s %10s %10s %9s\n", "workload", "feature",
+                "without", "with", "increase");
+
+    for (unsigned w = 0; w < trace::heldOutSize(); ++w) {
+        const auto tr = trace::makeHeldOutTrace(w, insts);
+        const double with_all =
+            sim::runSingleCore(tr, sim::makeMpppbFactory(base_cfg), {})
+                .mpki;
+        double worst_without = with_all;
+        std::size_t dominant = 0;
+        for (std::size_t f = 0; f < features.size(); ++f) {
+            core::MpppbConfig mcfg = base_cfg;
+            mcfg.predictor.features = core::without(features, f);
+            const double scale =
+                static_cast<double>(mcfg.predictor.features.size()) /
+                static_cast<double>(features.size());
+            mcfg.thresholds.tauBypass = static_cast<int>(
+                mcfg.thresholds.tauBypass * scale);
+            for (auto& t : mcfg.thresholds.tau)
+                t = static_cast<int>(t * scale);
+            mcfg.thresholds.tauNoPromote = static_cast<int>(
+                mcfg.thresholds.tauNoPromote * scale);
+            const double m =
+                sim::runSingleCore(tr, sim::makeMpppbFactory(mcfg), {})
+                    .mpki;
+            if (m > worst_without) {
+                worst_without = m;
+                dominant = f;
+            }
+        }
+        const double pct =
+            with_all > 0.0
+                ? 100.0 * (worst_without - with_all) / with_all
+                : 0.0;
+        std::printf("%-18s %-20s %10.2f %10.2f %8.2f%%\n",
+                    tr.name().c_str(),
+                    worst_without > with_all
+                        ? features[dominant].toString().c_str()
+                        : "(none helps)",
+                    worst_without, with_all, pct);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: compare every implemented LLC management policy on a
+ * selection of benchmarks, printing MPKI and speedup over LRU.
+ *
+ * Usage: policy_comparison [instructions] [benchmark indices...]
+ * Defaults to 800k instructions over a representative subset.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/single_core.hpp"
+#include "trace/workloads.hpp"
+#include "util/math_util.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mrp;
+
+    InstCount insts = 800000;
+    if (argc > 1)
+        insts = std::strtoull(argv[1], nullptr, 10);
+    std::vector<unsigned> benches;
+    for (int i = 2; i < argc; ++i)
+        benches.push_back(static_cast<unsigned>(std::atoi(argv[i])));
+    if (benches.empty())
+        for (unsigned i = 0; i < trace::suiteSize(); ++i)
+            benches.push_back(i);
+
+    std::vector<std::string> policies = {
+        "LRU", "SRRIP", "DRRIP", "MDPP", "SHiP", "SDBP",
+        "Perceptron", "Hawkeye", "MPPPB"};
+    if (const char* env = std::getenv("MRP_POLICIES")) {
+        policies.clear();
+        std::string s(env);
+        std::size_t pos = 0;
+        while (pos < s.size()) {
+            const auto comma = s.find(',', pos);
+            policies.push_back(
+                s.substr(pos, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - pos));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
+    std::map<std::string, std::vector<double>> speedups;
+    std::map<std::string, std::vector<double>> mpkis;
+
+    std::printf("%-16s", "benchmark");
+    for (const auto& p : policies)
+        std::printf(" %10s", p.c_str());
+    std::printf(" %10s\n", "MIN");
+
+    for (const unsigned b : benches) {
+        const auto trace = trace::makeSuiteTrace(b, insts);
+        std::printf("%-16s", trace.name().c_str());
+        double lru_ipc = 0.0;
+        for (const auto& p : policies) {
+            const auto r = sim::runSingleCore(
+                trace, sim::makePolicyFactory(p), {});
+            if (p == "LRU")
+                lru_ipc = r.ipc;
+            const double speedup = r.ipc / lru_ipc;
+            speedups[p].push_back(speedup);
+            mpkis[p].push_back(r.mpki);
+            std::printf(" %5.2f/%4.1f", speedup, r.mpki);
+        }
+        const auto rmin = sim::runSingleCoreMin(trace, {});
+        speedups["MIN"].push_back(rmin.ipc / lru_ipc);
+        mpkis["MIN"].push_back(rmin.mpki);
+        std::printf(" %5.2f/%4.1f\n", rmin.ipc / lru_ipc, rmin.mpki);
+    }
+
+    std::printf("\n%-16s", "geomean speedup");
+    for (const auto& p : policies)
+        std::printf(" %10.4f", geomean(speedups[p]));
+    std::printf(" %10.4f\n", geomean(speedups["MIN"]));
+    std::printf("%-16s", "mean mpki");
+    for (const auto& p : policies)
+        std::printf(" %10.3f", mean(mpkis[p]));
+    std::printf(" %10.3f\n", mean(mpkis["MIN"]));
+    return 0;
+}

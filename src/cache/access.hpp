@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-access metadata passed down the hierarchy to the LLC and its
+ * management policy, including the per-core context that feature-based
+ * predictors read (recent memory-access PC history).
+ */
+
+#ifndef MRP_CACHE_ACCESS_HPP
+#define MRP_CACHE_ACCESS_HPP
+
+#include <cstdint>
+
+#include "util/history.hpp"
+#include "util/types.hpp"
+
+namespace mrp::cache {
+
+/** Category of an access arriving at a cache level. */
+enum class AccessType : std::uint8_t {
+    Load,      //!< demand read
+    Store,     //!< demand write
+    Prefetch,  //!< hardware prefetch
+    Writeback, //!< dirty eviction from the level above
+};
+
+/** True for demand loads and stores. */
+constexpr bool
+isDemand(AccessType t)
+{
+    return t == AccessType::Load || t == AccessType::Store;
+}
+
+/** The fake PC attributed to hardware prefetches (paper §3.2). */
+inline constexpr Pc kPrefetchPc = 0xFADE0000ull;
+
+/** The fake PC attributed to writeback accesses. */
+inline constexpr Pc kWritebackPc = 0xFADE1000ull;
+
+/**
+ * Per-core state read by reuse predictors: the history of recent
+ * demand memory-access PCs. recent(0) is the PC of the previous demand
+ * access (the current access's PC travels in AccessInfo::pc), so the
+ * paper's "W-th most recent memory access instruction" maps to the
+ * current PC for W=0 and to recent(W-1) for W>=1.
+ */
+struct CoreContext
+{
+    /** Depth covers the largest W in any published feature set (17). */
+    static constexpr std::size_t kPcHistoryDepth = 18;
+
+    History<Pc> pcHistory{kPcHistoryDepth, 0};
+
+    /** Record a completed demand access's PC. */
+    void notePc(Pc pc) { pcHistory.push(pc); }
+};
+
+/** Metadata describing one access. */
+struct AccessInfo
+{
+    Pc pc = 0;
+    Addr addr = 0;
+    CoreId core = 0;
+    AccessType type = AccessType::Load;
+    const CoreContext* ctx = nullptr; //!< may be null for writebacks
+};
+
+} // namespace mrp::cache
+
+#endif // MRP_CACHE_ACCESS_HPP

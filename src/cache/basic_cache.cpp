@@ -1,0 +1,119 @@
+#include "cache/basic_cache.hpp"
+
+namespace mrp::cache {
+
+BasicCache::BasicCache(std::string name, Addr bytes, std::uint32_t ways)
+    : name_(std::move(name)), geom_(bytes, ways),
+      blocks_(static_cast<std::size_t>(geom_.sets()) * geom_.ways())
+{
+}
+
+BasicCache::Block*
+BasicCache::find(Addr addr)
+{
+    const std::uint32_t set = geom_.setIndex(addr);
+    const std::uint64_t tag = geom_.tag(addr);
+    Block* base = &blocks_[static_cast<std::size_t>(set) * geom_.ways()];
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+const BasicCache::Block*
+BasicCache::find(Addr addr) const
+{
+    return const_cast<BasicCache*>(this)->find(addr);
+}
+
+bool
+BasicCache::access(Addr addr, bool is_write)
+{
+    ++stats_.demandAccesses;
+    if (Block* b = find(addr)) {
+        b->lastUse = ++useClock_;
+        if (is_write)
+            b->dirty = true;
+        ++stats_.demandHits;
+        return true;
+    }
+    ++stats_.demandMisses;
+    return false;
+}
+
+bool
+BasicCache::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+BasicCache::touch(Addr addr)
+{
+    if (Block* b = find(addr)) {
+        b->lastUse = ++useClock_;
+        return true;
+    }
+    return false;
+}
+
+VictimBlock
+BasicCache::fill(Addr addr, bool dirty, bool prefetched)
+{
+    const std::uint32_t set = geom_.setIndex(addr);
+    const std::uint64_t tag = geom_.tag(addr);
+    Block* base = &blocks_[static_cast<std::size_t>(set) * geom_.ways()];
+
+    Block* slot = nullptr;
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+        if (!slot || base[w].lastUse < slot->lastUse)
+            slot = &base[w];
+    }
+
+    VictimBlock victim;
+    if (slot->valid) {
+        victim.valid = true;
+        victim.blockAddress = geom_.blockAddrOf(set, slot->tag);
+        victim.dirty = slot->dirty;
+        ++stats_.evictions;
+        if (slot->dirty)
+            ++stats_.dirtyEvictions;
+    }
+
+    slot->tag = tag;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->prefetched = prefetched;
+    slot->lastUse = ++useClock_;
+    return victim;
+}
+
+bool
+BasicCache::markDirty(Addr addr)
+{
+    if (Block* b = find(addr)) {
+        b->dirty = true;
+        return true;
+    }
+    return false;
+}
+
+VictimBlock
+BasicCache::invalidate(Addr addr)
+{
+    VictimBlock out;
+    if (Block* b = find(addr)) {
+        out.valid = true;
+        out.blockAddress = blockAddr(addr) << kBlockShift;
+        out.dirty = b->dirty;
+        b->valid = false;
+        b->dirty = false;
+    }
+    return out;
+}
+
+} // namespace mrp::cache

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A plain true-LRU write-back cache used for the L1D and L2 levels.
+ *
+ * The upper levels do not need pluggable policies (the paper's
+ * techniques manage only the LLC), so this class is kept simple and
+ * fast: linear tag search within a set and 64-bit LRU stamps.
+ */
+
+#ifndef MRP_CACHE_BASIC_CACHE_HPP
+#define MRP_CACHE_BASIC_CACHE_HPP
+
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "stats/level_stats.hpp"
+#include "util/types.hpp"
+
+namespace mrp::cache {
+
+/** Description of a block displaced by a fill. */
+struct VictimBlock
+{
+    bool valid = false;   //!< a block was displaced
+    Addr blockAddress = 0;
+    bool dirty = false;
+};
+
+/** True-LRU set-associative write-back cache. */
+class BasicCache
+{
+  public:
+    BasicCache(std::string name, Addr bytes, std::uint32_t ways);
+
+    const std::string& name() const { return name_; }
+    const CacheGeometry& geometry() const { return geom_; }
+
+    /**
+     * Look up @p addr; on a hit, update recency and (for writes) the
+     * dirty bit.
+     * @return true on hit
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** Non-mutating presence check. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Refresh recency of a block if present (no statistics recorded);
+     * used by prefetch probes.
+     * @return true if the block was present
+     */
+    bool touch(Addr addr);
+
+    /**
+     * Install the block of @p addr, assumed absent.
+     * @param dirty install in dirty state (writeback allocation)
+     * @param prefetched tag the block as brought in by a prefetch
+     * @return the displaced block, if any
+     */
+    VictimBlock fill(Addr addr, bool dirty, bool prefetched);
+
+    /** Mark an (assumed present) block dirty; returns false if absent. */
+    bool markDirty(Addr addr);
+
+    /** Invalidate a block if present; returns its prior state. */
+    VictimBlock invalidate(Addr addr);
+
+    stats::LevelStats& stats() { return stats_; }
+    const stats::LevelStats& stats() const { return stats_; }
+
+  private:
+    struct Block
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    Block* find(Addr addr);
+    const Block* find(Addr addr) const;
+
+    std::string name_;
+    CacheGeometry geom_;
+    std::vector<Block> blocks_; // sets * ways, set-major
+    std::uint64_t useClock_ = 0;
+    stats::LevelStats stats_;
+};
+
+} // namespace mrp::cache
+
+#endif // MRP_CACHE_BASIC_CACHE_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Set/way geometry of a cache and address-to-set mapping.
+ */
+
+#ifndef MRP_CACHE_GEOMETRY_HPP
+#define MRP_CACHE_GEOMETRY_HPP
+
+#include <cstdint>
+
+#include "util/bitfield.hpp"
+#include "util/logging.hpp"
+#include "util/types.hpp"
+
+namespace mrp::cache {
+
+/** Immutable description of a cache's organization. */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param bytes total capacity in bytes (power-of-two multiple of
+     *        the block size times associativity)
+     * @param ways associativity
+     */
+    CacheGeometry(Addr bytes, std::uint32_t ways)
+        : ways_(ways), sets_(computeSets(bytes, ways)),
+          setShift_(log2Ceil(sets_))
+    {
+    }
+
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t sets() const { return sets_; }
+    Addr bytes() const
+    {
+        return static_cast<Addr>(sets_) * ways_ * kBlockBytes;
+    }
+
+    /** Set index for a byte address. */
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(blockAddr(addr) & (sets_ - 1));
+    }
+
+    /** Tag (block address above the set bits) for a byte address. */
+    std::uint64_t
+    tag(Addr addr) const
+    {
+        return blockAddr(addr) >> setShift_;
+    }
+
+    /** Reconstruct a block-aligned byte address from set and tag. */
+    Addr
+    blockAddrOf(std::uint32_t set, std::uint64_t tag) const
+    {
+        return ((tag << setShift_) | set) << kBlockShift;
+    }
+
+  private:
+    static std::uint32_t
+    computeSets(Addr bytes, std::uint32_t ways)
+    {
+        fatalIf(ways == 0, "cache must have at least one way");
+        fatalIf(bytes % (static_cast<Addr>(kBlockBytes) * ways) != 0,
+                "cache size not a multiple of block size * ways");
+        const auto sets = static_cast<std::uint32_t>(
+            bytes / kBlockBytes / ways);
+        fatalIf(!isPowerOfTwo(sets), "set count must be a power of two");
+        return sets;
+    }
+
+    std::uint32_t ways_;
+    std::uint32_t sets_;
+    unsigned setShift_;
+};
+
+} // namespace mrp::cache
+
+#endif // MRP_CACHE_GEOMETRY_HPP

@@ -1,0 +1,160 @@
+#include "cache/policy_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace mrp::cache {
+
+PolicyCache::PolicyCache(Addr bytes, std::uint32_t ways,
+                         std::unique_ptr<LlcPolicy> policy, unsigned cores)
+    : geom_(bytes, ways), policy_(std::move(policy)),
+      blocks_(static_cast<std::size_t>(geom_.sets()) * geom_.ways()),
+      demandMissesPerCore_(cores, 0)
+{
+    fatalIf(!policy_, "PolicyCache requires a policy");
+    fatalIf(cores == 0, "PolicyCache requires at least one core");
+}
+
+PolicyCache::Block&
+PolicyCache::blockAt(std::uint32_t set, std::uint32_t way)
+{
+    return blocks_[static_cast<std::size_t>(set) * geom_.ways() + way];
+}
+
+int
+PolicyCache::findWay(std::uint32_t set, std::uint64_t tag) const
+{
+    const Block* base =
+        &blocks_[static_cast<std::size_t>(set) * geom_.ways()];
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return static_cast<int>(w);
+    return -1;
+}
+
+LlcResult
+PolicyCache::access(const AccessInfo& info)
+{
+    const std::uint32_t set = geom_.setIndex(info.addr);
+    const std::uint64_t tag = geom_.tag(info.addr);
+
+    switch (info.type) {
+      case AccessType::Load:
+      case AccessType::Store:
+        ++stats_.demandAccesses;
+        break;
+      case AccessType::Prefetch:
+        ++stats_.prefetchAccesses;
+        break;
+      case AccessType::Writeback:
+        ++stats_.writebackAccesses;
+        break;
+    }
+
+    LlcResult result;
+    const int hit_way = findWay(set, tag);
+    if (hit_way >= 0) {
+        result.hit = true;
+        if (info.type == AccessType::Writeback)
+            blockAt(set, static_cast<std::uint32_t>(hit_way)).dirty = true;
+        switch (info.type) {
+          case AccessType::Load:
+          case AccessType::Store:
+            ++stats_.demandHits;
+            break;
+          case AccessType::Prefetch:
+            ++stats_.prefetchHits;
+            break;
+          case AccessType::Writeback:
+            ++stats_.writebackHits;
+            break;
+        }
+        policy_->onHit(info, set, static_cast<std::uint32_t>(hit_way));
+        if (observer_)
+            observer_->onAccess(info, true, set, hit_way);
+        return result;
+    }
+
+    // Miss path.
+    switch (info.type) {
+      case AccessType::Load:
+      case AccessType::Store:
+        ++stats_.demandMisses;
+        if (info.core < demandMissesPerCore_.size())
+            ++demandMissesPerCore_[info.core];
+        break;
+      case AccessType::Prefetch:
+        ++stats_.prefetchMisses;
+        break;
+      case AccessType::Writeback:
+        ++stats_.writebackMisses;
+        break;
+    }
+    policy_->onMiss(info, set);
+    if (observer_)
+        observer_->onAccess(info, false, set, -1);
+
+    // Find an invalid way first: bypassing when a way is free would
+    // waste capacity, so the policy is only consulted for full sets.
+    std::uint32_t fill_way = geom_.ways();
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+        if (!blockAt(set, w).valid) {
+            fill_way = w;
+            break;
+        }
+    }
+    if (fill_way == geom_.ways()) {
+        if (policy_->shouldBypass(info, set)) {
+            ++stats_.bypasses;
+            result.bypassed = true;
+            if (observer_)
+                observer_->onBypass(info, set);
+            return result;
+        }
+        fill_way = policy_->victimWay(info, set);
+        panicIf(fill_way >= geom_.ways(),
+                "policy returned an out-of-range victim way");
+        Block& victim = blockAt(set, fill_way);
+        result.victim.valid = true;
+        result.victim.blockAddress = geom_.blockAddrOf(set, victim.tag);
+        result.victim.dirty = victim.dirty;
+        ++stats_.evictions;
+        if (victim.dirty)
+            ++stats_.dirtyEvictions;
+        policy_->onEvict(set, fill_way);
+        if (observer_)
+            observer_->onEvict(set, fill_way, result.victim.blockAddress);
+    }
+
+    Block& slot = blockAt(set, fill_way);
+    slot.tag = tag;
+    slot.valid = true;
+    slot.dirty = info.type == AccessType::Writeback;
+    policy_->onFill(info, set, fill_way);
+    if (observer_)
+        observer_->onFill(info, set, fill_way);
+    return result;
+}
+
+bool
+PolicyCache::contains(Addr addr) const
+{
+    return findWay(geom_.setIndex(addr), geom_.tag(addr)) >= 0;
+}
+
+std::uint64_t
+PolicyCache::demandMissesOf(CoreId core) const
+{
+    fatalIf(core >= demandMissesPerCore_.size(),
+            "core id out of range in demandMissesOf");
+    return demandMissesPerCore_[core];
+}
+
+void
+PolicyCache::resetStats()
+{
+    stats_.reset();
+    for (auto& c : demandMissesPerCore_)
+        c = 0;
+}
+
+} // namespace mrp::cache

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The shared last-level cache with a pluggable management policy.
+ */
+
+#ifndef MRP_CACHE_POLICY_CACHE_HPP
+#define MRP_CACHE_POLICY_CACHE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/basic_cache.hpp"
+#include "cache/llc_policy.hpp"
+#include "stats/level_stats.hpp"
+
+namespace mrp::cache {
+
+/** Outcome of one LLC access. */
+struct LlcResult
+{
+    bool hit = false;
+    bool bypassed = false;
+    VictimBlock victim; //!< LLC block displaced by the fill, if any
+};
+
+/**
+ * Set-associative LLC whose victim selection, bypass, and promotion
+ * behaviour are delegated to an LlcPolicy. All access types flow
+ * through access(); writeback fills install dirty.
+ */
+class PolicyCache
+{
+  public:
+    PolicyCache(Addr bytes, std::uint32_t ways,
+                std::unique_ptr<LlcPolicy> policy, unsigned cores);
+
+    const CacheGeometry& geometry() const { return geom_; }
+    LlcPolicy& policy() { return *policy_; }
+
+    /** Attach a passive observer (may be null to detach). */
+    void setObserver(LlcObserver* obs) { observer_ = obs; }
+
+    /**
+     * Perform one access: lookup, policy notification, and — on a
+     * miss — the fill with policy-controlled bypass and victim choice.
+     */
+    LlcResult access(const AccessInfo& info);
+
+    /** Non-mutating presence check. */
+    bool contains(Addr addr) const;
+
+    stats::LevelStats& stats() { return stats_; }
+    const stats::LevelStats& stats() const { return stats_; }
+
+    /** LLC demand misses attributed to a core. */
+    std::uint64_t demandMissesOf(CoreId core) const;
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+
+  private:
+    struct Block
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Block& blockAt(std::uint32_t set, std::uint32_t way);
+    int findWay(std::uint32_t set, std::uint64_t tag) const;
+
+    CacheGeometry geom_;
+    std::unique_ptr<LlcPolicy> policy_;
+    LlcObserver* observer_ = nullptr;
+    std::vector<Block> blocks_;
+    stats::LevelStats stats_;
+    std::vector<std::uint64_t> demandMissesPerCore_;
+};
+
+} // namespace mrp::cache
+
+#endif // MRP_CACHE_POLICY_CACHE_HPP

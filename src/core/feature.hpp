@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The seven parameterized feature types of multiperspective reuse
+ * prediction (paper §3.2).
+ *
+ * Every feature carries an associativity parameter A — the LRU stack
+ * position beyond which a block counts as dead *for that feature's
+ * table* — and a Boolean X that exclusive-ORs the feature bits with
+ * the current PC. pc/address/offset features additionally select a bit
+ * range B..E of their value; pc selects the W-th most recent memory
+ * access instruction.
+ */
+
+#ifndef MRP_CORE_FEATURE_HPP
+#define MRP_CORE_FEATURE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/access.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace mrp::core {
+
+/** The seven feature types. */
+enum class FeatureKind : std::uint8_t {
+    Pc,       //!< pc(A,B,E,W,X): bits of the W-th most recent PC
+    Address,  //!< address(A,B,E,X): bits of the physical address
+    Bias,     //!< bias(A,X): the constant 0 (a global/PC counter)
+    Burst,    //!< burst(A,X): access is to the set's MRU block
+    Insert,   //!< insert(A,X): access is an insertion (missed)
+    LastMiss, //!< lastmiss(A,X): previous access to this set missed
+    Offset,   //!< offset(A,B,E,X): bits of the in-block byte offset
+};
+
+/** Largest associativity a feature may simulate (sampler is 18-way). */
+inline constexpr unsigned kMaxFeatureAssoc = 18;
+
+/** One fully parameterized feature. */
+struct FeatureSpec
+{
+    FeatureKind kind = FeatureKind::Bias;
+    unsigned assoc = kMaxFeatureAssoc; //!< A in 1..18
+    unsigned begin = 0;                //!< B (pc/address/offset)
+    unsigned end = 0;                  //!< E
+    unsigned depth = 0;                //!< W (pc only)
+    bool xorPc = false;                //!< X
+
+    /** Number of weights in this feature's table (1, 2, <=64, 256). */
+    std::uint32_t tableSize() const;
+
+    /** Paper-style text form, e.g.\ "pc(10,1,53,10,0)". */
+    std::string toString() const;
+
+    /** Parse the paper-style text form; throws FatalError on errors. */
+    static FeatureSpec parse(const std::string& text);
+
+    /** Draw a uniformly random valid feature (search, §5.1). */
+    static FeatureSpec random(Rng& rng);
+
+    /** Return a copy with one parameter slightly perturbed (§5.1). */
+    FeatureSpec perturbed(Rng& rng) const;
+
+    bool operator==(const FeatureSpec&) const = default;
+};
+
+/** Everything a feature may look at when forming its index. */
+struct FeatureInput
+{
+    Pc pc = 0;
+    Addr addr = 0;
+    const cache::CoreContext* ctx = nullptr;
+    bool isInsert = false; //!< this access missed (block being placed)
+    bool lastMiss = false; //!< previous access to this set missed
+    bool isBurst = false;  //!< this access is to the set's MRU block
+};
+
+/** Compute the feature's table index for one access. */
+std::uint32_t featureIndex(const FeatureSpec& spec,
+                           const FeatureInput& in);
+
+/** Render a whole feature set, one feature per line. */
+std::string formatFeatureSet(const std::vector<FeatureSpec>& set);
+
+/** Copy of @p set with every associativity forced to @p assoc. */
+std::vector<FeatureSpec>
+withUniformAssociativity(const std::vector<FeatureSpec>& set,
+                         unsigned assoc);
+
+/** Copy of @p set with element @p idx removed. */
+std::vector<FeatureSpec> without(const std::vector<FeatureSpec>& set,
+                                 std::size_t idx);
+
+} // namespace mrp::core
+
+#endif // MRP_CORE_FEATURE_HPP

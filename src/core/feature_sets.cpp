@@ -1,0 +1,111 @@
+#include "core/feature_sets.hpp"
+
+namespace mrp::core {
+
+namespace {
+
+std::vector<FeatureSpec>
+parseAll(const std::vector<const char*>& texts)
+{
+    std::vector<FeatureSpec> out;
+    out.reserve(texts.size());
+    for (const char* t : texts)
+        out.push_back(FeatureSpec::parse(t));
+    return out;
+}
+
+} // namespace
+
+std::vector<FeatureSpec>
+featureSetTable1A()
+{
+    return parseAll({
+        "bias(16,0)",
+        "burst(6,0)",
+        "insert(16,0)",
+        "insert(16,1)",
+        "insert(17,1)",
+        "insert(8,1)",
+        "lastmiss(9,0)",
+        "offset(10,0,6,1)",
+        "offset(15,1,6,1)",
+        "pc(10,1,53,10,0)",
+        "pc(16,3,11,16,1)",
+        "pc(16,8,16,5,0)",
+        "pc(17,6,20,0,1)",
+        "pc(17,6,20,0,1)",
+        "pc(17,6,20,14,1)",
+        "pc(7,14,43,11,0)",
+    });
+}
+
+std::vector<FeatureSpec>
+featureSetTable1B()
+{
+    return parseAll({
+        "address(11,8,19,0)",
+        "bias(6,1)",
+        "insert(15,0)",
+        "insert(16,1)",
+        "insert(6,1)",
+        "offset(15,1,6,1)",
+        "offset(15,3,7,0)",
+        "pc(11,2,24,4,1)",
+        "pc(15,14,32,6,0)",
+        "pc(15,5,28,0,1)",
+        "pc(16,0,16,8,1)",
+        "pc(17,6,20,0,1)",
+        "pc(6,12,14,10,1)",
+        "pc(7,1,24,11,0)",
+        "pc(7,14,43,11,0)",
+        "pc(8,1,61,11,0)",
+    });
+}
+
+std::vector<FeatureSpec>
+featureSetTable2()
+{
+    return parseAll({
+        "bias(6,0)",
+        "pc(9,9,14,5,1)", // printed as address(9,9,14,5,1) in the paper
+        "address(9,12,29,0)",
+        "address(13,21,29,0)",
+        "address(14,17,25,0)",
+        "lastmiss(6,0)",
+        "lastmiss(18,0)",
+        "offset(13,0,4,0)",
+        "offset(14,0,6,0)",
+        "offset(16,0,1,0)",
+        "pc(6,13,31,4,0)",
+        "pc(9,11,7,16,0)", // B>E as printed; bit ranges are normalized
+        "pc(13,16,24,17,0)",
+        "pc(16,2,10,2,0)",
+        "pc(16,4,46,9,0)",
+        "pc(17,0,13,5,0)",
+    });
+}
+
+std::vector<FeatureSpec>
+featureSetLocal()
+{
+    return parseAll({
+        "pc(17,27,27,7,1)",
+        "address(18,14,38,1)",
+        "offset(16,2,4,1)",
+        "burst(3,1)",
+        "pc(6,10,23,14,1)",
+        "insert(16,1)",
+        "pc(3,13,13,11,0)",
+        "lastmiss(3,1)",
+        "offset(13,0,3,0)",
+        "bias(5,0)",
+        "bias(14,1)",
+        "pc(16,18,28,4,1)",
+        "offset(2,4,7,1)",
+        "offset(16,1,4,1)",
+        "pc(6,10,23,14,1)", // duplicated by the climber, as in Table 1(a)
+        "lastmiss(4,1)",
+    });
+}
+
+} // namespace mrp::core

@@ -1,0 +1,183 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace mrp::core {
+
+MultiperspectivePredictor::MultiperspectivePredictor(
+    const cache::CacheGeometry& llc_geom, unsigned cores,
+    const MultiperspectiveConfig& cfg)
+    : cfg_(cfg), weightMin_(-(1 << (cfg.weightBits - 1))),
+      weightMax_((1 << (cfg.weightBits - 1)) - 1),
+      sampling_(llc_geom.sets(),
+                std::min(cfg.sampledSetsPerCore * cores,
+                         llc_geom.sets())),
+      samplerSets_(sampling_.sampledSets()),
+      lastMiss_(llc_geom.sets(), 0), lastBlock_(llc_geom.sets(), ~Addr{0})
+{
+    fatalIf(cfg.features.empty(), "predictor needs at least one feature");
+    fatalIf(cfg.features.size() > kMaxFeatures,
+            "too many features for the sampler entry layout");
+    fatalIf(cfg.samplerAssoc == 0 ||
+                cfg.samplerAssoc > kMaxFeatureAssoc,
+            "sampler associativity out of range");
+    for (const auto& f : cfg.features)
+        fatalIf(f.assoc > cfg.samplerAssoc,
+                "feature associativity exceeds the sampler's: " +
+                    f.toString());
+    for (auto& s : samplerSets_)
+        s.resize(cfg.samplerAssoc);
+    tables_.reserve(cfg.features.size());
+    for (const auto& f : cfg.features)
+        tables_.emplace_back(f.tableSize(), 0);
+}
+
+std::size_t
+MultiperspectivePredictor::totalWeights() const
+{
+    std::size_t n = 0;
+    for (const auto& t : tables_)
+        n += t.size();
+    return n;
+}
+
+void
+MultiperspectivePredictor::computeIndices(const FeatureInput& in,
+                                          IndexVec& out) const
+{
+    for (std::size_t f = 0; f < cfg_.features.size(); ++f)
+        out[f] = static_cast<std::uint8_t>(
+            featureIndex(cfg_.features[f], in));
+}
+
+int
+MultiperspectivePredictor::sumOf(const IndexVec& idx) const
+{
+    int sum = 0;
+    for (std::size_t f = 0; f < cfg_.features.size(); ++f)
+        sum += tables_[f][idx[f]];
+    return std::clamp(sum, -cfg_.confidenceClamp - 1,
+                      cfg_.confidenceClamp);
+}
+
+void
+MultiperspectivePredictor::bump(unsigned feature, std::uint8_t index,
+                                bool dead)
+{
+    std::int8_t& w = tables_[feature][index];
+    if (dead) {
+        if (w < weightMax_)
+            ++w;
+    } else {
+        if (w > weightMin_)
+            --w;
+    }
+}
+
+void
+MultiperspectivePredictor::samplerAccess(const cache::AccessInfo& info,
+                                         std::uint32_t set,
+                                         const IndexVec& idx,
+                                         int confidence)
+{
+    auto& sset = samplerSets_[sampling_.samplerSetOf(set)];
+    const std::uint16_t tag = policy::SetSampling::partialTag(info.addr);
+    const int theta = cfg_.trainingThreshold;
+    const std::size_t nfeat = cfg_.features.size();
+
+    std::size_t pos = sset.size();
+    for (std::size_t i = 0; i < sset.size(); ++i) {
+        if (sset[i].valid && sset[i].tag == tag) {
+            pos = i;
+            break;
+        }
+    }
+
+    if (pos < sset.size()) {
+        // ---- Reuse at LRU position pos. ----
+        SamplerEntry entry = sset[pos];
+        // Train "live" only in tables whose associativity would still
+        // have held the block (p < A); gate on the stored prediction
+        // per the perceptron rule.
+        if (entry.confidence > -theta) {
+            for (std::size_t f = 0; f < nfeat; ++f)
+                if (pos < cfg_.features[f].assoc)
+                    bump(static_cast<unsigned>(f), entry.indices[f],
+                         /*dead=*/false);
+        }
+        ++trainingEvents_;
+        // The promotion demotes positions 0..pos-1 by one; a block
+        // arriving exactly at a feature's A is dead for that feature.
+        for (std::size_t q = 0; q < pos; ++q) {
+            const SamplerEntry& demoted = sset[q];
+            if (!demoted.valid || demoted.confidence >= theta)
+                continue;
+            const std::size_t newpos = q + 1;
+            for (std::size_t f = 0; f < nfeat; ++f)
+                if (newpos == cfg_.features[f].assoc)
+                    bump(static_cast<unsigned>(f), demoted.indices[f],
+                         /*dead=*/true);
+        }
+        // Refresh the entry and move it to MRU.
+        entry.confidence = static_cast<std::int16_t>(confidence);
+        entry.indices = idx;
+        sset.erase(sset.begin() + static_cast<long>(pos));
+        sset.insert(sset.begin(), entry);
+    } else {
+        // ---- Placement: everyone shifts down one position. ----
+        std::size_t valid_count = 0;
+        while (valid_count < sset.size() && sset[valid_count].valid)
+            ++valid_count;
+        for (std::size_t q = 0; q < valid_count; ++q) {
+            const SamplerEntry& demoted = sset[q];
+            if (demoted.confidence >= theta)
+                continue;
+            const std::size_t newpos = q + 1;
+            for (std::size_t f = 0; f < nfeat; ++f)
+                if (newpos == cfg_.features[f].assoc)
+                    bump(static_cast<unsigned>(f), demoted.indices[f],
+                         /*dead=*/true);
+        }
+        ++trainingEvents_;
+        if (valid_count == sset.size())
+            sset.pop_back(); // true eviction of the LRU entry
+        SamplerEntry entry;
+        entry.valid = true;
+        entry.tag = tag;
+        entry.confidence = static_cast<std::int16_t>(confidence);
+        entry.indices = idx;
+        sset.insert(sset.begin(), entry);
+    }
+}
+
+int
+MultiperspectivePredictor::observe(const cache::AccessInfo& info,
+                                   std::uint32_t set, bool hit)
+{
+    if (info.type == cache::AccessType::Writeback)
+        return 0;
+
+    const Addr blk = blockAddr(info.addr);
+    FeatureInput in;
+    in.pc = info.pc;
+    in.addr = info.addr;
+    in.ctx = info.ctx;
+    in.isInsert = !hit;
+    in.lastMiss = lastMiss_[set] != 0;
+    in.isBurst = lastBlock_[set] == blk;
+
+    IndexVec idx{};
+    computeIndices(in, idx);
+    const int confidence = sumOf(idx);
+
+    if (sampling_.sampled(set))
+        samplerAccess(info, set, idx, confidence);
+
+    lastMiss_[set] = hit ? 0 : 1;
+    lastBlock_[set] = blk;
+    return confidence;
+}
+
+} // namespace mrp::core

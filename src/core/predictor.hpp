@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The multiperspective reuse predictor (paper §3).
+ *
+ * A hashed-perceptron organization: each of up to 16 parameterized
+ * features indexes its own table of 6-bit weights; the selected
+ * weights are summed into a 9-bit confidence (positive = predicted
+ * dead). Training uses an 18-way true-LRU sampler of partial tags.
+ * Unlike prior work, each feature has its own associativity A: a hit
+ * at LRU position p trains "live" only in tables with p < A, and a
+ * block demoted exactly to position A is trained "dead" in that
+ * feature's table — so one access can increment some tables, leave
+ * some alone, and decrement others (§3.1, §3.8).
+ */
+
+#ifndef MRP_CORE_PREDICTOR_HPP
+#define MRP_CORE_PREDICTOR_HPP
+
+#include <array>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "core/feature.hpp"
+#include "policy/reuse_predictor.hpp"
+#include "policy/sampling.hpp"
+
+namespace mrp::core {
+
+/** Predictor sizing and training parameters. */
+struct MultiperspectiveConfig
+{
+    std::vector<FeatureSpec> features; //!< typically 16 (§5)
+    std::uint32_t sampledSetsPerCore = 64;
+    std::uint32_t samplerAssoc = 18;
+    unsigned weightBits = 6;   //!< weights in [-32, +31]
+    int confidenceClamp = 255; //!< 9-bit confidence (§3.3)
+    int trainingThreshold = 70; //!< perceptron retraining margin
+};
+
+/** Largest feature count the sampler entries are sized for. */
+inline constexpr std::size_t kMaxFeatures = 24;
+
+/** The predictor; usable standalone (ROC) or inside MpppbPolicy. */
+class MultiperspectivePredictor : public policy::ReusePredictor
+{
+  public:
+    MultiperspectivePredictor(const cache::CacheGeometry& llc_geom,
+                              unsigned cores,
+                              const MultiperspectiveConfig& cfg);
+
+    std::string name() const override { return "Multiperspective"; }
+    int observe(const cache::AccessInfo& info, std::uint32_t set,
+                bool hit) override;
+    int minConfidence() const override { return -cfg_.confidenceClamp - 1; }
+    int maxConfidence() const override { return cfg_.confidenceClamp; }
+
+    const MultiperspectiveConfig& config() const { return cfg_; }
+
+    /** Total weights across all tables (hardware-budget reporting). */
+    std::size_t totalWeights() const;
+
+    /** Sampler training events so far (diagnostics). */
+    std::uint64_t trainingEvents() const { return trainingEvents_; }
+
+  private:
+    using IndexVec = std::array<std::uint8_t, kMaxFeatures>;
+
+    struct SamplerEntry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::int16_t confidence = 0;
+        IndexVec indices{};
+    };
+
+    void computeIndices(const FeatureInput& in, IndexVec& out) const;
+    int sumOf(const IndexVec& idx) const;
+    void bump(unsigned feature, std::uint8_t index, bool dead);
+    void samplerAccess(const cache::AccessInfo& info, std::uint32_t set,
+                       const IndexVec& idx, int confidence);
+
+    MultiperspectiveConfig cfg_;
+    int weightMin_;
+    int weightMax_;
+    policy::SetSampling sampling_;
+    std::vector<std::vector<SamplerEntry>> samplerSets_; // MRU-first
+    std::vector<std::vector<std::int8_t>> tables_;
+    // Per-LLC-set feature state.
+    std::vector<std::uint8_t> lastMiss_;
+    std::vector<Addr> lastBlock_;
+    std::uint64_t trainingEvents_ = 0;
+};
+
+} // namespace mrp::core
+
+#endif // MRP_CORE_PREDICTOR_HPP

@@ -1,0 +1,127 @@
+#include "cpu/core_model.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace mrp::cpu {
+
+CoreModel::CoreModel(CoreId core, cache::Hierarchy& hierarchy,
+                     const trace::Trace& trace, bool loop,
+                     const CoreModelConfig& cfg)
+    : core_(core), hier_(hierarchy), trace_(trace), loop_(loop), cfg_(cfg),
+      retireRing_(cfg.windowSize, 0), mshrRing_(cfg.mshrs, 0)
+{
+    fatalIf(cfg.mshrs == 0, "need at least one MSHR");
+    fatalIf(cfg.windowSize == 0, "window size must be positive");
+    fatalIf(cfg.fetchWidth == 0 || cfg.retireWidth == 0,
+            "core width must be positive");
+    fatalIf(trace.records().empty(), "cannot execute an empty trace");
+}
+
+bool
+CoreModel::finished() const
+{
+    return !loop_ && recordIdx_ >= trace_.records().size();
+}
+
+Cycle
+CoreModel::peekEnter() const
+{
+    // Window constraint: instruction i waits for instruction i-W to
+    // retire. The ring holds the retire time of exactly that slot.
+    const Cycle window_free =
+        retireRing_[retired_ % retireRing_.size()];
+    Cycle e = std::max(lastEnter_, window_free);
+    if (e == lastEnter_ && entersThisCycle_ >= cfg_.fetchWidth)
+        e += 1;
+    return e;
+}
+
+Cycle
+CoreModel::nextEnterCycle() const
+{
+    return peekEnter();
+}
+
+Cycle
+CoreModel::takeEnterSlot()
+{
+    const Cycle e = peekEnter();
+    if (e == lastEnter_) {
+        ++entersThisCycle_;
+    } else {
+        lastEnter_ = e;
+        entersThisCycle_ = 1;
+    }
+    return e;
+}
+
+void
+CoreModel::retireOne(Cycle enter, Cycle completion)
+{
+    Cycle r = std::max(completion, lastRetire_);
+    if (r == lastRetire_ && retiresThisCycle_ >= cfg_.retireWidth)
+        r += 1;
+    if (r == lastRetire_) {
+        ++retiresThisCycle_;
+    } else {
+        lastRetire_ = r;
+        retiresThisCycle_ = 1;
+    }
+    retireRing_[retired_ % retireRing_.size()] = r;
+    ++retired_;
+    (void)enter;
+}
+
+void
+CoreModel::step()
+{
+    panicIf(finished(), "step() on a finished core");
+    const auto& records = trace_.records();
+    const trace::Record& rec = records[recordIdx_];
+    ++recordIdx_;
+    if (loop_ && recordIdx_ >= records.size())
+        recordIdx_ = 0;
+
+    if (!rec.isMem()) {
+        // A run of single-cycle instructions.
+        for (std::uint32_t k = 0; k < rec.count(); ++k) {
+            const Cycle e = takeEnterSlot();
+            retireOne(e, e + 1);
+        }
+        return;
+    }
+
+    const Cycle e = takeEnterSlot();
+    const bool is_write = rec.op() == trace::Op::Store;
+    const Cycle lat =
+        hier_.access(core_, rec.pc(), rec.addr(), is_write, &ctx_);
+    ctx_.notePc(rec.pc());
+
+    Cycle completion;
+    if (is_write) {
+        // Stores drain through a write buffer and do not hold up
+        // retirement; their cache effects are functional only.
+        completion = e + 1;
+    } else {
+        Cycle issue = e;
+        if (rec.dependsOnPrevLoad())
+            issue = std::max(issue, lastLoadCompletion_);
+        if (lat >= cfg_.dramThreshold) {
+            // A DRAM miss needs a free MSHR: it cannot issue before
+            // the (mshrs)-th previous DRAM miss has completed.
+            const std::size_t slot = dramMissCount_ % mshrRing_.size();
+            issue = std::max(issue, mshrRing_[slot]);
+            mshrRing_[slot] = issue + lat;
+            ++dramMissCount_;
+        }
+        completion = issue + lat;
+        lastLoadCompletion_ = completion;
+        loadLatencyTotal_ += lat;
+        ++loadCount_;
+    }
+    retireOne(e, completion);
+}
+
+} // namespace mrp::cpu

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Out-of-order core timing model.
+ *
+ * Approximates the paper's 4-wide, 8-stage, 128-entry-window core: an
+ * instruction enters the window when fetch bandwidth allows and the
+ * instruction 128 positions earlier has retired; loads complete after
+ * their memory latency (overlapping freely unless data-dependent);
+ * retirement is in order at 4 per cycle. This reproduces the property
+ * that converts MPKI into speedup: independent misses overlap up to
+ * the window limit, dependent misses serialize.
+ *
+ * The model is also the multi-core interleaving engine: cores expose
+ * the cycle at which their next instruction enters the window, and the
+ * driver steps whichever core is earliest, producing a deterministic,
+ * timing-ordered interleaving of LLC accesses.
+ */
+
+#ifndef MRP_CPU_CORE_MODEL_HPP
+#define MRP_CPU_CORE_MODEL_HPP
+
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace mrp::cpu {
+
+/** Core width/window parameters (defaults follow the paper §4.1). */
+struct CoreModelConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned retireWidth = 4;
+    unsigned windowSize = 128;
+    /**
+     * Maximum concurrently outstanding long-latency (DRAM) misses; a
+     * load whose latency reaches dramThreshold occupies an MSHR. This
+     * bounds memory-level parallelism the way real miss buffers do.
+     */
+    unsigned mshrs = 16;
+    Cycle dramThreshold = 200;
+};
+
+/** One core executing one trace against a shared hierarchy. */
+class CoreModel
+{
+  public:
+    /**
+     * @param loop restart the trace at its end (FIESTA-style region
+     *        replay); when false, finished() becomes true at the end
+     */
+    CoreModel(CoreId core, cache::Hierarchy& hierarchy,
+              const trace::Trace& trace, bool loop,
+              const CoreModelConfig& cfg = CoreModelConfig{});
+
+    /** True when a non-looping trace is exhausted. */
+    bool finished() const;
+
+    /**
+     * Cycle at which the next instruction would enter the window
+     * (the multi-core driver steps the earliest core first).
+     */
+    Cycle nextEnterCycle() const;
+
+    /** Process the next trace record (all instructions it covers). */
+    void step();
+
+    /** Instructions retired so far. */
+    InstCount retired() const { return retired_; }
+
+    /** Retire-time of the newest retired instruction. */
+    Cycle cycle() const { return lastRetire_; }
+
+    /** The predictor-visible per-core context. */
+    cache::CoreContext& context() { return ctx_; }
+
+    /** Total load latency accumulated (for average-latency reporting). */
+    Cycle loadLatencyTotal() const { return loadLatencyTotal_; }
+    InstCount loadCount() const { return loadCount_; }
+
+  private:
+    /** Advance one instruction with completion time = enter + lat. */
+    void retireOne(Cycle enter, Cycle completion);
+
+    /** Enter cycle for the next instruction, without mutating state. */
+    Cycle peekEnter() const;
+
+    /** Consume fetch bandwidth and return the actual enter cycle. */
+    Cycle takeEnterSlot();
+
+    CoreId core_;
+    cache::Hierarchy& hier_;
+    const trace::Trace& trace_;
+    bool loop_;
+    CoreModelConfig cfg_;
+
+    std::size_t recordIdx_ = 0;
+    cache::CoreContext ctx_;
+
+    std::vector<Cycle> retireRing_; //!< retire times of last W instrs
+    InstCount retired_ = 0;
+
+    Cycle lastEnter_ = 0;
+    unsigned entersThisCycle_ = 0;
+    Cycle lastRetire_ = 0;
+    unsigned retiresThisCycle_ = 0;
+    Cycle lastLoadCompletion_ = 0;
+    std::vector<Cycle> mshrRing_; //!< completion times of DRAM misses
+    std::uint64_t dramMissCount_ = 0;
+
+    Cycle loadLatencyTotal_ = 0;
+    InstCount loadCount_ = 0;
+};
+
+} // namespace mrp::cpu
+
+#endif // MRP_CPU_CORE_MODEL_HPP

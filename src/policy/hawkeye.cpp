@@ -1,0 +1,191 @@
+#include "policy/hawkeye.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::policy {
+
+HawkeyePolicy::HawkeyePolicy(const cache::CacheGeometry& geom,
+                             unsigned cores, const HawkeyeConfig& cfg)
+    : cfg_(cfg), ways_(geom.ways()),
+      maxRrpv_((1u << cfg.rrpvBits) - 1),
+      window_(cfg.historyMultiple * geom.ways()),
+      sampling_(geom.sets(),
+                std::min(cfg.sampledSetsPerCore * cores, geom.sets())),
+      optgen_(sampling_.sampledSets()),
+      predictor_(cfg.predictorEntries,
+                 SatCounter(cfg.counterBits,
+                            (1u << cfg.counterBits) / 2)),
+      rrpv_(static_cast<std::size_t>(geom.sets()) * geom.ways(),
+            static_cast<std::uint8_t>(maxRrpv_)),
+      lastPc_(static_cast<std::size_t>(geom.sets()) * geom.ways(), 0),
+      friendlyBit_(static_cast<std::size_t>(geom.sets()) * geom.ways(), 0)
+{
+    for (auto& s : optgen_)
+        s.occupancy.assign(window_, 0);
+}
+
+std::uint32_t
+HawkeyePolicy::predictorIndex(Pc pc) const
+{
+    return hashToIndex(pc, cfg_.predictorEntries);
+}
+
+bool
+HawkeyePolicy::isFriendly(Pc pc) const
+{
+    const SatCounter& c = predictor_[predictorIndex(pc)];
+    return c.value() >= (1u << (cfg_.counterBits - 1));
+}
+
+void
+HawkeyePolicy::train(Pc pc, bool friendly)
+{
+    SatCounter& c = predictor_[predictorIndex(pc)];
+    if (friendly)
+        c.increment();
+    else
+        c.decrement();
+}
+
+void
+HawkeyePolicy::optgenAccess(const cache::AccessInfo& info,
+                            std::uint32_t set)
+{
+    OptGenSet& og = optgen_[sampling_.samplerSetOf(set)];
+    const std::uint16_t tag = SetSampling::partialTag(info.addr);
+    const std::uint64_t now = og.time;
+
+    auto it = og.lastAccess.find(tag);
+    if (it != og.lastAccess.end()) {
+        const std::uint64_t prev = it->second.time;
+        if (now - prev < window_ && now != prev) {
+            // Would MIN have kept the block across [prev, now)?
+            bool fits = true;
+            for (std::uint64_t t = prev; t < now; ++t) {
+                if (og.occupancy[t % window_] >= ways_) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits)
+                for (std::uint64_t t = prev; t < now; ++t)
+                    ++og.occupancy[t % window_];
+            train(it->second.pc, fits);
+        }
+        else if (now - prev >= window_) {
+            // The reuse interval exceeded OPTgen's horizon: treat the
+            // opener as cache-averse, mirroring the original
+            // implementation's detraining of aged-out sampler entries.
+            train(it->second.pc, false);
+        }
+    }
+    og.lastAccess[tag] = {now, info.pc};
+
+    ++og.time;
+    og.occupancy[og.time % window_] = 0;
+    // Bound the map: entries beyond the history window can never hit
+    // under OPT; detrain their opener and drop them.
+    if (og.lastAccess.size() > 4 * window_) {
+        for (auto i = og.lastAccess.begin(); i != og.lastAccess.end();) {
+            if (og.time - i->second.time >= window_) {
+                train(i->second.pc, false);
+                i = og.lastAccess.erase(i);
+            } else {
+                ++i;
+            }
+        }
+    }
+}
+
+void
+HawkeyePolicy::touchBlock(const cache::AccessInfo& info, std::uint32_t set,
+                          std::uint32_t way, bool is_fill)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    const bool friendly = isFriendly(info.pc);
+    friendlyBit_[idx] = friendly ? 1 : 0;
+    lastPc_[idx] = info.pc;
+    if (!friendly) {
+        rrpv_[idx] = static_cast<std::uint8_t>(maxRrpv_);
+        return;
+    }
+    rrpv_[idx] = 0;
+    if (is_fill) {
+        // Age the other friendly blocks so older friends are
+        // eventually evictable.
+        const std::size_t base = static_cast<std::size_t>(set) * ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (w == way)
+                continue;
+            if (rrpv_[base + w] < maxRrpv_ - 1)
+                ++rrpv_[base + w];
+        }
+    }
+}
+
+void
+HawkeyePolicy::onHit(const cache::AccessInfo& info, std::uint32_t set,
+                     std::uint32_t way)
+{
+    if (info.type == cache::AccessType::Writeback)
+        return;
+    if (sampling_.sampled(set))
+        optgenAccess(info, set);
+    touchBlock(info, set, way, /*is_fill=*/false);
+}
+
+void
+HawkeyePolicy::onMiss(const cache::AccessInfo& info, std::uint32_t set)
+{
+    if (info.type == cache::AccessType::Writeback)
+        return;
+    if (sampling_.sampled(set))
+        optgenAccess(info, set);
+}
+
+std::uint32_t
+HawkeyePolicy::victimWay(const cache::AccessInfo&, std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    // Cache-averse blocks first.
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (rrpv_[base + w] >= maxRrpv_)
+            return w;
+    // Otherwise the oldest friendly block; its PC misled us.
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w)
+        if (rrpv_[base + w] > rrpv_[base + victim])
+            victim = w;
+    if (friendlyBit_[base + victim])
+        train(lastPc_[base + victim], /*friendly=*/false);
+    return victim;
+}
+
+void
+HawkeyePolicy::onFill(const cache::AccessInfo& info, std::uint32_t set,
+                      std::uint32_t way)
+{
+    if (info.type == cache::AccessType::Writeback) {
+        // Install writebacks quietly at a distant position.
+        const std::size_t idx =
+            static_cast<std::size_t>(set) * ways_ + way;
+        rrpv_[idx] = static_cast<std::uint8_t>(maxRrpv_ - 1);
+        friendlyBit_[idx] = 0;
+        lastPc_[idx] = info.pc;
+        return;
+    }
+    touchBlock(info, set, way, /*is_fill=*/true);
+}
+
+void
+HawkeyePolicy::onEvict(std::uint32_t set, std::uint32_t way)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    rrpv_[idx] = static_cast<std::uint8_t>(maxRrpv_);
+    friendlyBit_[idx] = 0;
+}
+
+} // namespace mrp::policy

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hawkeye (Jain & Lin — ISCA 2016): learn from Belady's MIN.
+ *
+ * OPTgen reconstructs, per sampled set, whether MIN would have hit
+ * each reuse interval using an occupancy vector over recent access
+ * quanta. The PC that opened an interval is trained toward
+ * "cache-friendly" when MIN would hit and "cache-averse" when it would
+ * not. The replacement policy inserts averse blocks at the eviction
+ * point (RRPV 7), keeps friendly blocks young, ages friendly blocks on
+ * fills, and detrains the PC of any friendly block it is forced to
+ * evict.
+ */
+
+#ifndef MRP_POLICY_HAWKEYE_HPP
+#define MRP_POLICY_HAWKEYE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/llc_policy.hpp"
+#include "policy/sampling.hpp"
+#include "util/sat_counter.hpp"
+
+namespace mrp::policy {
+
+/** Hawkeye sizing parameters. */
+struct HawkeyeConfig
+{
+    std::uint32_t sampledSetsPerCore = 64;
+    unsigned historyMultiple = 8; //!< OPTgen window = this * assoc
+    std::uint32_t predictorEntries = 8192;
+    unsigned counterBits = 3; //!< friendly when counter >= 2^(bits-1)
+    unsigned rrpvBits = 3;
+};
+
+/** The Hawkeye LLC policy. */
+class HawkeyePolicy : public cache::LlcPolicy
+{
+  public:
+    HawkeyePolicy(const cache::CacheGeometry& geom, unsigned cores,
+                  const HawkeyeConfig& cfg = HawkeyeConfig{});
+
+    std::string name() const override { return "Hawkeye"; }
+    void onHit(const cache::AccessInfo& info, std::uint32_t set,
+               std::uint32_t way) override;
+    void onMiss(const cache::AccessInfo& info, std::uint32_t set) override;
+    std::uint32_t victimWay(const cache::AccessInfo& info,
+                            std::uint32_t set) override;
+    void onFill(const cache::AccessInfo& info, std::uint32_t set,
+                std::uint32_t way) override;
+    void onEvict(std::uint32_t set, std::uint32_t way) override;
+
+    /** Whether the predictor currently classifies @p pc friendly. */
+    bool isFriendly(Pc pc) const;
+
+  private:
+    struct OptGenSet
+    {
+        std::uint64_t time = 0;
+        std::vector<std::uint8_t> occupancy; // ring over quanta
+        struct LastAccess
+        {
+            std::uint64_t time;
+            Pc pc;
+        };
+        std::unordered_map<std::uint16_t, LastAccess> lastAccess;
+    };
+
+    std::uint32_t predictorIndex(Pc pc) const;
+    void train(Pc pc, bool friendly);
+    void optgenAccess(const cache::AccessInfo& info, std::uint32_t set);
+    void touchBlock(const cache::AccessInfo& info, std::uint32_t set,
+                    std::uint32_t way, bool is_fill);
+
+    HawkeyeConfig cfg_;
+    std::uint32_t ways_;
+    unsigned maxRrpv_;
+    std::uint32_t window_;
+    SetSampling sampling_;
+    std::vector<OptGenSet> optgen_;
+    std::vector<SatCounter> predictor_;
+    // Per-block state.
+    std::vector<std::uint8_t> rrpv_;
+    std::vector<Pc> lastPc_;
+    std::vector<std::uint8_t> friendlyBit_;
+};
+
+} // namespace mrp::policy
+
+#endif // MRP_POLICY_HAWKEYE_HPP

@@ -1,0 +1,104 @@
+#include "policy/min.hpp"
+
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace mrp::policy {
+
+std::vector<std::uint64_t>
+computeNextUse(const std::vector<Addr>& seq)
+{
+    std::vector<std::uint64_t> next(seq.size(), kNeverUsed);
+    std::unordered_map<Addr, std::uint64_t> last;
+    last.reserve(seq.size() / 4 + 1);
+    for (std::uint64_t i = seq.size(); i-- > 0;) {
+        const auto it = last.find(seq[i]);
+        if (it != last.end())
+            next[i] = it->second;
+        last[seq[i]] = i;
+    }
+    return next;
+}
+
+MinPolicy::MinPolicy(const cache::CacheGeometry& geom,
+                     std::vector<std::uint64_t> next_use)
+    : ways_(geom.ways()), nextUse_(std::move(next_use)),
+      blockNextUse_(static_cast<std::size_t>(geom.sets()) * geom.ways(),
+                    kNeverUsed),
+      valid_(static_cast<std::size_t>(geom.sets()) * geom.ways(), 0)
+{
+}
+
+std::uint64_t
+MinPolicy::takeNextUse()
+{
+    fatalIf(seq_ >= nextUse_.size(),
+            "MIN consumed more LLC accesses than were recorded; the "
+            "recording pass and the MIN pass saw different streams");
+    return nextUse_[seq_++];
+}
+
+void
+MinPolicy::onHit(const cache::AccessInfo&, std::uint32_t set,
+                 std::uint32_t way)
+{
+    blockNextUse_[static_cast<std::size_t>(set) * ways_ + way] =
+        takeNextUse();
+}
+
+void
+MinPolicy::onMiss(const cache::AccessInfo&, std::uint32_t)
+{
+    pendingNextUse_ = takeNextUse();
+}
+
+bool
+MinPolicy::shouldBypass(const cache::AccessInfo&, std::uint32_t set)
+{
+    if (pendingNextUse_ == kNeverUsed)
+        return true;
+    // With a free way, allocation can displace nothing — never bypass.
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    bool full = true;
+    std::uint64_t farthest = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!valid_[base + w]) {
+            full = false;
+            break;
+        }
+        if (blockNextUse_[base + w] > farthest)
+            farthest = blockNextUse_[base + w];
+    }
+    return full && pendingNextUse_ > farthest;
+}
+
+std::uint32_t
+MinPolicy::victimWay(const cache::AccessInfo&, std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w)
+        if (blockNextUse_[base + w] > blockNextUse_[base + victim])
+            victim = w;
+    return victim;
+}
+
+void
+MinPolicy::onFill(const cache::AccessInfo&, std::uint32_t set,
+                  std::uint32_t way)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    blockNextUse_[idx] = pendingNextUse_;
+    valid_[idx] = 1;
+}
+
+void
+MinPolicy::onEvict(std::uint32_t set, std::uint32_t way)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    valid_[idx] = 0;
+    blockNextUse_[idx] = kNeverUsed;
+}
+
+} // namespace mrp::policy

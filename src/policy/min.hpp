@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Belady's MIN replacement adapted to also provide optimal bypass
+ * (paper §4.3).
+ *
+ * The LLC reference stream is independent of the LLC policy (L1/L2
+ * contents and the prefetcher never observe LLC decisions), so MIN is
+ * realized in two passes: a recording pass notes the block address of
+ * every LLC access, next-use distances are computed offline, and the
+ * real pass replays the workload with a policy that evicts (or
+ * bypasses) the block whose next use is farthest in the future.
+ */
+
+#ifndef MRP_POLICY_MIN_HPP
+#define MRP_POLICY_MIN_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cache/llc_policy.hpp"
+
+namespace mrp::policy {
+
+/** "Never referenced again." */
+inline constexpr std::uint64_t kNeverUsed =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Observer that records the block address of every LLC access. */
+class LlcAccessRecorder : public cache::LlcObserver
+{
+  public:
+    void
+    onAccess(const cache::AccessInfo& info, bool, std::uint32_t,
+             int) override
+    {
+        sequence_.push_back(blockAddr(info.addr));
+    }
+
+    const std::vector<Addr>& sequence() const { return sequence_; }
+
+  private:
+    std::vector<Addr> sequence_;
+};
+
+/**
+ * For each position i of an access sequence, the position of the next
+ * access to the same block (kNeverUsed if none).
+ */
+std::vector<std::uint64_t> computeNextUse(const std::vector<Addr>& seq);
+
+/**
+ * The MIN policy. Must observe exactly the same LLC access sequence
+ * the next-use vector was computed from.
+ */
+class MinPolicy : public cache::LlcPolicy
+{
+  public:
+    MinPolicy(const cache::CacheGeometry& geom,
+              std::vector<std::uint64_t> next_use);
+
+    std::string name() const override { return "MIN"; }
+    void onHit(const cache::AccessInfo& info, std::uint32_t set,
+               std::uint32_t way) override;
+    void onMiss(const cache::AccessInfo& info, std::uint32_t set) override;
+    bool shouldBypass(const cache::AccessInfo& info,
+                      std::uint32_t set) override;
+    std::uint32_t victimWay(const cache::AccessInfo& info,
+                            std::uint32_t set) override;
+    void onFill(const cache::AccessInfo& info, std::uint32_t set,
+                std::uint32_t way) override;
+    void onEvict(std::uint32_t set, std::uint32_t way) override;
+
+    /** Accesses consumed so far (for stream-alignment checks). */
+    std::uint64_t consumed() const { return seq_; }
+
+  private:
+    std::uint64_t takeNextUse();
+
+    std::uint32_t ways_;
+    std::vector<std::uint64_t> nextUse_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t pendingNextUse_ = kNeverUsed;
+    // Per-block bookkeeping of the next reference of resident blocks.
+    std::vector<std::uint64_t> blockNextUse_;
+    std::vector<std::uint8_t> valid_;
+};
+
+} // namespace mrp::policy
+
+#endif // MRP_POLICY_MIN_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Common interface of block-reuse predictors.
+ *
+ * SDBP, Perceptron, and the multiperspective predictor all fit one
+ * shape: they observe every LLC access (training themselves on the
+ * sampled sets they maintain internally) and emit an integer
+ * confidence that the accessed block is *dead* — will not be reused
+ * before eviction. Policies threshold the confidence to drive bypass,
+ * placement, and promotion; the ROC experiment (Fig. 1/8) records the
+ * raw confidences against ground truth.
+ */
+
+#ifndef MRP_POLICY_REUSE_PREDICTOR_HPP
+#define MRP_POLICY_REUSE_PREDICTOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "cache/access.hpp"
+
+namespace mrp::policy {
+
+/** A trainable dead-block confidence estimator. */
+class ReusePredictor
+{
+  public:
+    virtual ~ReusePredictor() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Observe one LLC access and return the dead confidence for it.
+     * Called for every demand and prefetch access, in LLC access
+     * order.
+     *
+     * @param info access metadata (PC, address, core, type, context)
+     * @param set the LLC set index
+     * @param hit whether the access hit in the real LLC
+     */
+    virtual int observe(const cache::AccessInfo& info, std::uint32_t set,
+                        bool hit) = 0;
+
+    /** Smallest confidence the predictor can emit. */
+    virtual int minConfidence() const = 0;
+
+    /** Largest confidence the predictor can emit. */
+    virtual int maxConfidence() const = 0;
+};
+
+} // namespace mrp::policy
+
+#endif // MRP_POLICY_REUSE_PREDICTOR_HPP

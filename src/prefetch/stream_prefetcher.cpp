@@ -1,0 +1,88 @@
+#include "prefetch/stream_prefetcher.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace mrp::prefetch {
+
+StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherConfig& cfg)
+    : cfg_(cfg), streams_(cfg.streams)
+{
+    fatalIf(cfg.streams == 0, "prefetcher needs at least one stream");
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto& s : streams_)
+        s = Stream{};
+    useClock_ = 0;
+}
+
+void
+StreamPrefetcher::onL1Miss(Addr addr, std::vector<Addr>& out)
+{
+    const Addr blk = blockAddr(addr);
+    ++useClock_;
+
+    // Try to match an existing stream within the window.
+    Stream* match = nullptr;
+    for (auto& s : streams_) {
+        if (!s.valid)
+            continue;
+        const Addr ref = s.lastBlock;
+        const Addr delta = blk > ref ? blk - ref : ref - blk;
+        if (delta != 0 && delta <= cfg_.window) {
+            match = &s;
+            break;
+        }
+    }
+
+    if (!match) {
+        // Allocate a stream (LRU replacement among the 16 entries).
+        Stream* lru = &streams_[0];
+        for (auto& s : streams_) {
+            if (!s.valid) {
+                lru = &s;
+                break;
+            }
+            if (s.lastUse < lru->lastUse)
+                lru = &s;
+        }
+        *lru = Stream{};
+        lru->valid = true;
+        lru->startBlock = blk;
+        lru->lastBlock = blk;
+        lru->head = blk;
+        lru->lastUse = useClock_;
+        return;
+    }
+
+    match->lastUse = useClock_;
+    if (match->direction == 0) {
+        // Second miss decides the direction (paper: at most two misses).
+        match->direction = blk > match->lastBlock ? +1 : -1;
+        match->head = blk;
+    }
+    match->lastBlock = blk;
+
+    // Keep the prefetch head ahead of the miss in the stream direction.
+    const int dir = match->direction;
+    const auto ahead_of = [dir](Addr a, Addr b) {
+        return dir > 0 ? a > b : a < b;
+    };
+    if (!ahead_of(match->head, blk))
+        match->head = blk;
+
+    const Addr limit = dir > 0 ? blk + cfg_.distance : blk - cfg_.distance;
+    unsigned emitted = 0;
+    while (emitted < cfg_.degree && ahead_of(limit, match->head)) {
+        match->head = dir > 0 ? match->head + 1 : match->head - 1;
+        out.push_back(match->head << kBlockShift);
+        ++issued_;
+        ++emitted;
+    }
+}
+
+} // namespace mrp::prefetch

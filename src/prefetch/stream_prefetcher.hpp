@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stream prefetcher modeled on the paper's description (§4.1): a
+ * stream begins on an L1 miss, waits for at most two misses to decide
+ * its direction, then generates prefetch requests; 16 streams are
+ * tracked with LRU replacement.
+ */
+
+#ifndef MRP_PREFETCH_STREAM_PREFETCHER_HPP
+#define MRP_PREFETCH_STREAM_PREFETCHER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mrp::prefetch {
+
+/** Tuning knobs of the stream prefetcher. */
+struct StreamPrefetcherConfig
+{
+    unsigned streams = 16;  //!< concurrently tracked streams
+    unsigned degree = 2;    //!< prefetches issued per triggering miss
+    unsigned distance = 4;  //!< how far ahead of the miss to run
+    unsigned window = 16;   //!< miss-to-stream matching window (blocks)
+};
+
+/** One-core stream prefetcher. */
+class StreamPrefetcher
+{
+  public:
+    explicit StreamPrefetcher(
+        const StreamPrefetcherConfig& cfg = StreamPrefetcherConfig{});
+
+    /**
+     * Observe a demand L1 miss to @p addr and append the block-aligned
+     * byte addresses to prefetch to @p out.
+     */
+    void onL1Miss(Addr addr, std::vector<Addr>& out);
+
+    /** Total prefetch addresses generated. */
+    std::uint64_t issued() const { return issued_; }
+
+    /** Drop all stream state (e.g.\ between runs). */
+    void reset();
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr startBlock = 0;  //!< block that allocated the stream
+        Addr lastBlock = 0;   //!< most recent miss matched to it
+        Addr head = 0;        //!< next block to prefetch
+        int direction = 0;    //!< 0 until confirmed, else +1/-1
+        std::uint64_t lastUse = 0;
+    };
+
+    StreamPrefetcherConfig cfg_;
+    std::vector<Stream> streams_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace mrp::prefetch
+
+#endif // MRP_PREFETCH_STREAM_PREFETCHER_HPP

@@ -1,0 +1,99 @@
+#include "search/feature_search.hpp"
+
+#include "trace/workloads.hpp"
+#include "util/logging.hpp"
+#include "util/math_util.hpp"
+
+namespace mrp::search {
+
+FeatureSetEvaluator::FeatureSetEvaluator(const SearchConfig& cfg)
+    : cfg_(cfg)
+{
+    fatalIf(cfg.workloads.empty(), "search needs training workloads");
+    for (const unsigned w : cfg.workloads)
+        traces_.push_back(
+            trace::makeSuiteTrace(w, cfg.traceInstructions));
+}
+
+double
+FeatureSetEvaluator::averageMpki(
+    const std::vector<core::FeatureSpec>& features)
+{
+    core::MpppbConfig mcfg = cfg_.baseConfig;
+    mcfg.predictor.features = features;
+    const auto factory = sim::makeMpppbFactory(mcfg);
+    std::vector<double> mpkis;
+    mpkis.reserve(traces_.size());
+    for (const auto& t : traces_)
+        mpkis.push_back(sim::runSingleCore(t, factory, cfg_.sim).mpki);
+    return mean(mpkis);
+}
+
+double
+FeatureSetEvaluator::lruMpki()
+{
+    const auto factory = sim::makePolicyFactory("LRU");
+    std::vector<double> mpkis;
+    for (const auto& t : traces_)
+        mpkis.push_back(sim::runSingleCore(t, factory, cfg_.sim).mpki);
+    return mean(mpkis);
+}
+
+double
+FeatureSetEvaluator::minMpki()
+{
+    std::vector<double> mpkis;
+    for (const auto& t : traces_)
+        mpkis.push_back(sim::runSingleCoreMin(t, cfg_.sim).mpki);
+    return mean(mpkis);
+}
+
+std::vector<Candidate>
+randomSearch(FeatureSetEvaluator& eval, const SearchConfig& cfg,
+             unsigned count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Candidate> out;
+    out.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        Candidate c;
+        c.features.reserve(cfg.featuresPerSet);
+        for (unsigned f = 0; f < cfg.featuresPerSet; ++f)
+            c.features.push_back(core::FeatureSpec::random(rng));
+        c.averageMpki = eval.averageMpki(c.features);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+Candidate
+hillClimb(FeatureSetEvaluator& eval, const SearchConfig& cfg,
+          const Candidate& start, unsigned iterations, std::uint64_t seed)
+{
+    (void)cfg;
+    Rng rng(seed);
+    Candidate best = start;
+    for (unsigned i = 0; i < iterations; ++i) {
+        std::vector<core::FeatureSpec> trial = best.features;
+        const std::size_t victim = rng.below(trial.size());
+        switch (rng.below(3)) {
+          case 0: // replace with a fresh random feature
+            trial[victim] = core::FeatureSpec::random(rng);
+            break;
+          case 1: // replace with a copy of another feature
+            trial[victim] = trial[rng.below(trial.size())];
+            break;
+          default: // perturb one parameter slightly
+            trial[victim] = trial[victim].perturbed(rng);
+            break;
+        }
+        const double mpki = eval.averageMpki(trial);
+        if (mpki < best.averageMpki) {
+            best.features = std::move(trial);
+            best.averageMpki = mpki;
+        }
+    }
+    return best;
+}
+
+} // namespace mrp::search

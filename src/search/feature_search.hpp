@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Feature design-space exploration (paper §5): evaluate candidate sets
+ * of 16 parameterized features by average MPKI on a training workload
+ * list, seed with uniform random sets, and refine the best set with
+ * the paper's hill-climbing moves (replace with a random feature,
+ * duplicate another feature, or perturb one parameter).
+ */
+
+#ifndef MRP_SEARCH_FEATURE_SEARCH_HPP
+#define MRP_SEARCH_FEATURE_SEARCH_HPP
+
+#include <vector>
+
+#include "core/mpppb.hpp"
+#include "sim/single_core.hpp"
+#include "trace/trace.hpp"
+
+namespace mrp::search {
+
+/** Exploration parameters. */
+struct SearchConfig
+{
+    unsigned featuresPerSet = 16; //!< the paper settles on 16 (§5)
+    std::vector<unsigned> workloads; //!< suite indices (training set)
+    InstCount traceInstructions = 400000; //!< fast-sim trace length
+    sim::SingleCoreConfig sim{};
+    core::MpppbConfig baseConfig; //!< thresholds/substrate template
+};
+
+/** One evaluated candidate. */
+struct Candidate
+{
+    std::vector<core::FeatureSpec> features;
+    double averageMpki = 0.0;
+};
+
+/**
+ * Evaluates feature sets by average MPKI over a fixed training
+ * workload list; traces are generated once and reused.
+ */
+class FeatureSetEvaluator
+{
+  public:
+    explicit FeatureSetEvaluator(const SearchConfig& cfg);
+
+    /** Average LLC demand MPKI of MPPPB with @p features. */
+    double averageMpki(const std::vector<core::FeatureSpec>& features);
+
+    /** Average MPKI of plain LRU (upper reference line of Fig. 3). */
+    double lruMpki();
+
+    /** Average MPKI of MIN (lower reference line of Fig. 3). */
+    double minMpki();
+
+    std::size_t workloadCount() const { return traces_.size(); }
+
+  private:
+    SearchConfig cfg_;
+    std::vector<trace::Trace> traces_;
+};
+
+/**
+ * Evaluate @p count uniformly random feature sets (§5.1-5.2).
+ * @return candidates in evaluation order
+ */
+std::vector<Candidate> randomSearch(FeatureSetEvaluator& eval,
+                                    const SearchConfig& cfg,
+                                    unsigned count, std::uint64_t seed);
+
+/**
+ * Hill-climb from @p start for @p iterations proposals, keeping
+ * improvements (§5.1).
+ * @return the best candidate found
+ */
+Candidate hillClimb(FeatureSetEvaluator& eval, const SearchConfig& cfg,
+                    const Candidate& start, unsigned iterations,
+                    std::uint64_t seed);
+
+} // namespace mrp::search
+
+#endif // MRP_SEARCH_FEATURE_SEARCH_HPP

@@ -1,0 +1,125 @@
+#include "sim/multi_core.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core_model.hpp"
+#include "policy/lru.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::sim {
+
+double
+MultiCoreResult::weightedSpeedup(
+    const std::array<double, 4>& single_ipc) const
+{
+    double ws = 0.0;
+    for (std::size_t i = 0; i < ipc.size(); ++i) {
+        fatalIf(single_ipc[i] <= 0.0, "standalone IPC must be positive");
+        ws += ipc[i] / single_ipc[i];
+    }
+    return ws;
+}
+
+MultiCoreResult
+runMultiCore(const std::array<const trace::Trace*, 4>& mix,
+             const PolicyFactory& factory, const MultiCoreConfig& cfg)
+{
+    cache::HierarchyConfig hcfg = cfg.hierarchy;
+    hcfg.cores = 4;
+    const cache::CacheGeometry geom(hcfg.llcBytes, hcfg.llcWays);
+    auto policy = factory(geom, 4);
+    const std::string policy_name = policy->name();
+    cache::Hierarchy hier(hcfg, std::move(policy));
+
+    std::vector<std::unique_ptr<cpu::CoreModel>> cores;
+    for (unsigned c = 0; c < 4; ++c) {
+        fatalIf(mix[c] == nullptr, "null trace in mix");
+        cores.push_back(std::make_unique<cpu::CoreModel>(
+            c, hier, *mix[c], /*loop=*/true));
+    }
+
+    const auto step_earliest = [&cores] {
+        unsigned best = 0;
+        Cycle best_cycle = cores[0]->nextEnterCycle();
+        for (unsigned c = 1; c < 4; ++c) {
+            const Cycle e = cores[c]->nextEnterCycle();
+            if (e < best_cycle) {
+                best_cycle = e;
+                best = c;
+            }
+        }
+        cores[best]->step();
+        return best;
+    };
+
+    // Warmup until the total instruction budget is reached.
+    const auto total_retired = [&cores] {
+        InstCount n = 0;
+        for (const auto& c : cores)
+            n += c->retired();
+        return n;
+    };
+    while (total_retired() < cfg.warmupInstructions)
+        step_earliest();
+
+    hier.resetStats();
+    std::array<Cycle, 4> base_cycle{};
+    std::array<InstCount, 4> base_insts{};
+    std::array<InstCount, 4> end_insts{};
+    std::array<bool, 4> done{};
+    for (unsigned c = 0; c < 4; ++c) {
+        base_cycle[c] = cores[c]->cycle();
+        base_insts[c] = cores[c]->retired();
+    }
+
+    unsigned remaining = 4;
+    while (remaining > 0) {
+        const unsigned c = step_earliest();
+        if (!done[c] &&
+            cores[c]->cycle() >= base_cycle[c] + cfg.measureCycles) {
+            done[c] = true;
+            end_insts[c] = cores[c]->retired();
+            --remaining;
+        }
+    }
+
+    MultiCoreResult r;
+    r.policy = policy_name;
+    r.mixName = mix[0]->name() + "+" + mix[1]->name() + "+" +
+                mix[2]->name() + "+" + mix[3]->name();
+    InstCount measured_total = 0;
+    for (unsigned c = 0; c < 4; ++c) {
+        r.instructions[c] = end_insts[c] - base_insts[c];
+        r.ipc[c] = static_cast<double>(r.instructions[c]) /
+                   static_cast<double>(cfg.measureCycles);
+        measured_total += r.instructions[c];
+    }
+    r.llcDemandMisses = hier.llc().stats().demandMisses;
+    r.mpki = 1000.0 * static_cast<double>(r.llcDemandMisses) /
+             static_cast<double>(measured_total);
+    return r;
+}
+
+double
+standaloneIpc(const trace::Trace& trace, const MultiCoreConfig& cfg)
+{
+    cache::HierarchyConfig hcfg = cfg.hierarchy;
+    hcfg.cores = 1;
+    const cache::CacheGeometry geom(hcfg.llcBytes, hcfg.llcWays);
+    cache::Hierarchy hier(hcfg,
+                          std::make_unique<policy::LruPolicy>(geom));
+    cpu::CoreModel cpu(0, hier, trace, /*loop=*/true);
+
+    // Same per-thread warmup share as a mixed run.
+    while (cpu.retired() < cfg.warmupInstructions / 4)
+        cpu.step();
+    const Cycle base_cycle = cpu.cycle();
+    const InstCount base_insts = cpu.retired();
+    while (cpu.cycle() < base_cycle + cfg.measureCycles)
+        cpu.step();
+    return static_cast<double>(cpu.retired() - base_insts) /
+           static_cast<double>(cfg.measureCycles);
+}
+
+} // namespace mrp::sim

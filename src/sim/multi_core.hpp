@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Four-core multi-programmed simulation driver following the paper's
+ * FIESTA-inspired methodology (§4.2): each core replays an
+ * equal-standalone-time region of its benchmark, looping as needed, so
+ * all cores stay active for the whole measurement; warmup runs until a
+ * total instruction budget is reached; each thread is then measured
+ * over a fixed window of its own cycles.
+ */
+
+#ifndef MRP_SIM_MULTI_CORE_HPP
+#define MRP_SIM_MULTI_CORE_HPP
+
+#include <array>
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "sim/policies.hpp"
+#include "trace/trace.hpp"
+
+namespace mrp::sim {
+
+/** Multi-core driver parameters (scaled from the paper's billions). */
+struct MultiCoreConfig
+{
+    cache::HierarchyConfig hierarchy = cache::multiCoreConfig();
+    /**
+     * Total warmup across cores; sized so the 8MB LLC (131K blocks)
+     * fills and the predictors reach steady state before measurement.
+     */
+    InstCount warmupInstructions = 1600000;
+    Cycle measureCycles = 500000; //!< per-core window
+};
+
+/** Measured outcome of one 4-core mix run. */
+struct MultiCoreResult
+{
+    std::string mixName;
+    std::string policy;
+    std::array<double, 4> ipc{};
+    std::array<InstCount, 4> instructions{};
+    std::uint64_t llcDemandMisses = 0;
+    double mpki = 0.0; //!< LLC demand misses per kilo (all cores)
+
+    /**
+     * Weighted speedup given per-benchmark standalone IPCs:
+     * sum_i ipc[i] / single_ipc[i] (normalize against the LRU run's
+     * value to obtain the paper's normalized weighted speedup).
+     */
+    double weightedSpeedup(const std::array<double, 4>& single_ipc) const;
+};
+
+/** Run a 4-trace mix under the policy built by @p factory. */
+MultiCoreResult runMultiCore(const std::array<const trace::Trace*, 4>& mix,
+                             const PolicyFactory& factory,
+                             const MultiCoreConfig& cfg = {});
+
+/**
+ * Standalone IPC of one benchmark on the multi-core hierarchy with an
+ * LRU LLC (the SingleIPC_i of §4.5), using the same loop-and-measure
+ * scheme as the mixed run.
+ */
+double standaloneIpc(const trace::Trace& trace,
+                     const MultiCoreConfig& cfg = {});
+
+} // namespace mrp::sim
+
+#endif // MRP_SIM_MULTI_CORE_HPP

@@ -1,0 +1,101 @@
+#include "sim/policies.hpp"
+
+#include "core/feature_sets.hpp"
+#include "policy/hawkeye.hpp"
+#include "policy/lru.hpp"
+#include "policy/perceptron.hpp"
+#include "policy/sdbp.hpp"
+#include "policy/ship.hpp"
+#include "policy/srrip.hpp"
+#include "policy/tree_plru.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::sim {
+
+PolicyFactory
+makeMpppbFactory(const core::MpppbConfig& cfg)
+{
+    return [cfg](const cache::CacheGeometry& geom, unsigned cores) {
+        return std::make_unique<core::MpppbPolicy>(geom, cores, cfg);
+    };
+}
+
+PolicyFactory
+makePolicyFactory(const std::string& name)
+{
+    using cache::CacheGeometry;
+    if (name == "LRU")
+        return [](const CacheGeometry& g, unsigned) {
+            return std::make_unique<policy::LruPolicy>(g);
+        };
+    if (name == "Random")
+        return [](const CacheGeometry& g, unsigned) {
+            return std::make_unique<policy::RandomPolicy>(g);
+        };
+    if (name == "SRRIP")
+        return [](const CacheGeometry& g, unsigned) {
+            return std::make_unique<policy::SrripPolicy>(g);
+        };
+    if (name == "DRRIP")
+        return [](const CacheGeometry& g, unsigned) {
+            return std::make_unique<policy::DrripPolicy>(g);
+        };
+    if (name == "MDPP")
+        return [](const CacheGeometry& g, unsigned) {
+            return std::make_unique<policy::MdppPolicy>(g);
+        };
+    if (name == "SHiP")
+        return [](const CacheGeometry& g, unsigned) {
+            return std::make_unique<policy::ShipPolicy>(g);
+        };
+    if (name == "SDBP")
+        return [](const CacheGeometry& g, unsigned cores) {
+            return std::make_unique<policy::SdbpPolicy>(g, cores);
+        };
+    if (name == "Perceptron")
+        return [](const CacheGeometry& g, unsigned cores) {
+            return std::make_unique<policy::PerceptronPolicy>(g, cores);
+        };
+    if (name == "Hawkeye")
+        return [](const CacheGeometry& g, unsigned cores) {
+            return std::make_unique<policy::HawkeyePolicy>(g, cores);
+        };
+    if (name == "MPPPB")
+        return makeMpppbFactory(core::singleThreadMpppbConfig());
+    if (name == "MPPPB-MC")
+        return makeMpppbFactory(core::multiCoreMpppbConfig());
+    if (name == "MPPPB-DYN") {
+        auto cfg = core::singleThreadMpppbConfig();
+        cfg.dynamicBypass = true;
+        return makeMpppbFactory(cfg);
+    }
+    if (name == "MPPPB-1A") {
+        auto cfg = core::singleThreadMpppbConfig();
+        cfg.predictor.features = core::featureSetTable1A();
+        return makeMpppbFactory(cfg);
+    }
+    if (name == "MPPPB-1B") {
+        auto cfg = core::singleThreadMpppbConfig();
+        cfg.predictor.features = core::featureSetTable1B();
+        return makeMpppbFactory(cfg);
+    }
+    if (name == "MPPPB-Local") {
+        auto cfg = core::singleThreadMpppbConfig();
+        cfg.predictor.features = core::featureSetLocal();
+        return makeMpppbFactory(cfg);
+    }
+    if (name == "MPPPB-T2") {
+        auto cfg = core::singleThreadMpppbConfig();
+        cfg.predictor.features = core::featureSetTable2();
+        return makeMpppbFactory(cfg);
+    }
+    fatal("unknown policy name: " + name);
+}
+
+std::vector<std::string>
+paperPolicyNames()
+{
+    return {"LRU", "Hawkeye", "Perceptron", "MPPPB"};
+}
+
+} // namespace mrp::sim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Name-based construction of LLC policies, so drivers, benches, and
+ * examples can be parameterized by policy name.
+ */
+
+#ifndef MRP_SIM_POLICIES_HPP
+#define MRP_SIM_POLICIES_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/llc_policy.hpp"
+#include "core/mpppb.hpp"
+
+namespace mrp::sim {
+
+/** Builds a policy instance for a given LLC geometry and core count. */
+using PolicyFactory = std::function<std::unique_ptr<cache::LlcPolicy>(
+    const cache::CacheGeometry& geom, unsigned cores)>;
+
+/**
+ * Factory for a named policy. Known names: "LRU", "Random", "SRRIP",
+ * "DRRIP", "MDPP", "SHiP", "SDBP", "Perceptron", "Hawkeye", "MPPPB"
+ * (single-thread configuration, MDPP substrate) and "MPPPB-MC"
+ * (multi-core configuration, SRRIP substrate). MIN is not listed: it
+ * needs a recording pre-pass (see runSingleCoreMin).
+ */
+PolicyFactory makePolicyFactory(const std::string& name);
+
+/** Factory for MPPPB with an explicit configuration. */
+PolicyFactory makeMpppbFactory(const core::MpppbConfig& cfg);
+
+/** The realistic policies compared in the paper's figures. */
+std::vector<std::string> paperPolicyNames();
+
+} // namespace mrp::sim
+
+#endif // MRP_SIM_POLICIES_HPP

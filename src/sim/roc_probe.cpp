@@ -1,0 +1,79 @@
+#include "sim/roc_probe.hpp"
+
+#include "util/logging.hpp"
+
+namespace mrp::sim {
+
+RocProbe::RocProbe(
+    const cache::CacheGeometry& geom,
+    std::vector<std::unique_ptr<policy::ReusePredictor>> predictors)
+    : ways_(geom.ways()), predictors_(std::move(predictors))
+{
+    fatalIf(predictors_.empty(), "RocProbe needs at least one predictor");
+    const std::size_t blocks =
+        static_cast<std::size_t>(geom.sets()) * geom.ways();
+    for (const auto& p : predictors_)
+        roc_.emplace_back(p->minConfidence(), p->maxConfidence());
+    pendingConf_.assign(blocks * predictors_.size(), 0);
+    pendingValid_.assign(blocks, 0);
+    missConf_.assign(predictors_.size(), 0);
+}
+
+void
+RocProbe::resolve(std::uint32_t set, std::uint32_t way, bool dead)
+{
+    const std::size_t blk = static_cast<std::size_t>(set) * ways_ + way;
+    if (!pendingValid_[blk])
+        return;
+    pendingValid_[blk] = 0;
+    for (std::size_t p = 0; p < predictors_.size(); ++p)
+        roc_[p].add(pendingConf_[blk * predictors_.size() + p], dead);
+}
+
+void
+RocProbe::storePending(std::uint32_t set, std::uint32_t way)
+{
+    const std::size_t blk = static_cast<std::size_t>(set) * ways_ + way;
+    pendingValid_[blk] = 1;
+    for (std::size_t p = 0; p < predictors_.size(); ++p)
+        pendingConf_[blk * predictors_.size() + p] = missConf_[p];
+}
+
+void
+RocProbe::onAccess(const cache::AccessInfo& info, bool hit,
+                   std::uint32_t set, int way)
+{
+    if (info.type == cache::AccessType::Writeback)
+        return;
+    // Every predictor observes (and trains on) demand and prefetch
+    // accesses; only demand accesses produce measured predictions.
+    for (std::size_t p = 0; p < predictors_.size(); ++p)
+        missConf_[p] = predictors_[p]->observe(info, set, hit);
+    if (!cache::isDemand(info.type))
+        return;
+    if (hit) {
+        // The block was reused: the previous prediction was "live".
+        resolve(set, static_cast<std::uint32_t>(way), /*dead=*/false);
+        storePending(set, static_cast<std::uint32_t>(way));
+    } else {
+        missPending_ = true; // confidences attach at the coming fill
+    }
+}
+
+void
+RocProbe::onFill(const cache::AccessInfo& info, std::uint32_t set,
+                 std::uint32_t way)
+{
+    if (!missPending_ || !cache::isDemand(info.type))
+        return;
+    missPending_ = false;
+    storePending(set, way);
+}
+
+void
+RocProbe::onEvict(std::uint32_t set, std::uint32_t way, Addr)
+{
+    resolve(set, way, /*dead=*/true);
+}
+
+} // namespace mrp::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Measurement-only predictor accuracy probe (paper §6.3).
+ *
+ * The probe attaches to an LRU-managed LLC as a passive observer and
+ * hosts any number of reuse predictors. Every demand access is shown
+ * to every predictor (training their samplers exactly as they would
+ * train in a real deployment) and the emitted confidences are held
+ * per block until ground truth arrives: a subsequent demand access
+ * resolves the pending predictions as *live*; an eviction resolves
+ * them as *dead*. Because decisions are never applied, the
+ * measurement is free of feedback from the optimization — the
+ * methodology the paper uses for its ROC curves.
+ */
+
+#ifndef MRP_SIM_ROC_PROBE_HPP
+#define MRP_SIM_ROC_PROBE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "cache/llc_policy.hpp"
+#include "policy/reuse_predictor.hpp"
+#include "stats/roc.hpp"
+
+namespace mrp::sim {
+
+/** Observer hosting several predictors-under-measure. */
+class RocProbe : public cache::LlcObserver
+{
+  public:
+    /**
+     * @param geom the observed LLC's geometry
+     * @param predictors predictors to measure; the probe takes
+     *        ownership
+     */
+    RocProbe(const cache::CacheGeometry& geom,
+             std::vector<std::unique_ptr<policy::ReusePredictor>>
+                 predictors);
+
+    void onAccess(const cache::AccessInfo& info, bool hit,
+                  std::uint32_t set, int way) override;
+    void onFill(const cache::AccessInfo& info, std::uint32_t set,
+                std::uint32_t way) override;
+    void onEvict(std::uint32_t set, std::uint32_t way,
+                 Addr block_address) override;
+
+    std::size_t predictorCount() const { return predictors_.size(); }
+    const policy::ReusePredictor& predictor(std::size_t i) const
+    {
+        return *predictors_[i];
+    }
+    const stats::RocAccumulator& roc(std::size_t i) const
+    {
+        return roc_[i];
+    }
+
+  private:
+    void resolve(std::uint32_t set, std::uint32_t way, bool dead);
+    void storePending(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t ways_;
+    std::vector<std::unique_ptr<policy::ReusePredictor>> predictors_;
+    std::vector<stats::RocAccumulator> roc_;
+    // Per (set, way): one pending confidence per predictor.
+    std::vector<std::int32_t> pendingConf_;
+    std::vector<std::uint8_t> pendingValid_;
+    // Confidences of the most recent demand miss, awaiting onFill.
+    std::vector<int> missConf_;
+    bool missPending_ = false;
+};
+
+} // namespace mrp::sim
+
+#endif // MRP_SIM_ROC_PROBE_HPP

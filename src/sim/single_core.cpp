@@ -1,0 +1,97 @@
+#include "sim/single_core.hpp"
+
+#include "cpu/core_model.hpp"
+#include "policy/lru.hpp"
+#include "policy/min.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::sim {
+
+namespace {
+
+SingleCoreResult
+runWithPolicy(const trace::Trace& trace,
+              std::unique_ptr<cache::LlcPolicy> policy,
+              const SingleCoreConfig& cfg,
+              cache::LlcObserver* observer)
+{
+    cache::HierarchyConfig hcfg = cfg.hierarchy;
+    hcfg.cores = 1;
+    const std::string policy_name = policy->name();
+    cache::Hierarchy hier(hcfg, std::move(policy));
+    if (observer)
+        hier.llc().setObserver(observer);
+    cpu::CoreModel cpu(0, hier, trace, /*loop=*/false);
+
+    const auto warm_insts = static_cast<InstCount>(
+        static_cast<double>(trace.instructions()) * cfg.warmupFraction);
+    while (!cpu.finished() && cpu.retired() < warm_insts)
+        cpu.step();
+    hier.resetStats();
+    const InstCount base_insts = cpu.retired();
+    const Cycle base_cycle = cpu.cycle();
+
+    while (!cpu.finished())
+        cpu.step();
+
+    SingleCoreResult r;
+    r.benchmark = trace.name();
+    r.policy = policy_name;
+    r.instructions = cpu.retired() - base_insts;
+    r.cycles = cpu.cycle() - base_cycle;
+    fatalIf(r.instructions == 0 || r.cycles == 0,
+            "measurement window is empty; trace too short for the "
+            "warmup fraction");
+    r.ipc = static_cast<double>(r.instructions) /
+            static_cast<double>(r.cycles);
+    const auto& llc = hier.llc().stats();
+    r.llcDemandAccesses = llc.demandAccesses;
+    r.llcDemandMisses = llc.demandMisses;
+    r.llcBypasses = llc.bypasses;
+    r.mpki = 1000.0 * static_cast<double>(r.llcDemandMisses) /
+             static_cast<double>(r.instructions);
+    return r;
+}
+
+} // namespace
+
+SingleCoreResult
+runSingleCore(const trace::Trace& trace, const PolicyFactory& factory,
+              const SingleCoreConfig& cfg)
+{
+    const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
+                                    cfg.hierarchy.llcWays);
+    return runWithPolicy(trace, factory(geom, 1), cfg, nullptr);
+}
+
+SingleCoreResult
+runSingleCoreObserved(const trace::Trace& trace,
+                      const PolicyFactory& factory,
+                      const SingleCoreConfig& cfg,
+                      cache::LlcObserver* observer)
+{
+    const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
+                                    cfg.hierarchy.llcWays);
+    return runWithPolicy(trace, factory(geom, 1), cfg, observer);
+}
+
+SingleCoreResult
+runSingleCoreMin(const trace::Trace& trace, const SingleCoreConfig& cfg)
+{
+    const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
+                                    cfg.hierarchy.llcWays);
+    // Pass 1: record the (policy-invariant) LLC reference stream.
+    policy::LlcAccessRecorder recorder;
+    runWithPolicy(trace, std::make_unique<policy::LruPolicy>(geom), cfg,
+                  &recorder);
+    // Pass 2: replay under MIN.
+    auto next_use = policy::computeNextUse(recorder.sequence());
+    SingleCoreResult r = runWithPolicy(
+        trace,
+        std::make_unique<policy::MinPolicy>(geom, std::move(next_use)),
+        cfg, nullptr);
+    r.policy = "MIN";
+    return r;
+}
+
+} // namespace mrp::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Single-thread simulation driver: one core, one trace, one LLC
+ * policy; warmup then measurement, reporting IPC and LLC demand MPKI
+ * (the quantities of Figures 6 and 7).
+ */
+
+#ifndef MRP_SIM_SINGLE_CORE_HPP
+#define MRP_SIM_SINGLE_CORE_HPP
+
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "sim/policies.hpp"
+#include "trace/trace.hpp"
+
+namespace mrp::sim {
+
+/** Single-thread driver parameters. */
+struct SingleCoreConfig
+{
+    cache::HierarchyConfig hierarchy{}; //!< 2MB LLC default
+    double warmupFraction = 0.25; //!< fraction of the trace for warmup
+};
+
+/** Measured outcome of one single-thread run. */
+struct SingleCoreResult
+{
+    std::string benchmark;
+    std::string policy;
+    InstCount instructions = 0; //!< measured (post-warmup)
+    Cycle cycles = 0;
+    double ipc = 0.0;
+    std::uint64_t llcDemandAccesses = 0;
+    std::uint64_t llcDemandMisses = 0;
+    std::uint64_t llcBypasses = 0;
+    double mpki = 0.0; //!< LLC demand misses per kilo-instruction
+};
+
+/** Run @p trace under the policy built by @p factory. */
+SingleCoreResult runSingleCore(const trace::Trace& trace,
+                               const PolicyFactory& factory,
+                               const SingleCoreConfig& cfg = {});
+
+/**
+ * As runSingleCore, with a passive LLC observer attached (ROC probes,
+ * access recorders). The observer sees the whole run, warmup included.
+ */
+SingleCoreResult runSingleCoreObserved(const trace::Trace& trace,
+                                       const PolicyFactory& factory,
+                                       const SingleCoreConfig& cfg,
+                                       cache::LlcObserver* observer);
+
+/**
+ * Run @p trace under Belady's MIN with optimal bypass: a recording
+ * pre-pass (under LRU) captures the policy-invariant LLC reference
+ * stream, next-use distances are computed, and the measured pass runs
+ * MinPolicy (paper §4.3).
+ */
+SingleCoreResult runSingleCoreMin(const trace::Trace& trace,
+                                  const SingleCoreConfig& cfg = {});
+
+} // namespace mrp::sim
+
+#endif // MRP_SIM_SINGLE_CORE_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-cache-level event counters.
+ */
+
+#ifndef MRP_STATS_LEVEL_STATS_HPP
+#define MRP_STATS_LEVEL_STATS_HPP
+
+#include <cstdint>
+
+namespace mrp::stats {
+
+/**
+ * Counters kept by each cache level. "Demand" accesses are the loads
+ * and stores issued by the core; prefetches and writebacks are counted
+ * separately so that MPKI is computed over demand misses only.
+ */
+struct LevelStats
+{
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t prefetchAccesses = 0;
+    std::uint64_t prefetchHits = 0;
+    std::uint64_t prefetchMisses = 0;
+    std::uint64_t writebackAccesses = 0;
+    std::uint64_t writebackHits = 0;
+    std::uint64_t writebackMisses = 0;
+    std::uint64_t bypasses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    /** Zero all counters (used at the end of the warmup phase). */
+    void reset() { *this = LevelStats{}; }
+
+    std::uint64_t
+    totalAccesses() const
+    {
+        return demandAccesses + prefetchAccesses + writebackAccesses;
+    }
+
+    std::uint64_t
+    totalMisses() const
+    {
+        return demandMisses + prefetchMisses + writebackMisses;
+    }
+};
+
+} // namespace mrp::stats
+
+#endif // MRP_STATS_LEVEL_STATS_HPP

@@ -1,0 +1,81 @@
+#include "stats/roc.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace mrp::stats {
+
+RocAccumulator::RocAccumulator(int min_conf, int max_conf)
+    : minConf_(min_conf), maxConf_(max_conf),
+      deadHist_(static_cast<std::size_t>(max_conf - min_conf) + 1, 0),
+      liveHist_(static_cast<std::size_t>(max_conf - min_conf) + 1, 0)
+{
+    fatalIf(min_conf >= max_conf, "RocAccumulator: empty confidence range");
+}
+
+void
+RocAccumulator::add(int confidence, bool dead)
+{
+    const int c = std::clamp(confidence, minConf_, maxConf_);
+    const auto bin = static_cast<std::size_t>(c - minConf_);
+    if (dead) {
+        ++deadHist_[bin];
+        ++deadTotal_;
+    } else {
+        ++liveHist_[bin];
+        ++liveTotal_;
+    }
+}
+
+std::vector<RocPoint>
+RocAccumulator::curve() const
+{
+    std::vector<RocPoint> out;
+    if (deadTotal_ == 0 || liveTotal_ == 0)
+        return out;
+
+    // Classify dead when confidence > t. Walking t upward from below
+    // minConf_, the counts of samples above t shrink monotonically.
+    std::uint64_t dead_above = deadTotal_;
+    std::uint64_t live_above = liveTotal_;
+    out.push_back({minConf_ - 1, 1.0, 1.0});
+    for (std::size_t bin = 0; bin < deadHist_.size(); ++bin) {
+        dead_above -= deadHist_[bin];
+        live_above -= liveHist_[bin];
+        out.push_back({
+            minConf_ + static_cast<int>(bin),
+            static_cast<double>(live_above) /
+                static_cast<double>(liveTotal_),
+            static_cast<double>(dead_above) /
+                static_cast<double>(deadTotal_),
+        });
+    }
+    return out;
+}
+
+double
+RocAccumulator::tprAtFpr(double fpr) const
+{
+    const auto pts = curve();
+    if (pts.empty())
+        return 0.0;
+    // Points run from (1,1) down to (0,0) in FPR; find the bracketing
+    // pair and interpolate.
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        const auto& hi = pts[i - 1];
+        const auto& lo = pts[i];
+        if (lo.falsePositiveRate <= fpr && fpr <= hi.falsePositiveRate) {
+            const double span =
+                hi.falsePositiveRate - lo.falsePositiveRate;
+            if (span <= 0.0)
+                return lo.truePositiveRate;
+            const double w = (fpr - lo.falsePositiveRate) / span;
+            return lo.truePositiveRate +
+                   w * (hi.truePositiveRate - lo.truePositiveRate);
+        }
+    }
+    return pts.back().truePositiveRate;
+}
+
+} // namespace mrp::stats

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Receiver-operating-characteristic accumulation for reuse predictors.
+ *
+ * A reuse predictor emits an integer confidence per access (higher =
+ * more likely dead). After the access's outcome is known (the block was
+ * reused before eviction, or it was evicted untouched), the pair
+ * (confidence, dead) is recorded here. Sweeping a classification
+ * threshold over the observed confidence range yields the ROC curve of
+ * Figures 1 and 8 of the paper.
+ */
+
+#ifndef MRP_STATS_ROC_HPP
+#define MRP_STATS_ROC_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mrp::stats {
+
+/** One point of an ROC curve. */
+struct RocPoint
+{
+    int threshold;            //!< classify dead when confidence > threshold
+    double falsePositiveRate; //!< live blocks mispredicted dead
+    double truePositiveRate;  //!< dead blocks correctly predicted
+};
+
+/**
+ * Histogram-based ROC accumulator over a bounded integer confidence
+ * range. Memory is O(range), adding a sample is O(1), and the full
+ * curve is produced in O(range).
+ */
+class RocAccumulator
+{
+  public:
+    /** Accept confidences in [minConf, maxConf]; others are clamped. */
+    RocAccumulator(int min_conf, int max_conf);
+
+    /** Record one resolved prediction. */
+    void add(int confidence, bool dead);
+
+    /** Number of recorded dead outcomes. */
+    std::uint64_t deadCount() const { return deadTotal_; }
+
+    /** Number of recorded live outcomes. */
+    std::uint64_t liveCount() const { return liveTotal_; }
+
+    /**
+     * Produce the ROC curve, one point per distinct threshold, ordered
+     * from the most permissive threshold (everything classified dead,
+     * FPR=TPR=1) to the most restrictive (FPR=TPR=0).
+     */
+    std::vector<RocPoint> curve() const;
+
+    /**
+     * Linearly interpolated TPR at a given FPR, for comparing curves at
+     * the paper's bypass-relevant operating region (FPR 25%..31%).
+     */
+    double tprAtFpr(double fpr) const;
+
+  private:
+    int minConf_;
+    int maxConf_;
+    std::vector<std::uint64_t> deadHist_;
+    std::vector<std::uint64_t> liveHist_;
+    std::uint64_t deadTotal_ = 0;
+    std::uint64_t liveTotal_ = 0;
+};
+
+} // namespace mrp::stats
+
+#endif // MRP_STATS_ROC_HPP

@@ -1,0 +1,451 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "trace/builder.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::trace {
+
+namespace {
+
+/** Number of whole blocks in a byte size (at least 1). */
+Addr
+blocksIn(Addr bytes)
+{
+    const Addr n = bytes / kBlockBytes;
+    return n == 0 ? 1 : n;
+}
+
+Addr
+gcd(Addr a, Addr b)
+{
+    while (b != 0) {
+        const Addr t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+/**
+ * Visits the n blocks of a region in a fixed pseudo-random order that
+ * repeats identically every pass: the reuse distance stays exactly n
+ * for every block while the stream prefetcher sees no usable stride.
+ */
+class PermutedWalk
+{
+  public:
+    explicit PermutedWalk(Addr n) : n_(n)
+    {
+        panicIf(n == 0, "empty permutation");
+        // A multiplier near the golden ratio, made coprime with n,
+        // yields a well-scattered exact permutation i -> i*step mod n.
+        step_ = (n * 1618) / 2618 | 1;
+        if (step_ <= 1)
+            step_ = 1;
+        while (gcd(step_, n_) != 1)
+            step_ += 2;
+    }
+
+    Addr at(Addr i) const { return (i % n_) * step_ % n_; }
+
+  private:
+    Addr n_;
+    Addr step_;
+};
+
+} // namespace
+
+Trace
+makeStream(const GenParams& p, Addr ws_bytes, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr nblocks = blocksIn(ws_bytes);
+    Addr i = 0;
+    while (b.instructions() < p.instructions) {
+        const Addr a = p.dataBase + (i % nblocks) * kBlockBytes +
+                       ((i * 8) & 56);
+        b.load(1, a);
+        if (i % 8 == 7)
+            b.store(2, a);
+        b.pad(pads_per_access);
+        ++i;
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeCyclicThrash(const GenParams& p, Addr ws_bytes,
+                 unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr nblocks = blocksIn(ws_bytes);
+    const PermutedWalk walk(nblocks);
+    Addr i = 0;
+    while (b.instructions() < p.instructions) {
+        const Addr blk = walk.at(i);
+        const Addr a = p.dataBase + blk * kBlockBytes + ((blk * 8) & 56);
+        b.load(1, a);
+        b.pad(pads_per_access);
+        ++i;
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeScanPollute(const GenParams& p, Addr hot_bytes, Addr scan_bytes,
+                unsigned accesses_per_scan_burst, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr hot_blocks = blocksIn(hot_bytes);
+    const Addr scan_blocks = blocksIn(scan_bytes);
+    const PermutedWalk hot_walk(hot_blocks);
+    const Addr scan_base = p.dataBase + (hot_blocks + 64) * kBlockBytes;
+    Addr hot_i = 0;
+    Addr scan_i = 0;
+    // Interleave: a stretch of hot-loop iterations, then a scan burst
+    // from a different code site.
+    while (b.instructions() < p.instructions) {
+        for (unsigned k = 0;
+             k < 4 * accesses_per_scan_burst &&
+             b.instructions() < p.instructions;
+             ++k) {
+            b.load(1, p.dataBase + hot_walk.at(hot_i) * kBlockBytes);
+            b.pad(pads_per_access);
+            ++hot_i;
+        }
+        for (unsigned k = 0;
+             k < accesses_per_scan_burst &&
+             b.instructions() < p.instructions;
+             ++k) {
+            const Addr blk = scan_i % scan_blocks;
+            b.load(7, scan_base + blk * kBlockBytes + ((blk * 16) & 48));
+            b.pad(pads_per_access);
+            ++scan_i;
+        }
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeSamePcMixed(const GenParams& p, Addr hot_bytes, Addr cold_bytes,
+                double hot_prob, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr hot_blocks = blocksIn(hot_bytes);
+    const Addr cold_blocks = blocksIn(cold_bytes);
+    const PermutedWalk hot_walk(hot_blocks);
+    const PermutedWalk cold_walk(cold_blocks);
+    const Addr cold_base = p.dataBase + (hot_blocks + 64) * kBlockBytes;
+    Addr hot_i = 0;
+    Addr cold_i = 0;
+    while (b.instructions() < p.instructions) {
+        if (b.rng().chance(hot_prob)) {
+            b.load(1, p.dataBase + hot_walk.at(hot_i) * kBlockBytes);
+            ++hot_i;
+        } else {
+            // The *same* code site streams through the cold region.
+            b.load(1, cold_base + cold_walk.at(cold_i) * kBlockBytes);
+            ++cold_i;
+        }
+        b.pad(pads_per_access);
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeFieldAccess(const GenParams& p, Addr region_bytes, Addr hot_bytes,
+                double payload_prob, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr nblocks = blocksIn(region_bytes);
+    const Addr hot_blocks = blocksIn(hot_bytes);
+    const PermutedWalk scan_walk(nblocks);
+    const PermutedWalk hot_walk(hot_blocks);
+    Addr scan_i = 0;
+    Addr hot_i = 0;
+    while (b.instructions() < p.instructions) {
+        if (b.rng().chance(payload_prob)) {
+            // Hot record re-processing: payload fields at offsets
+            // 16..56; these blocks are live (re-read soon).
+            const Addr off = 16 + 8 * b.rng().below(6);
+            b.load(1,
+                   p.dataBase + hot_walk.at(hot_i) * kBlockBytes + off);
+            ++hot_i;
+        } else {
+            // Header scan at offset 0 over the whole region; each
+            // header touch is the block's last use for a long time.
+            b.load(1, p.dataBase +
+                          (hot_blocks + 64 + scan_walk.at(scan_i)) *
+                              kBlockBytes);
+            ++scan_i;
+        }
+        b.pad(pads_per_access);
+    }
+    return std::move(b).build();
+}
+
+Trace
+makePointerChase(const GenParams& p, Addr ws_bytes, unsigned pads_per_hop)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr nblocks = blocksIn(ws_bytes);
+
+    // Build a single random cycle over all blocks (Sattolo's algorithm)
+    // so the chase has no short cycles.
+    std::vector<std::uint32_t> next(nblocks);
+    std::iota(next.begin(), next.end(), 0);
+    for (Addr i = nblocks - 1; i > 0; --i) {
+        const Addr j = b.rng().below(i);
+        std::swap(next[i], next[j]);
+    }
+
+    const Addr aux_blocks = blocksIn(512 * 1024);
+    const PermutedWalk aux_walk(aux_blocks);
+    const Addr aux_base = p.dataBase + (nblocks + 64) * kBlockBytes;
+    Addr cur = 0;
+    Addr aux_i = 0;
+    while (b.instructions() < p.instructions) {
+        b.load(1, p.dataBase + cur * kBlockBytes, /*dep=*/true);
+        cur = next[cur];
+        // A little live work between hops.
+        b.load(2, aux_base + aux_walk.at(aux_i) * kBlockBytes);
+        ++aux_i;
+        b.pad(pads_per_hop);
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeBurst(const GenParams& p, Addr stream_bytes, Addr hot_bytes,
+          unsigned burst_len, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    panicIf(burst_len == 0, "burst_len must be positive");
+    // Three interleaved behaviours from three code sites (distinct
+    // loops of one program), with offset and insert signals layered on
+    // top of the PC signal:
+    //   (a) a pure stream touching record headers at offset 0 — dead
+    //       on arrival;
+    //   (b) a delayed-second-touch stream at payload offsets 8..56:
+    //       each block is re-read once after a gap that clears L1/L2
+    //       (so the LLC sees the reuse), then dies — the second touch
+    //       is an LLC hit whose block should not be promoted;
+    //   (c) a small hot loop with genuine long-term reuse.
+    // The within-block offset separates (a) from (b); the insert bit
+    // separates first touches from the dying second touch.
+    const unsigned gap = 1000 + 500 * burst_len;
+    const Addr stream_blocks = blocksIn(stream_bytes);
+    const Addr hot_blocks = blocksIn(hot_bytes);
+    const PermutedWalk live_walk(stream_blocks);
+    const PermutedWalk dead_walk(stream_blocks);
+    const PermutedWalk hot_walk(hot_blocks);
+    const Addr dead_base =
+        p.dataBase + (stream_blocks + 64) * kBlockBytes;
+    const Addr hot_base =
+        dead_base + (stream_blocks + 64) * kBlockBytes;
+    std::deque<Addr> pending;
+    Addr s = 0;
+    Addr hot_i = 0;
+    while (b.instructions() < p.instructions) {
+        // (b) first touch, payload offset.
+        const Addr blk = live_walk.at(s);
+        b.load(1, p.dataBase + blk * kBlockBytes + 8 + ((s * 8) & 48));
+        b.pad(pads_per_access);
+        pending.push_back(blk);
+        if (pending.size() > gap) {
+            // (b) second touch: last use of the block.
+            b.load(2, p.dataBase + pending.front() * kBlockBytes + 16);
+            b.pad(pads_per_access);
+            pending.pop_front();
+        }
+        // (a) pure dead stream at header offset 0.
+        b.load(3, dead_base + dead_walk.at(s) * kBlockBytes);
+        b.pad(pads_per_access);
+        ++s;
+        // (c) hot loop with real reuse.
+        b.load(4, hot_base + hot_walk.at(hot_i) * kBlockBytes + 32);
+        b.pad(pads_per_access);
+        ++hot_i;
+    }
+    return std::move(b).build();
+}
+
+Trace
+makePhased(const GenParams& p, Addr friendly_bytes, Addr thrash_bytes,
+           InstCount phase_insts, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr f_blocks = blocksIn(friendly_bytes);
+    const Addr t_blocks = blocksIn(thrash_bytes);
+    const PermutedWalk f_walk(f_blocks);
+    const PermutedWalk t_walk(t_blocks);
+    const Addr t_base = p.dataBase + (f_blocks + 64) * kBlockBytes;
+    Addr fi = 0;
+    Addr ti = 0;
+    bool friendly = true;
+    while (b.instructions() < p.instructions) {
+        const InstCount phase_end = b.instructions() + phase_insts;
+        if (friendly) {
+            while (b.instructions() < phase_end &&
+                   b.instructions() < p.instructions) {
+                b.load(1, p.dataBase + f_walk.at(fi) * kBlockBytes);
+                b.pad(pads_per_access);
+                ++fi;
+            }
+        } else {
+            while (b.instructions() < phase_end &&
+                   b.instructions() < p.instructions) {
+                b.load(2, t_base + t_walk.at(ti) * kBlockBytes);
+                b.pad(pads_per_access);
+                ++ti;
+            }
+        }
+        friendly = !friendly;
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeProducerConsumer(const GenParams& p, Addr buf_bytes,
+                     unsigned bufs_in_flight, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    panicIf(bufs_in_flight < 2, "need at least two buffers in flight");
+    const Addr buf_blocks = blocksIn(buf_bytes);
+    std::uint64_t produce_idx = 0;
+    while (b.instructions() < p.instructions) {
+        // Produce buffer produce_idx (stores), consume buffer
+        // produce_idx - (bufs_in_flight - 1) (loads, one pass, then the
+        // buffer slot is dead until the producer wraps back onto it).
+        const Addr pslot = produce_idx % bufs_in_flight;
+        const Addr pbase = p.dataBase + pslot * buf_blocks * kBlockBytes;
+        const bool can_consume = produce_idx + 1 >= bufs_in_flight;
+        const Addr cslot =
+            (produce_idx + 1) % bufs_in_flight; // oldest in flight
+        const Addr cbase = p.dataBase + cslot * buf_blocks * kBlockBytes;
+        for (Addr k = 0;
+             k < buf_blocks && b.instructions() < p.instructions; ++k) {
+            b.store(1, pbase + k * kBlockBytes + ((k * 8) & 56));
+            b.pad(pads_per_access);
+            if (can_consume) {
+                b.load(2, cbase + k * kBlockBytes);
+                b.pad(pads_per_access);
+            }
+        }
+        ++produce_idx;
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeLoopNest(const GenParams& p, Addr inner_bytes, Addr mid_bytes,
+             Addr outer_bytes, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr ni = blocksIn(inner_bytes);
+    const Addr nm = blocksIn(mid_bytes);
+    const Addr no = blocksIn(outer_bytes);
+    const PermutedWalk mid_walk(nm);
+    const Addr mid_base = p.dataBase + (ni + 64) * kBlockBytes;
+    const Addr outer_base = mid_base + (nm + 64) * kBlockBytes;
+    Addr ii = 0;
+    Addr mi = 0;
+    Addr oi = 0;
+    while (b.instructions() < p.instructions) {
+        b.load(1, p.dataBase + (ii % ni) * kBlockBytes);
+        b.load(2, mid_base + mid_walk.at(mi) * kBlockBytes);
+        if (ii % 16 == 15) {
+            b.load(3, outer_base + (oi % no) * kBlockBytes);
+            ++oi;
+        }
+        if (ii % 4 == 3)
+            ++mi;
+        ++ii;
+        b.pad(pads_per_access);
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeGups(const GenParams& p, Addr ws_bytes, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr nblocks = blocksIn(ws_bytes);
+    while (b.instructions() < p.instructions) {
+        const Addr blk = b.rng().below(nblocks);
+        const Addr a =
+            p.dataBase + blk * kBlockBytes + 8 * b.rng().below(8);
+        b.load(1, a);
+        b.store(2, a);
+        b.pad(pads_per_access);
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeBranchyCompute(const GenParams& p, Addr ws_bytes,
+                   unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr nblocks = blocksIn(ws_bytes);
+    Addr i = 0;
+    while (b.instructions() < p.instructions) {
+        const Addr blk = b.rng().below(nblocks);
+        b.load(1 + static_cast<unsigned>(i % 4), // several code sites
+               p.dataBase + blk * kBlockBytes);
+        b.pad(pads_per_access);
+        ++i;
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeDriftingWs(const GenParams& p, Addr window_bytes, Addr region_bytes,
+               unsigned drift_period, unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr win_blocks = blocksIn(window_bytes);
+    const Addr region_blocks = blocksIn(region_bytes);
+    Addr window_start = 0;
+    Addr i = 0;
+    while (b.instructions() < p.instructions) {
+        const Addr blk =
+            (window_start + b.rng().below(win_blocks)) % region_blocks;
+        b.load(1, p.dataBase + blk * kBlockBytes);
+        b.pad(pads_per_access);
+        if (++i % drift_period == 0)
+            window_start = (window_start + 1) % region_blocks;
+    }
+    return std::move(b).build();
+}
+
+Trace
+makeHotColdSets(const GenParams& p, Addr hot_bytes, Addr stream_bytes,
+                unsigned pads_per_access)
+{
+    TraceBuilder b(p.name, p.codeBase, p.seed);
+    const Addr hot_blocks = blocksIn(hot_bytes);
+    const Addr stream_blocks = blocksIn(stream_bytes);
+    const PermutedWalk hot_walk(hot_blocks);
+    // The streaming region uses a 128-byte stride so it maps only to
+    // even LLC sets: pressure differs sharply between sets.
+    const Addr stream_base =
+        p.dataBase + 2 * (hot_blocks + stream_blocks + 64) * kBlockBytes;
+    Addr hi = 0;
+    Addr si = 0;
+    while (b.instructions() < p.instructions) {
+        b.load(1, p.dataBase + hot_walk.at(hi) * kBlockBytes);
+        ++hi;
+        b.load(1, stream_base + (si % stream_blocks) * 2 * kBlockBytes);
+        ++si;
+        b.pad(pads_per_access);
+    }
+    return std::move(b).build();
+}
+
+} // namespace mrp::trace

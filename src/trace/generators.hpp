@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Parameterized synthetic workload families.
+ *
+ * Each family is a small program model emitting a memory-access pattern
+ * whose reuse behaviour correlates with a specific, documented set of
+ * signals (PC, address region, within-block offset, burstiness,
+ * insertion, global phase, set pressure). Together they stand in for
+ * the SPEC CPU 2006 / CloudSuite simpoints of the paper: they span the
+ * spectrum from LRU-friendly to LRU-adversarial and give each of the
+ * paper's seven feature types at least one workload where it carries
+ * signal (see DESIGN.md §4).
+ */
+
+#ifndef MRP_TRACE_GENERATORS_HPP
+#define MRP_TRACE_GENERATORS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace mrp::trace {
+
+/** Identity and sizing shared by all generator families. */
+struct GenParams
+{
+    std::string name;          //!< benchmark name
+    InstCount instructions;    //!< approximate trace length
+    std::uint64_t seed;        //!< RNG seed
+    Addr dataBase;             //!< base of this benchmark's data region
+    Pc codeBase;               //!< base of this benchmark's code region
+};
+
+/**
+ * Pure streaming: sequential pass over a region much larger than the
+ * LLC; every block is dead on arrival. All policies perform alike; the
+ * workload tests that aggressive predictors do not harm a pattern with
+ * no locality to exploit. (lbm-like)
+ */
+Trace makeStream(const GenParams& p, Addr ws_bytes,
+                 unsigned pads_per_access);
+
+/**
+ * Cyclic thrash: repeated passes over a working set a small multiple of
+ * the LLC, visited in a fixed pseudo-random block order (defeating the
+ * stream prefetcher, keeping the reuse distance uniform). LRU yields
+ * ~0% hits; policies that persistently protect a subset of blocks
+ * (address-hash symmetry breaking) recover hits. (sphinx/libquantum-
+ * like)
+ */
+Trace makeCyclicThrash(const GenParams& p, Addr ws_bytes,
+                       unsigned pads_per_access);
+
+/**
+ * Hot loop polluted by periodic scans from distinct PCs. Predictors
+ * learn the scan PC is dead and protect the hot set; LRU lets scans
+ * evict it. The classic scan-resistance pattern. (gcc-like)
+ */
+Trace makeScanPollute(const GenParams& p, Addr hot_bytes, Addr scan_bytes,
+                      unsigned accesses_per_scan_burst,
+                      unsigned pads_per_access);
+
+/**
+ * A single load PC that touches both a reused hot region and a
+ * streamed cold region: PC-only predictors see a mixed signal, while
+ * address-region features separate the two. Exercises the paper's
+ * address feature. (data_caching-like)
+ */
+Trace makeSamePcMixed(const GenParams& p, Addr hot_bytes, Addr cold_bytes,
+                      double hot_prob, unsigned pads_per_access);
+
+/**
+ * Field-access pattern: one PC scans record headers at block offset 0
+ * (dead after the scan touch) while the same PC re-reads a hot subset
+ * of records at payload offsets (live). The within-block offset is the
+ * only separating signal; exercises the paper's offset feature.
+ * (gcc/xalancbmk field-dereference behaviour)
+ */
+Trace makeFieldAccess(const GenParams& p, Addr region_bytes,
+                      Addr hot_bytes, double payload_prob,
+                      unsigned pads_per_access);
+
+/**
+ * Pointer chasing over a shuffled permutation with dependent loads
+ * (MLP of 1) plus a small live auxiliary structure. Latency-bound,
+ * high MPKI, little headroom for management. (mcf-like)
+ */
+Trace makePointerChase(const GenParams& p, Addr ws_bytes,
+                       unsigned pads_per_hop);
+
+/**
+ * Bursty blocks: each streamed block is touched several times
+ * back-to-back (MRU hits) and then dies, while a hot set is re-read at
+ * long distance. An MRU-hit (burst) is a death omen; exercises the
+ * paper's burst feature.
+ */
+Trace makeBurst(const GenParams& p, Addr stream_bytes, Addr hot_bytes,
+                unsigned burst_len, unsigned pads_per_access);
+
+/**
+ * Alternating program phases: a cache-friendly loop phase and a
+ * thrashing scan phase. The global bias feature tracks the phase; the
+ * insert feature separates newly inserted blocks (scan phase: dead)
+ * from re-referenced ones.
+ */
+Trace makePhased(const GenParams& p, Addr friendly_bytes,
+                 Addr thrash_bytes, InstCount phase_insts,
+                 unsigned pads_per_access);
+
+/**
+ * Producer/consumer: a producer PC stores a buffer region that a
+ * consumer PC later reads exactly once, after which the buffer is dead
+ * until rewritten. Insertions by the producer are live; consumer
+ * touches are last touches. (streaming server behaviour)
+ */
+Trace makeProducerConsumer(const GenParams& p, Addr buf_bytes,
+                           unsigned bufs_in_flight,
+                           unsigned pads_per_access);
+
+/**
+ * Three-deep loop nest over arrays of very different sizes: the inner
+ * array lives in L1/L2, the middle array in the LLC, and the outer
+ * array misses. A mixture of stack distances with moderate headroom.
+ * (wrf/zeusmp-like)
+ */
+Trace makeLoopNest(const GenParams& p, Addr inner_bytes, Addr mid_bytes,
+                   Addr outer_bytes, unsigned pads_per_access);
+
+/**
+ * Random read-modify-update over a region around the LLC size:
+ * geometric reuse distances, little structure. Tests that predictors
+ * do not lose to LRU when there is nothing to learn. (omnetpp-like)
+ */
+Trace makeGups(const GenParams& p, Addr ws_bytes,
+               unsigned pads_per_access);
+
+/**
+ * Compute-bound: long non-memory runs and a small working set that
+ * fits in L2. Near-zero LLC MPKI; fills out the benchmark population
+ * the way cache-resident SPEC workloads do. (povray-like)
+ */
+Trace makeBranchyCompute(const GenParams& p, Addr ws_bytes,
+                         unsigned pads_per_access);
+
+/**
+ * Slowly drifting working set: a dense window that slides over a large
+ * region. Recency is the right signal, so LRU is near-optimal; tests
+ * the cost of predictor false positives.
+ */
+Trace makeDriftingWs(const GenParams& p, Addr window_bytes,
+                     Addr region_bytes, unsigned drift_period,
+                     unsigned pads_per_access);
+
+/**
+ * Hot and cold set pressure: a reused region is spread over all cache
+ * sets while a streaming region maps only to odd sets (128-byte
+ * stride), so set pressure — the lastmiss feature — separates live
+ * from dead where PC and address do not.
+ */
+Trace makeHotColdSets(const GenParams& p, Addr hot_bytes,
+                      Addr stream_bytes, unsigned pads_per_access);
+
+} // namespace mrp::trace
+
+#endif // MRP_TRACE_GENERATORS_HPP

@@ -1,0 +1,57 @@
+#include "trace/mix.hpp"
+
+#include "trace/workloads.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace mrp::trace {
+
+std::string
+Mix::name() const
+{
+    std::string out;
+    for (unsigned i = 0; i < benchmarks.size(); ++i) {
+        if (i)
+            out += '+';
+        out += suiteName(benchmarks[i]);
+    }
+    return out;
+}
+
+std::vector<Mix>
+makeMixes(unsigned count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const unsigned n = suiteSize();
+    fatalIf(n < 4, "suite too small for 4-core mixes");
+    std::vector<Mix> mixes;
+    mixes.reserve(count);
+    for (unsigned m = 0; m < count; ++m) {
+        Mix mix{};
+        for (unsigned c = 0; c < 4; ++c) {
+            bool fresh = false;
+            while (!fresh) {
+                mix.benchmarks[c] =
+                    static_cast<unsigned>(rng.below(n));
+                fresh = true;
+                for (unsigned k = 0; k < c; ++k)
+                    if (mix.benchmarks[k] == mix.benchmarks[c])
+                        fresh = false;
+            }
+        }
+        mixes.push_back(mix);
+    }
+    return mixes;
+}
+
+MixSplit
+makeMixSplit(unsigned train_count, unsigned test_count, std::uint64_t seed)
+{
+    const auto all = makeMixes(train_count + test_count, seed);
+    MixSplit split;
+    split.train.assign(all.begin(), all.begin() + train_count);
+    split.test.assign(all.begin() + train_count, all.end());
+    return split;
+}
+
+} // namespace mrp::trace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Multi-programmed workload mixes.
+ *
+ * Mixes follow the paper's methodology: each mix is 4 benchmarks drawn
+ * uniformly at random *without replacement* from the main suite. The
+ * paper generates 1000 mixes, uses the first 100 for training (feature
+ * and threshold development) and the remaining 900 for reporting; we
+ * generate the same split at a scaled-down count (see DESIGN.md §4).
+ */
+
+#ifndef MRP_TRACE_MIX_HPP
+#define MRP_TRACE_MIX_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mrp::trace {
+
+/** One 4-core mix: indices into the main benchmark suite. */
+struct Mix
+{
+    std::array<unsigned, 4> benchmarks;
+
+    /** Human-readable mix name, e.g.\ "thrash.2x+gups.fit+...". */
+    std::string name() const;
+};
+
+/**
+ * Deterministically generate @p count mixes with the paper's sampling
+ * scheme (uniform, without replacement within a mix). The same seed
+ * always yields the same mix list.
+ */
+std::vector<Mix> makeMixes(unsigned count, std::uint64_t seed = 0xF1E57A);
+
+/**
+ * The canonical train/test split: the first @p train_count mixes are
+ * the training set, the remainder the test set (mirrors the paper's
+ * first-100 / last-900 split).
+ */
+struct MixSplit
+{
+    std::vector<Mix> train;
+    std::vector<Mix> test;
+};
+
+MixSplit makeMixSplit(unsigned train_count, unsigned test_count,
+                      std::uint64_t seed = 0xF1E57A);
+
+} // namespace mrp::trace
+
+#endif // MRP_TRACE_MIX_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * An in-memory instruction trace with identity metadata.
+ */
+
+#ifndef MRP_TRACE_TRACE_HPP
+#define MRP_TRACE_TRACE_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/types.hpp"
+
+namespace mrp::trace {
+
+/**
+ * A named, immutable sequence of trace records standing in for one
+ * benchmark simpoint.
+ */
+class Trace
+{
+  public:
+    Trace(std::string name, std::vector<Record> records,
+          InstCount instructions)
+        : name_(std::move(name)), records_(std::move(records)),
+          instructions_(instructions)
+    {
+    }
+
+    const std::string& name() const { return name_; }
+    const std::vector<Record>& records() const { return records_; }
+
+    /** Total instructions represented (expanding non-memory runs). */
+    InstCount instructions() const { return instructions_; }
+
+    /** Number of memory operations in the trace. */
+    InstCount
+    memOps() const
+    {
+        InstCount n = 0;
+        for (const auto& r : records_)
+            if (r.isMem())
+                ++n;
+        return n;
+    }
+
+  private:
+    std::string name_;
+    std::vector<Record> records_;
+    InstCount instructions_;
+};
+
+} // namespace mrp::trace
+
+#endif // MRP_TRACE_TRACE_HPP

@@ -1,0 +1,99 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace mrp::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+put(std::ostream& os, const T& v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+get(std::istream& is)
+{
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(T));
+    fatalIf(!is, "truncated trace stream");
+    return v;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream& os, const Trace& trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put(os, kVersion);
+    put(os, static_cast<std::uint64_t>(trace.instructions()));
+    put(os, static_cast<std::uint64_t>(trace.records().size()));
+    put(os, static_cast<std::uint32_t>(trace.name().size()));
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+    static_assert(sizeof(Record) == 16, "record layout changed");
+    os.write(reinterpret_cast<const char*>(trace.records().data()),
+             static_cast<std::streamsize>(trace.records().size() *
+                                          sizeof(Record)));
+    fatalIf(!os, "failed writing trace stream");
+}
+
+void
+saveTrace(const std::string& path, const Trace& trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatalIf(!os, "cannot open for writing: " + path);
+    writeTrace(os, trace);
+}
+
+Trace
+readTrace(std::istream& is)
+{
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    fatalIf(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+            "not a trace stream (bad magic)");
+    const auto version = get<std::uint32_t>(is);
+    fatalIf(version != kVersion, "unsupported trace version");
+    const auto instructions = get<std::uint64_t>(is);
+    const auto record_count = get<std::uint64_t>(is);
+    const auto name_len = get<std::uint32_t>(is);
+    fatalIf(name_len > 4096, "implausible trace name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    fatalIf(!is, "truncated trace name");
+
+    std::vector<Record> records(record_count);
+    is.read(reinterpret_cast<char*>(records.data()),
+            static_cast<std::streamsize>(record_count * sizeof(Record)));
+    fatalIf(!is, "truncated trace records");
+
+    // Validate the instruction count against the records.
+    InstCount total = 0;
+    for (const auto& r : records)
+        total += r.count();
+    fatalIf(total != instructions,
+            "trace header instruction count does not match records");
+    return Trace(std::move(name), std::move(records), instructions);
+}
+
+Trace
+loadTrace(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open for reading: " + path);
+    return readTrace(is);
+}
+
+} // namespace mrp::trace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Binary serialization of traces, so workloads can be generated once,
+ * archived, or imported from external tools.
+ *
+ * Format (little-endian): a 32-byte header — magic "MRPT", u32
+ * version, u64 instruction count, u64 record count, u32 name length —
+ * followed by the name bytes and the packed 16-byte records.
+ */
+
+#ifndef MRP_TRACE_TRACE_IO_HPP
+#define MRP_TRACE_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace mrp::trace {
+
+/** Serialize @p trace to a stream; throws FatalError on I/O failure. */
+void writeTrace(std::ostream& os, const Trace& trace);
+
+/** Serialize to a file path. */
+void saveTrace(const std::string& path, const Trace& trace);
+
+/** Deserialize a trace; throws FatalError on corrupt input. */
+Trace readTrace(std::istream& is);
+
+/** Deserialize from a file path. */
+Trace loadTrace(const std::string& path);
+
+} // namespace mrp::trace
+
+#endif // MRP_TRACE_TRACE_IO_HPP

@@ -1,0 +1,239 @@
+#include "trace/workloads.hpp"
+
+#include <functional>
+
+#include "trace/generators.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::trace {
+
+namespace {
+
+constexpr Addr KiB = 1024;
+constexpr Addr MiB = 1024 * 1024;
+
+using GenFn = std::function<Trace(const GenParams&)>;
+
+struct BenchDef
+{
+    const char* name;
+    GenFn gen;
+};
+
+/**
+ * The main suite. Sizes are chosen against the paper's 2MB single-
+ * thread LLC (a 4-core mix of these against the 8MB shared LLC keeps
+ * the same per-core pressure). The population is deliberately skewed
+ * the way SPEC is: a good number of low-MPKI cache-resident programs,
+ * a band of LRU-adversarial thrash/scan programs where management
+ * pays, feature-specific programs exercising each of the paper's
+ * seven feature types, and latency-bound pointer chasers. Hot regions
+ * that smart policies should protect are sized a bit under the 2MB
+ * LLC; polluting streams push total pressure past it.
+ */
+const std::vector<BenchDef>&
+suiteDefs()
+{
+    static const std::vector<BenchDef> defs = {
+        // --- cache-resident / low-MPKI -------------------------------
+        {"compute.small", [](const GenParams& p) {
+             return makeBranchyCompute(p, 128 * KiB, 12); }},
+        {"compute.med", [](const GenParams& p) {
+             return makeBranchyCompute(p, 192 * KiB, 8); }},
+        {"nest.l2", [](const GenParams& p) {
+             return makeLoopNest(p, 16 * KiB, 896 * KiB, 16 * MiB, 6); }},
+        {"drift.slow", [](const GenParams& p) {
+             return makeDriftingWs(p, 512 * KiB, 8 * MiB, 64, 6); }},
+        {"gups.fit", [](const GenParams& p) {
+             return makeGups(p, 1536 * KiB, 6); }},
+        {"stream.light", [](const GenParams& p) {
+             return makeStream(p, 16 * MiB, 14); }},
+        // --- LRU-adversarial: thrash / scans / phases ----------------
+        {"thrash.1p5x", [](const GenParams& p) {
+             return makeCyclicThrash(p, 3 * MiB, 6); }},
+        {"thrash.2x", [](const GenParams& p) {
+             return makeCyclicThrash(p, 4 * MiB, 6); }},
+        {"thrash.3x", [](const GenParams& p) {
+             return makeCyclicThrash(p, 6 * MiB, 8); }},
+        {"scan.a", [](const GenParams& p) {
+             return makeScanPollute(p, 1792 * KiB, 8 * MiB, 1024, 4); }},
+        {"scan.b", [](const GenParams& p) {
+             return makeScanPollute(p, 1536 * KiB, 16 * MiB, 2048, 3); }},
+        {"scan.c", [](const GenParams& p) {
+             return makeScanPollute(p, 1792 * KiB, 12 * MiB, 512, 5); }},
+        {"phase.ab", [](const GenParams& p) {
+             return makePhased(p, 1280 * KiB, 4 * MiB, 200000, 5); }},
+        {"phase.fast", [](const GenParams& p) {
+             return makePhased(p, 1536 * KiB, 6 * MiB, 80000, 4); }},
+        // --- feature-specific reuse signals --------------------------
+        {"mixpc.hi", [](const GenParams& p) {
+             return makeSamePcMixed(p, 1792 * KiB, 16 * MiB, 0.5, 5); }},
+        {"mixpc.lo", [](const GenParams& p) {
+             return makeSamePcMixed(p, 1536 * KiB, 24 * MiB, 0.65, 4); }},
+        {"field.a", [](const GenParams& p) {
+             return makeFieldAccess(p, 12 * MiB, 1792 * KiB, 0.5, 4); }},
+        {"field.b", [](const GenParams& p) {
+             return makeFieldAccess(p, 8 * MiB, 1536 * KiB, 0.55, 5); }},
+        {"burst.4", [](const GenParams& p) {
+             return makeBurst(p, 8 * MiB, 768 * KiB, 4, 3); }},
+        {"burst.8", [](const GenParams& p) {
+             return makeBurst(p, 12 * MiB, 512 * KiB, 8, 2); }},
+        {"sets.hotcold", [](const GenParams& p) {
+             return makeHotColdSets(p, 1792 * KiB, 8 * MiB, 4); }},
+        {"prodcons.a", [](const GenParams& p) {
+             return makeProducerConsumer(p, 256 * KiB, 9, 3); }},
+        // --- latency-bound pointer chasing ----------------------------
+        {"chase.4m", [](const GenParams& p) {
+             return makePointerChase(p, 4 * MiB, 4); }},
+        {"chase.12m", [](const GenParams& p) {
+             return makePointerChase(p, 12 * MiB, 6); }},
+        {"chase.2m", [](const GenParams& p) {
+             return makePointerChase(p, 2 * MiB, 4); }},
+        {"gups.2x", [](const GenParams& p) {
+             return makeGups(p, 4 * MiB, 6); }},
+        // --- bandwidth / streaming heavy ------------------------------
+        {"stream.heavy", [](const GenParams& p) {
+             return makeStream(p, 32 * MiB, 3); }},
+        {"stream.mid", [](const GenParams& p) {
+             return makeStream(p, 8 * MiB, 4); }},
+        {"prodcons.b", [](const GenParams& p) {
+             return makeProducerConsumer(p, 384 * KiB, 7, 4); }},
+        {"nest.big", [](const GenParams& p) {
+             return makeLoopNest(p, 32 * KiB, 1536 * KiB, 32 * MiB, 5); }},
+        // --- remaining mixture ----------------------------------------
+        {"drift.fast", [](const GenParams& p) {
+             return makeDriftingWs(p, MiB, 16 * MiB, 16, 5); }},
+        {"gups.4x", [](const GenParams& p) {
+             return makeGups(p, 8 * MiB, 8); }},
+        {"thrash.1p2x", [](const GenParams& p) {
+             return makeCyclicThrash(p, 2560 * KiB, 6); }},
+    };
+    return defs;
+}
+
+/**
+ * Held-out workloads: same families, disjoint seeds and parameter
+ * points, never consulted while tuning thresholds or features.
+ */
+const std::vector<BenchDef>&
+heldOutDefs()
+{
+    static const std::vector<BenchDef> defs = {
+        {"ho.thrash.2p5x", [](const GenParams& p) {
+             return makeCyclicThrash(p, 5 * MiB, 6); }},
+        {"ho.scan.d", [](const GenParams& p) {
+             return makeScanPollute(p, 1664 * KiB, 10 * MiB, 768, 4); }},
+        {"ho.mixpc.mid", [](const GenParams& p) {
+             return makeSamePcMixed(p, 1664 * KiB, 20 * MiB, 0.55, 4); }},
+        {"ho.field.c", [](const GenParams& p) {
+             return makeFieldAccess(p, 10 * MiB, 1664 * KiB, 0.5, 4); }},
+        {"ho.burst.6", [](const GenParams& p) {
+             return makeBurst(p, 10 * MiB, 640 * KiB, 6, 2); }},
+        {"ho.chase.6m", [](const GenParams& p) {
+             return makePointerChase(p, 6 * MiB, 5); }},
+        {"ho.prodcons.c", [](const GenParams& p) {
+             return makeProducerConsumer(p, 320 * KiB, 8, 3); }},
+        {"ho.phase.slow", [](const GenParams& p) {
+             return makePhased(p, 1408 * KiB, 3 * MiB, 250000, 4); }},
+        {"ho.stream.xl", [](const GenParams& p) {
+             return makeStream(p, 24 * MiB, 3); }},
+        {"ho.gups.3x", [](const GenParams& p) {
+             return makeGups(p, 6 * MiB, 6); }},
+        {"ho.nest.mid", [](const GenParams& p) {
+             return makeLoopNest(p, 24 * KiB, 1280 * KiB, 24 * MiB, 5); }},
+        {"ho.drift.mid", [](const GenParams& p) {
+             return makeDriftingWs(p, 768 * KiB, 12 * MiB, 32, 5); }},
+        {"ho.sets.hotcold2", [](const GenParams& p) {
+             return makeHotColdSets(p, 1664 * KiB, 10 * MiB, 3); }},
+        {"ho.compute.tiny", [](const GenParams& p) {
+             return makeBranchyCompute(p, 96 * KiB, 10); }},
+        {"ho.thrash.4x", [](const GenParams& p) {
+             return makeCyclicThrash(p, 8 * MiB, 6); }},
+    };
+    return defs;
+}
+
+GenParams
+paramsFor(const char* name, unsigned idx, InstCount instructions,
+          bool held_out)
+{
+    GenParams p;
+    p.name = name;
+    p.instructions = instructions;
+    p.seed = mix64(std::hash<std::string>{}(p.name) ^ 0x5eedULL);
+    // Give every benchmark a private 1GB-aligned data region and a
+    // private code region; held-out workloads live in a disjoint part
+    // of the address space.
+    const Addr slot = idx + (held_out ? 64 : 0);
+    p.dataBase = 0x100000000ull + slot * 0x40000000ull;
+    p.codeBase = 0x400000ull + slot * 0x100000ull;
+    return p;
+}
+
+} // namespace
+
+unsigned
+suiteSize()
+{
+    return static_cast<unsigned>(suiteDefs().size());
+}
+
+unsigned
+heldOutSize()
+{
+    return static_cast<unsigned>(heldOutDefs().size());
+}
+
+const std::string&
+suiteName(unsigned idx)
+{
+    fatalIf(idx >= suiteSize(), "suite index out of range");
+    static std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto& d : suiteDefs())
+            v.emplace_back(d.name);
+        return v;
+    }();
+    return names[idx];
+}
+
+const std::string&
+heldOutName(unsigned idx)
+{
+    fatalIf(idx >= heldOutSize(), "held-out index out of range");
+    static std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto& d : heldOutDefs())
+            v.emplace_back(d.name);
+        return v;
+    }();
+    return names[idx];
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> v;
+    for (unsigned i = 0; i < suiteSize(); ++i)
+        v.push_back(suiteName(i));
+    return v;
+}
+
+Trace
+makeSuiteTrace(unsigned idx, InstCount instructions)
+{
+    fatalIf(idx >= suiteSize(), "suite index out of range");
+    const auto& d = suiteDefs()[idx];
+    return d.gen(paramsFor(d.name, idx, instructions, false));
+}
+
+Trace
+makeHeldOutTrace(unsigned idx, InstCount instructions)
+{
+    fatalIf(idx >= heldOutSize(), "held-out index out of range");
+    const auto& d = heldOutDefs()[idx];
+    return d.gen(paramsFor(d.name, idx, instructions, true));
+}
+
+} // namespace mrp::trace

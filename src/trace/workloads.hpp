@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The benchmark suite: 33 named synthetic workloads standing in for
+ * the paper's 29 SPEC CPU 2006 + 3 CloudSuite + 1 mlpack benchmarks,
+ * plus 15 held-out workloads standing in for the SPEC CPU 2017
+ * simpoints of Table 3 (never used for tuning).
+ *
+ * Each benchmark has a stable name, a private data region, a private
+ * code region, and a deterministic seed, so every call reproduces the
+ * identical trace.
+ */
+
+#ifndef MRP_TRACE_WORKLOADS_HPP
+#define MRP_TRACE_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace mrp::trace {
+
+/** Number of benchmarks in the main suite (33, as in the paper). */
+unsigned suiteSize();
+
+/** Number of held-out workloads (Table 3 stand-ins). */
+unsigned heldOutSize();
+
+/** Name of main-suite benchmark @p idx. */
+const std::string& suiteName(unsigned idx);
+
+/** Name of held-out workload @p idx. */
+const std::string& heldOutName(unsigned idx);
+
+/** All main-suite benchmark names, in index order. */
+std::vector<std::string> suiteNames();
+
+/**
+ * Generate main-suite benchmark @p idx with approximately
+ * @p instructions instructions.
+ */
+Trace makeSuiteTrace(unsigned idx, InstCount instructions);
+
+/** Generate held-out workload @p idx. */
+Trace makeHeldOutTrace(unsigned idx, InstCount instructions);
+
+} // namespace mrp::trace
+
+#endif // MRP_TRACE_WORKLOADS_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small, fast, deterministic hash functions used for table indexing.
+ */
+
+#ifndef MRP_UTIL_HASH_HPP
+#define MRP_UTIL_HASH_HPP
+
+#include <cstdint>
+
+namespace mrp {
+
+/**
+ * Finalizer-style 64-bit mixer (splitmix64 finalizer). Good avalanche,
+ * cheap, deterministic across platforms.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one hash. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/**
+ * Hash a value into [0, tableSize). @p tableSize need not be a power of
+ * two; a multiplicative scheme is used to spread entropy.
+ */
+constexpr std::uint32_t
+hashToIndex(std::uint64_t value, std::uint32_t table_size)
+{
+    if (table_size <= 1)
+        return 0;
+    return static_cast<std::uint32_t>(mix64(value) % table_size);
+}
+
+/**
+ * The i-th of a family of independent hash functions, used by the
+ * skewed tables of SDBP.
+ */
+constexpr std::uint64_t
+skewedHash(std::uint64_t value, unsigned i)
+{
+    return mix64(value + 0x100000001b3ull * (i + 1));
+}
+
+} // namespace mrp
+
+#endif // MRP_UTIL_HASH_HPP

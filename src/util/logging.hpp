@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition: panic() for internal
+ * invariant violations, fatal() for user/configuration errors.
+ */
+
+#ifndef MRP_UTIL_LOGGING_HPP
+#define MRP_UTIL_LOGGING_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace mrp {
+
+/** Thrown when the library itself detects an internal inconsistency. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg)
+        : std::logic_error("panic: " + msg) {}
+};
+
+/** Thrown when a caller supplies an invalid configuration or argument. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error("fatal: " + msg) {}
+};
+
+/** Report an internal bug; never returns. */
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    throw PanicError(msg);
+}
+
+/** Report a user error (bad configuration, bad argument); never returns. */
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+/** Panic unless a condition holds. */
+inline void
+panicIf(bool cond, const std::string& msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** Fatal error unless a condition holds. */
+inline void
+fatalIf(bool cond, const std::string& msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace mrp
+
+#endif // MRP_UTIL_LOGGING_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small numeric helpers: geometric/arithmetic means over containers.
+ */
+
+#ifndef MRP_UTIL_MATH_UTIL_HPP
+#define MRP_UTIL_MATH_UTIL_HPP
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace mrp {
+
+/** Geometric mean of a sequence of positive values. */
+inline double
+geomean(const std::vector<double>& xs)
+{
+    fatalIf(xs.empty(), "geomean of empty sequence");
+    double acc = 0.0;
+    for (double x : xs) {
+        fatalIf(x <= 0.0, "geomean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double>& xs)
+{
+    fatalIf(xs.empty(), "mean of empty sequence");
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+} // namespace mrp
+
+#endif // MRP_UTIL_MATH_UTIL_HPP

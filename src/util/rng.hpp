@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoroshiro128++).
+ *
+ * The standard library engines are not guaranteed bit-identical across
+ * implementations; experiment reproducibility requires a self-contained
+ * generator.
+ */
+
+#ifndef MRP_UTIL_RNG_HPP
+#define MRP_UTIL_RNG_HPP
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace mrp {
+
+/** xoroshiro128++ generator: small state, high quality, fully portable. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        s0_ = mix64(seed);
+        s1_ = mix64(s0_ ^ 0xdeadbeefcafef00dull);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t t0 = s0_;
+        std::uint64_t t1 = s1_;
+        const std::uint64_t result = rotl(t0 + t1, 17) + t0;
+        t1 ^= t0;
+        s0_ = rotl(t0, 49) ^ t1 ^ (t1 << 21);
+        s1_ = rotl(t1, 28);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panicIf(bound == 0, "Rng::below(0)");
+        // Rejection-free threshold method would be overkill; modulo bias
+        // is negligible for the bounds used here (all << 2^64).
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        panicIf(lo > hi, "Rng::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace mrp
+
+#endif // MRP_UTIL_RNG_HPP

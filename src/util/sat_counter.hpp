@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Saturating counters: an unsigned n-bit up/down counter and a signed
+ * n-bit weight as used by perceptron-style predictors.
+ */
+
+#ifndef MRP_UTIL_SAT_COUNTER_HPP
+#define MRP_UTIL_SAT_COUNTER_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace mrp {
+
+/**
+ * An unsigned saturating counter of a configurable bit width
+ * (e.g.\ the 2-bit counters of SDBP prediction tables).
+ */
+class SatCounter
+{
+  public:
+    /** Construct an @p nbits-wide counter with initial @p value. */
+    explicit SatCounter(unsigned nbits = 2, std::uint32_t value = 0)
+        : maxValue_((1u << nbits) - 1), value_(value)
+    {
+        panicIf(nbits == 0 || nbits > 31, "SatCounter width out of range");
+        panicIf(value > maxValue_, "SatCounter initial value too large");
+    }
+
+    /** Current counter value. */
+    std::uint32_t value() const { return value_; }
+
+    /** Largest representable value. */
+    std::uint32_t maxValue() const { return maxValue_; }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < maxValue_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** True if the counter is in the upper half of its range. */
+    bool isSet() const { return value_ > maxValue_ / 2; }
+
+    /** Reset to a specific value (clamped to the representable range). */
+    void set(std::uint32_t v) { value_ = v > maxValue_ ? maxValue_ : v; }
+
+  private:
+    std::uint32_t maxValue_;
+    std::uint32_t value_;
+};
+
+/**
+ * A signed saturating weight of a configurable bit width; an n-bit
+ * weight ranges over [-2^(n-1), 2^(n-1) - 1], e.g.\ [-32, +31] for the
+ * paper's 6-bit weights.
+ */
+class SignedWeight
+{
+  public:
+    explicit SignedWeight(unsigned nbits = 6, int value = 0)
+        : minValue_(-(1 << (nbits - 1))),
+          maxValue_((1 << (nbits - 1)) - 1),
+          value_(value)
+    {
+        panicIf(nbits < 2 || nbits > 31, "SignedWeight width out of range");
+        panicIf(value < minValue_ || value > maxValue_,
+                "SignedWeight initial value out of range");
+    }
+
+    int value() const { return value_; }
+    int minValue() const { return minValue_; }
+    int maxValue() const { return maxValue_; }
+
+    /** Increment, saturating at the positive limit. */
+    void
+    increment()
+    {
+        if (value_ < maxValue_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at the negative limit. */
+    void
+    decrement()
+    {
+        if (value_ > minValue_)
+            --value_;
+    }
+
+    /** Set, clamping to the representable range. */
+    void
+    set(int v)
+    {
+        value_ = v < minValue_ ? minValue_ : (v > maxValue_ ? maxValue_ : v);
+    }
+
+  private:
+    int minValue_;
+    int maxValue_;
+    int value_;
+};
+
+} // namespace mrp
+
+#endif // MRP_UTIL_SAT_COUNTER_HPP

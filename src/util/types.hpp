@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the library.
+ */
+
+#ifndef MRP_UTIL_TYPES_HPP
+#define MRP_UTIL_TYPES_HPP
+
+#include <cstdint>
+
+namespace mrp {
+
+/** A physical (or simulated-physical) byte address. */
+using Addr = std::uint64_t;
+
+/** A program counter value. */
+using Pc = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** An instruction count. */
+using InstCount = std::uint64_t;
+
+/** Identifier of a core in a multi-core simulation. */
+using CoreId = std::uint32_t;
+
+/** Log2 of the cache block size used throughout the library (64 B). */
+inline constexpr unsigned kBlockShift = 6;
+
+/** Cache block size in bytes. */
+inline constexpr unsigned kBlockBytes = 1u << kBlockShift;
+
+/** Strip the block offset from an address, yielding the block address. */
+constexpr Addr
+blockAddr(Addr a)
+{
+    return a >> kBlockShift;
+}
+
+/** Extract the within-block byte offset of an address. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kBlockBytes - 1));
+}
+
+} // namespace mrp
+
+#endif // MRP_UTIL_TYPES_HPP

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the out-of-order core timing model: width limits, window
+ * stalls, miss overlap, dependent-load serialization, and the MSHR
+ * bound on memory-level parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core_model.hpp"
+#include "policy/lru.hpp"
+#include "trace/builder.hpp"
+
+namespace mrp::cpu {
+namespace {
+
+cache::HierarchyConfig
+smallConfig()
+{
+    cache::HierarchyConfig cfg;
+    cfg.prefetchEnabled = false;
+    return cfg;
+}
+
+std::unique_ptr<cache::Hierarchy>
+makeHier(const cache::HierarchyConfig& cfg)
+{
+    const cache::CacheGeometry g(cfg.llcBytes, cfg.llcWays);
+    return std::make_unique<cache::Hierarchy>(
+        cfg, std::make_unique<policy::LruPolicy>(g));
+}
+
+trace::Trace
+padsOnly(InstCount n)
+{
+    trace::TraceBuilder b("pads", 0x400000, 1);
+    while (b.instructions() < n)
+        b.pad(1000);
+    return std::move(b).build();
+}
+
+TEST(CoreModelTest, NonMemIpcApproachesWidth)
+{
+    auto hier = makeHier(smallConfig());
+    const auto t = padsOnly(100000);
+    CoreModel cpu(0, *hier, t, false);
+    while (!cpu.finished())
+        cpu.step();
+    const double ipc = static_cast<double>(cpu.retired()) /
+                       static_cast<double>(cpu.cycle());
+    EXPECT_GT(ipc, 3.5);
+    EXPECT_LE(ipc, 4.0 + 1e-9);
+}
+
+TEST(CoreModelTest, L1HitsDoNotThrottleMuch)
+{
+    auto hier = makeHier(smallConfig());
+    trace::TraceBuilder b("l1", 0x400000, 1);
+    for (int i = 0; i < 20000; ++i) {
+        b.load(1, 0x1000 + 64 * (i % 8)); // stays in L1
+        b.pad(3);
+    }
+    const auto t = std::move(b).build();
+    CoreModel cpu(0, *hier, t, false);
+    while (!cpu.finished())
+        cpu.step();
+    const double ipc = static_cast<double>(cpu.retired()) /
+                       static_cast<double>(cpu.cycle());
+    // L1 latency is 4 cycles and overlaps; IPC should stay near width.
+    EXPECT_GT(ipc, 2.0);
+}
+
+/** Independent misses should overlap; dependent ones serialize. */
+TEST(CoreModelTest, DependentLoadsSerialize)
+{
+    const Addr stride = 1 << 20; // distinct sets, always LLC+DRAM miss
+    const int n = 2000;
+
+    auto run = [&](bool dep) {
+        auto hier = makeHier(smallConfig());
+        trace::TraceBuilder b("x", 0x400000, 1);
+        for (int i = 0; i < n; ++i)
+            b.load(1, 0x10000000ull + stride * i, dep);
+        const auto t = std::move(b).build();
+        CoreModel cpu(0, *hier, t, false);
+        while (!cpu.finished())
+            cpu.step();
+        return cpu.cycle();
+    };
+
+    const Cycle independent = run(false);
+    const Cycle dependent = run(true);
+    // Fully serialized: ~240 cycles per load. Independent: bounded by
+    // MSHRs (16 outstanding) => near 240/16 per load.
+    EXPECT_GT(dependent, independent * 5);
+    EXPECT_GE(dependent, static_cast<Cycle>(n) * 240);
+}
+
+TEST(CoreModelTest, MshrsBoundMissOverlap)
+{
+    const Addr stride = 1 << 20;
+    const int n = 2000;
+    auto run = [&](unsigned mshrs) {
+        auto hier = makeHier(smallConfig());
+        trace::TraceBuilder b("x", 0x400000, 1);
+        for (int i = 0; i < n; ++i)
+            b.load(1, 0x10000000ull + stride * i);
+        const auto t = std::move(b).build();
+        CoreModelConfig ccfg;
+        ccfg.mshrs = mshrs;
+        CoreModel cpu(0, *hier, t, false, ccfg);
+        while (!cpu.finished())
+            cpu.step();
+        return cpu.cycle();
+    };
+    const Cycle wide = run(64);
+    const Cycle narrow = run(2);
+    EXPECT_GT(narrow, wide * 3);
+}
+
+TEST(CoreModelTest, WindowLimitsOverlapWhenSmall)
+{
+    const Addr stride = 1 << 20;
+    auto run = [&](unsigned window) {
+        auto hier = makeHier(smallConfig());
+        trace::TraceBuilder b("x", 0x400000, 1);
+        for (int i = 0; i < 1000; ++i) {
+            b.load(1, 0x10000000ull + stride * i);
+            b.pad(30);
+        }
+        const auto t = std::move(b).build();
+        CoreModelConfig ccfg;
+        ccfg.windowSize = window;
+        CoreModel cpu(0, *hier, t, false, ccfg);
+        while (!cpu.finished())
+            cpu.step();
+        return cpu.cycle();
+    };
+    // A 16-entry window fits no two misses (31 instructions apart);
+    // a 128-entry window overlaps ~4.
+    EXPECT_GT(run(16), 2 * run(128));
+}
+
+TEST(CoreModelTest, LoopRestartsTrace)
+{
+    auto hier = makeHier(smallConfig());
+    trace::TraceBuilder b("x", 0x400000, 1);
+    b.load(1, 0x1000);
+    b.pad(9);
+    const auto t = std::move(b).build();
+    CoreModel cpu(0, *hier, t, true);
+    for (int i = 0; i < 100; ++i)
+        cpu.step();
+    EXPECT_FALSE(cpu.finished());
+    EXPECT_GT(cpu.retired(), t.instructions());
+}
+
+TEST(CoreModelTest, FinishedAfterSinglePass)
+{
+    auto hier = makeHier(smallConfig());
+    const auto t = padsOnly(5000);
+    CoreModel cpu(0, *hier, t, false);
+    while (!cpu.finished())
+        cpu.step();
+    EXPECT_EQ(cpu.retired(), t.instructions());
+    EXPECT_THROW(cpu.step(), PanicError);
+}
+
+TEST(CoreModelTest, PcHistoryIsUpdatedOnMemOps)
+{
+    auto hier = makeHier(smallConfig());
+    trace::TraceBuilder b("x", 0x400000, 1);
+    b.load(1, 0x1000);
+    b.load(2, 0x2000);
+    const auto t = std::move(b).build();
+    CoreModel cpu(0, *hier, t, false);
+    cpu.step();
+    EXPECT_EQ(cpu.context().pcHistory.recent(0), t.records()[0].pc());
+    cpu.step();
+    EXPECT_EQ(cpu.context().pcHistory.recent(0), t.records()[1].pc());
+    EXPECT_EQ(cpu.context().pcHistory.recent(1), t.records()[0].pc());
+}
+
+TEST(CoreModelTest, StoresDoNotBlockRetirement)
+{
+    const Addr stride = 1 << 20;
+    auto run = [&](bool store) {
+        auto hier = makeHier(smallConfig());
+        trace::TraceBuilder b("x", 0x400000, 1);
+        for (int i = 0; i < 1000; ++i) {
+            if (store)
+                b.store(1, 0x10000000ull + stride * i);
+            else
+                b.load(1, 0x10000000ull + stride * i);
+        }
+        const auto t = std::move(b).build();
+        CoreModel cpu(0, *hier, t, false);
+        while (!cpu.finished())
+            cpu.step();
+        return cpu.cycle();
+    };
+    EXPECT_LT(run(true) * 5, run(false));
+}
+
+TEST(CoreModelTest, LoadLatencyAccounting)
+{
+    auto hier = makeHier(smallConfig());
+    trace::TraceBuilder b("x", 0x400000, 1);
+    b.load(1, 0x1000);
+    b.load(1, 0x1000);
+    const auto t = std::move(b).build();
+    CoreModel cpu(0, *hier, t, false);
+    while (!cpu.finished())
+        cpu.step();
+    EXPECT_EQ(cpu.loadCount(), 2u);
+    // First access misses everywhere (240), second hits L1 (4).
+    EXPECT_EQ(cpu.loadLatencyTotal(), 244u);
+}
+
+} // namespace
+} // namespace mrp::cpu

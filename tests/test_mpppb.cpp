@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the MPPPB policy: configuration presets, placement
+ * mapping, bypass gating, promotion suppression, and both substrates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/policy_cache.hpp"
+#include "core/feature_sets.hpp"
+#include "core/mpppb.hpp"
+
+namespace mrp::core {
+namespace {
+
+cache::CacheGeometry
+geom()
+{
+    return cache::CacheGeometry(2 * 1024 * 1024, 16);
+}
+
+cache::AccessInfo
+access(Pc pc, Addr addr)
+{
+    cache::AccessInfo info;
+    info.pc = pc;
+    info.addr = addr;
+    info.type = cache::AccessType::Load;
+    return info;
+}
+
+TEST(MpppbConfigTest, PresetsAreWellFormed)
+{
+    const auto st = singleThreadMpppbConfig();
+    EXPECT_EQ(st.substrate, Substrate::Mdpp);
+    EXPECT_EQ(st.predictor.features.size(), 16u);
+    EXPECT_GT(st.thresholds.tau[0], st.thresholds.tau[1]);
+    EXPECT_GT(st.thresholds.tau[1], st.thresholds.tau[2]);
+
+    const auto mc = multiCoreMpppbConfig();
+    EXPECT_EQ(mc.substrate, Substrate::Srrip);
+    for (const auto p : mc.thresholds.pi)
+        EXPECT_LE(p, 3u);
+}
+
+TEST(MpppbConfigTest, RejectsOutOfRangePlacements)
+{
+    auto cfg = singleThreadMpppbConfig();
+    cfg.thresholds.pi = {16, 10, 5}; // 16-way MDPP: positions 0..15
+    EXPECT_THROW(MpppbPolicy(geom(), 1, cfg), FatalError);
+
+    auto mcfg = multiCoreMpppbConfig();
+    mcfg.thresholds.pi = {4, 2, 1}; // 2-bit RRPV: 0..3
+    EXPECT_THROW(MpppbPolicy(geom(), 4, mcfg), FatalError);
+}
+
+TEST(MpppbPolicyTest, VictimComesFromSubstrate)
+{
+    auto cfg = singleThreadMpppbConfig();
+    MpppbPolicy pol(geom(), 1, cfg);
+    // Freshly constructed: tree-PLRU victim of set 0 is way 0.
+    EXPECT_EQ(pol.victimWay(access(0, 0), 0), 0u);
+}
+
+/**
+ * Feed the policy through a real PolicyCache with a dead stream and
+ * check that bypass engages once sets are full.
+ */
+TEST(MpppbPolicyTest, DeadStreamEventuallyBypasses)
+{
+    auto cfg = singleThreadMpppbConfig();
+    auto pol = std::make_unique<MpppbPolicy>(geom(), 1, cfg);
+    cache::PolicyCache llc(2 * 1024 * 1024, 16, std::move(pol), 1);
+    // Touch-once traffic from one PC, spread over all sets.
+    Rng rng(9);
+    for (int i = 0; i < 400000; ++i) {
+        const Addr a = static_cast<Addr>(i) * 64 * 7 + 64;
+        llc.access(access(0x400000, a));
+    }
+    EXPECT_GT(llc.stats().bypasses, 10000u);
+}
+
+TEST(MpppbPolicyTest, HotSetIsNotBypassed)
+{
+    auto cfg = singleThreadMpppbConfig();
+    auto pol = std::make_unique<MpppbPolicy>(geom(), 1, cfg);
+    cache::PolicyCache llc(2 * 1024 * 1024, 16, std::move(pol), 1);
+    // A small, heavily reused set of blocks: hits throughout.
+    std::uint64_t hits = 0;
+    const int distinct = 1024;
+    for (int round = 0; round < 50; ++round)
+        for (int b = 0; b < distinct; ++b)
+            hits +=
+                llc.access(access(0x500000, static_cast<Addr>(b) * 64))
+                        .hit
+                    ? 1
+                    : 0;
+    // After the cold pass, essentially everything must hit.
+    EXPECT_GT(hits, 48u * distinct);
+    EXPECT_LT(llc.stats().bypasses, 200u);
+}
+
+TEST(MpppbPolicyTest, WritebacksNeverBypass)
+{
+    auto cfg = singleThreadMpppbConfig();
+    auto pol = std::make_unique<MpppbPolicy>(geom(), 1, cfg);
+    auto* raw = pol.get();
+    cache::PolicyCache llc(2 * 1024 * 1024, 16, std::move(pol), 1);
+    // Make the predictor hate everything first.
+    for (int i = 0; i < 300000; ++i)
+        llc.access(access(0x400000, static_cast<Addr>(i) * 64 * 5));
+    cache::AccessInfo wb;
+    wb.pc = cache::kWritebackPc;
+    wb.addr = 0x12345ull * 64;
+    wb.type = cache::AccessType::Writeback;
+    EXPECT_FALSE(raw->shouldBypass(wb, 0));
+}
+
+TEST(MpppbPolicyTest, SrripSubstrateRunsAndBypasses)
+{
+    auto cfg = multiCoreMpppbConfig();
+    auto pol = std::make_unique<MpppbPolicy>(geom(), 1, cfg);
+    cache::PolicyCache llc(2 * 1024 * 1024, 16, std::move(pol), 1);
+    for (int i = 0; i < 400000; ++i)
+        llc.access(access(0x400000, static_cast<Addr>(i) * 64 * 7));
+    EXPECT_GT(llc.stats().bypasses, 10000u);
+}
+
+TEST(MpppbPolicyTest, BypassCanBeDisabled)
+{
+    auto cfg = singleThreadMpppbConfig();
+    cfg.bypassEnabled = false;
+    auto pol = std::make_unique<MpppbPolicy>(geom(), 1, cfg);
+    cache::PolicyCache llc(2 * 1024 * 1024, 16, std::move(pol), 1);
+    for (int i = 0; i < 200000; ++i)
+        llc.access(access(0x400000, static_cast<Addr>(i) * 64 * 7));
+    EXPECT_EQ(llc.stats().bypasses, 0u);
+}
+
+/** Placement mapping follows the threshold ladder (§3.6). */
+TEST(MpppbPlacementTest, ThresholdLadder)
+{
+    // Exercise placementFor indirectly: craft thresholds and check
+    // onFill positions via the MDPP tree.
+    auto cfg = singleThreadMpppbConfig();
+    cfg.predictor.features = {FeatureSpec::parse("bias(18,0)")};
+    cfg.thresholds.tauBypass = 1000; // never bypass
+    cfg.thresholds.tau = {20, 10, 0};
+    cfg.thresholds.pi = {15, 12, 8};
+    MpppbPolicy pol(geom(), 1, cfg);
+    // With zero-weight tables the confidence is 0, which is not above
+    // tau[2]=0, so placement is the MRU position 0.
+    const auto info = access(0x400000, 64 * 5);
+    pol.onMiss(info, 0);
+    pol.onFill(info, 0, 3);
+    // Confirm the block landed protected: it is not the tree victim.
+    EXPECT_NE(pol.victimWay(info, 0), 3u);
+}
+
+} // namespace
+} // namespace mrp::core

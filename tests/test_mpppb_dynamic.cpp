@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the set-dueling dynamic-bypass extension of MPPPB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/policy_cache.hpp"
+#include "core/mpppb.hpp"
+
+namespace mrp::core {
+namespace {
+
+cache::CacheGeometry
+geom()
+{
+    return cache::CacheGeometry(2 * 1024 * 1024, 16);
+}
+
+cache::AccessInfo
+access(Pc pc, Addr addr)
+{
+    cache::AccessInfo info;
+    info.pc = pc;
+    info.addr = addr;
+    info.type = cache::AccessType::Load;
+    return info;
+}
+
+MpppbConfig
+dynConfig()
+{
+    auto cfg = singleThreadMpppbConfig();
+    cfg.dynamicBypass = true;
+    return cfg;
+}
+
+TEST(MpppbDynamicTest, ConfigValidation)
+{
+    auto cfg = dynConfig();
+    cfg.duelingPeriod = 1;
+    EXPECT_THROW(MpppbPolicy(geom(), 1, cfg), FatalError);
+    cfg.duelingPeriod = 1 << 20; // more than the set count
+    EXPECT_THROW(MpppbPolicy(geom(), 1, cfg), FatalError);
+}
+
+TEST(MpppbDynamicTest, NoBypassLeaderSetsNeverBypass)
+{
+    auto cfg = dynConfig();
+    MpppbPolicy pol(geom(), 1, cfg);
+    // Saturate the predictor toward "dead" via a sampled set.
+    for (int i = 0; i < 200000; ++i) {
+        const auto info =
+            access(0x400000, (static_cast<Addr>(i) * 2048) * 64);
+        pol.onMiss(info, 0);
+    }
+    // Set 33 is the no-bypass leader (period 64 => 64/2+1).
+    const auto info = access(0x400000, 33ull * 64);
+    pol.onMiss(info, 33);
+    EXPECT_FALSE(pol.shouldBypass(info, 33));
+    // Set 0 is a bypass leader and must honor the threshold.
+    pol.onMiss(access(0x400000, 0), 0);
+    EXPECT_TRUE(pol.shouldBypass(access(0x400000, 0), 0));
+}
+
+TEST(MpppbDynamicTest, FollowersTrackTheWinningLeaders)
+{
+    auto cfg = dynConfig();
+    MpppbPolicy pol(geom(), 1, cfg);
+    // Drive misses only into bypass-leader sets: psel rises, bypass
+    // becomes unfavored for followers.
+    for (int i = 0; i < 2000; ++i)
+        pol.onMiss(access(0x400000, (static_cast<Addr>(i) * 2048) * 64),
+                   /*set=*/64 * (i % 8)); // all roles: BypassLeader
+    EXPECT_FALSE(pol.bypassFavored());
+    // Now drive misses into no-bypass leaders: psel falls back.
+    for (int i = 0; i < 4000; ++i)
+        pol.onMiss(access(0x400000, (static_cast<Addr>(i) * 2048) * 64),
+                   /*set=*/64 * (i % 8) + 33);
+    EXPECT_TRUE(pol.bypassFavored());
+}
+
+TEST(MpppbDynamicTest, StaticConfigurationAlwaysFavorsBypass)
+{
+    auto cfg = singleThreadMpppbConfig();
+    ASSERT_FALSE(cfg.dynamicBypass);
+    MpppbPolicy pol(geom(), 1, cfg);
+    EXPECT_TRUE(pol.bypassFavored());
+}
+
+TEST(MpppbDynamicTest, EndToEndNoWorseThanStaticOnDeadStream)
+{
+    // On a pure dead stream the dueling should settle on bypassing
+    // (leaders that bypass miss no more than those that do not).
+    auto run = [&](bool dynamic) {
+        auto cfg = singleThreadMpppbConfig();
+        cfg.dynamicBypass = dynamic;
+        auto pol = std::make_unique<MpppbPolicy>(geom(), 1, cfg);
+        cache::PolicyCache llc(2 * 1024 * 1024, 16, std::move(pol), 1);
+        for (int i = 0; i < 300000; ++i)
+            llc.access(access(0x400000, static_cast<Addr>(i) * 64 * 7));
+        return llc.stats().bypasses;
+    };
+    const auto dynamic_bypasses = run(true);
+    const auto static_bypasses = run(false);
+    EXPECT_GT(dynamic_bypasses, static_bypasses / 2);
+}
+
+} // namespace
+} // namespace mrp::core

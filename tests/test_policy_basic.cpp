@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the recency-based baseline policies: LRU ranks, SRRIP,
+ * DRRIP set-dueling, tree-PLRU positional placement, and MDPP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/policy_cache.hpp"
+#include "policy/lru.hpp"
+#include "policy/srrip.hpp"
+#include "policy/tree_plru.hpp"
+
+namespace mrp::policy {
+namespace {
+
+cache::AccessInfo
+demand(Addr a)
+{
+    cache::AccessInfo info;
+    info.pc = 0x400000;
+    info.addr = a;
+    info.type = cache::AccessType::Load;
+    return info;
+}
+
+TEST(LruPolicyTest, RanksFollowTouchOrder)
+{
+    const cache::CacheGeometry g(1024, 4); // 4 sets x 4 ways
+    LruPolicy lru(g);
+    const cache::AccessInfo info = demand(0);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.onFill(info, 0, w);
+    // Way 3 filled last: rank 0 (MRU); way 0 rank 3 (LRU).
+    EXPECT_EQ(lru.rankOf(0, 3), 0u);
+    EXPECT_EQ(lru.rankOf(0, 0), 3u);
+    EXPECT_EQ(lru.victimWay(info, 0), 0u);
+    lru.onHit(info, 0, 0);
+    EXPECT_EQ(lru.rankOf(0, 0), 0u);
+    EXPECT_EQ(lru.victimWay(info, 0), 1u);
+}
+
+TEST(SrripTest, InsertionAndPromotion)
+{
+    const cache::CacheGeometry g(1024, 4);
+    SrripPolicy rrip(g);
+    const cache::AccessInfo info = demand(0);
+    EXPECT_EQ(rrip.maxRrpv(), 3u);
+    rrip.onFill(info, 0, 1);
+    EXPECT_EQ(rrip.rrpvOf(0, 1), 2u); // long re-reference insertion
+    rrip.onHit(info, 0, 1);
+    EXPECT_EQ(rrip.rrpvOf(0, 1), 0u); // near-immediate after hit
+}
+
+TEST(SrripTest, VictimAgesAndPicksOldest)
+{
+    const cache::CacheGeometry g(1024, 4);
+    SrripPolicy rrip(g);
+    const cache::AccessInfo info = demand(0);
+    rrip.setRrpv(0, 0, 1);
+    rrip.setRrpv(0, 1, 2);
+    rrip.setRrpv(0, 2, 0);
+    rrip.setRrpv(0, 3, 2);
+    // Oldest (first max after aging) must be way 1; all aged by 1.
+    EXPECT_EQ(rrip.victimWay(info, 0), 1u);
+    EXPECT_EQ(rrip.rrpvOf(0, 0), 2u);
+    EXPECT_EQ(rrip.rrpvOf(0, 2), 1u);
+}
+
+TEST(SrripTest, ScanResistanceBeatsLruOnMixedSet)
+{
+    // A small direct test: blocks inserted at RRPV 2 can't displace a
+    // hot block that keeps getting promoted to 0 until they age.
+    const cache::CacheGeometry g(256, 4); // 1 set
+    cache::PolicyCache c(256, 4, std::make_unique<SrripPolicy>(g), 1);
+    const Addr hot = 0;
+    c.access(demand(hot));
+    c.access(demand(hot));
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+        c.access(demand(i * 256)); // scan through the set
+        if (c.access(demand(hot)).hit)
+            ++hits;
+    }
+    EXPECT_GT(hits, 60u); // hot block survives the scan
+}
+
+TEST(DrripTest, FollowersTrackLeaderMisses)
+{
+    const cache::CacheGeometry g(64 * 1024, 4); // 256 sets
+    DrripPolicy drrip(g);
+    // Behavioural smoke: dueling machinery runs without fault and
+    // fills/hits keep rrpv state consistent.
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        const Addr a = (i % 512) * 64;
+        cache::AccessInfo info = demand(a);
+        const std::uint32_t set = g.setIndex(a);
+        drrip.onMiss(info, set);
+        drrip.onFill(info, set, static_cast<std::uint32_t>(i % 4));
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// Tree PLRU / MDPP
+
+TEST(TreePlruTest, VictimStartsAtWayZero)
+{
+    TreePlru t(1, 16);
+    EXPECT_EQ(t.victim(0), 0u); // all bits zero -> leftmost leaf
+}
+
+TEST(TreePlruTest, PositionRoundTripsThroughSetPosition)
+{
+    TreePlru t(1, 16);
+    for (std::uint32_t way = 0; way < 16; ++way) {
+        for (std::uint32_t pos = 0; pos < 16; ++pos) {
+            t.setPosition(0, way, pos);
+            EXPECT_EQ(t.position(0, way), pos)
+                << "way " << way << " pos " << pos;
+        }
+    }
+}
+
+TEST(TreePlruTest, PositionFifteenIsTheVictim)
+{
+    TreePlru t(1, 16);
+    for (std::uint32_t way = 0; way < 16; ++way) {
+        t.setPosition(0, way, 15);
+        EXPECT_EQ(t.victim(0), way);
+    }
+}
+
+TEST(TreePlruTest, MruInsertionProtects)
+{
+    TreePlru t(1, 8);
+    t.setPosition(0, 3, 0);
+    EXPECT_NE(t.victim(0), 3u);
+    EXPECT_EQ(t.position(0, 3), 0u);
+}
+
+TEST(TreePlruTest, SetsAreIndependent)
+{
+    TreePlru t(4, 8);
+    t.setPosition(1, 5, 7);
+    EXPECT_EQ(t.victim(1), 5u);
+    EXPECT_EQ(t.victim(0), 0u);
+    EXPECT_EQ(t.victim(2), 0u);
+}
+
+TEST(TreePlruTest, RejectsNonPowerOfTwoWays)
+{
+    EXPECT_THROW(TreePlru(1, 12), FatalError);
+    EXPECT_THROW(TreePlru(1, 1), FatalError);
+}
+
+/** Property: repeated MRU promotion cycles every way to the victim. */
+TEST(TreePlruTest, PromotionRotatesVictims)
+{
+    TreePlru t(1, 8);
+    std::set<std::uint32_t> victims;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint32_t v = t.victim(0);
+        victims.insert(v);
+        t.setPosition(0, v, 0); // "fill" the victim at MRU
+    }
+    EXPECT_EQ(victims.size(), 8u); // true pseudo-LRU rotation
+}
+
+TEST(MdppTest, InsertionLandsAtConfiguredPosition)
+{
+    const cache::CacheGeometry g(4096, 16); // 4 sets
+    MdppConfig cfg;
+    cfg.insertPos = 11;
+    MdppPolicy mdpp(g, cfg);
+    const cache::AccessInfo info = demand(0);
+    mdpp.onFill(info, 2, 6);
+    EXPECT_EQ(mdpp.tree().position(2, 6), 11u);
+    mdpp.onHit(info, 2, 6);
+    EXPECT_EQ(mdpp.tree().position(2, 6), 0u);
+}
+
+TEST(MdppTest, WritebackHitsDoNotPromote)
+{
+    const cache::CacheGeometry g(4096, 16);
+    MdppPolicy mdpp(g);
+    cache::AccessInfo wb = demand(0);
+    wb.type = cache::AccessType::Writeback;
+    mdpp.onFill(demand(0), 0, 3);
+    const auto pos = mdpp.tree().position(0, 3);
+    mdpp.onHit(wb, 0, 3);
+    EXPECT_EQ(mdpp.tree().position(0, 3), pos);
+}
+
+TEST(MdppTest, RejectsOutOfRangePositions)
+{
+    const cache::CacheGeometry g(4096, 16);
+    MdppConfig cfg;
+    cfg.insertPos = 16;
+    EXPECT_THROW(MdppPolicy(g, cfg), FatalError);
+}
+
+} // namespace
+} // namespace mrp::policy

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the multiperspective predictor: configuration validation,
+ * learning dead and live PC streams through the sampler, per-feature
+ * associativity behaviour, and confidence bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/feature_sets.hpp"
+#include "core/predictor.hpp"
+
+namespace mrp::core {
+namespace {
+
+cache::CacheGeometry
+geom()
+{
+    return cache::CacheGeometry(2 * 1024 * 1024, 16);
+}
+
+MultiperspectiveConfig
+smallConfig(std::vector<FeatureSpec> features)
+{
+    MultiperspectiveConfig cfg;
+    cfg.features = std::move(features);
+    return cfg;
+}
+
+cache::AccessInfo
+access(Pc pc, Addr addr)
+{
+    cache::AccessInfo info;
+    info.pc = pc;
+    info.addr = addr;
+    info.type = cache::AccessType::Load;
+    return info;
+}
+
+/** Drive a predictor with a dead stream: every block touched once. */
+int
+trainDeadStream(MultiperspectivePredictor& pred, Pc pc,
+                std::uint32_t set, int rounds)
+{
+    int conf = 0;
+    for (int i = 0; i < rounds; ++i) {
+        // Unique block every time: pure dead-on-arrival traffic.
+        const Addr a = (static_cast<Addr>(i) * 2048 + set) * 64;
+        conf = pred.observe(access(pc, a), set, /*hit=*/false);
+    }
+    return conf;
+}
+
+TEST(PredictorConfigTest, Validation)
+{
+    MultiperspectiveConfig cfg;
+    EXPECT_THROW(MultiperspectivePredictor(geom(), 1, cfg), FatalError);
+    cfg.features = featureSetTable1A();
+    cfg.samplerAssoc = 0;
+    EXPECT_THROW(MultiperspectivePredictor(geom(), 1, cfg), FatalError);
+    cfg.samplerAssoc = 12; // smaller than some feature A values
+    EXPECT_THROW(MultiperspectivePredictor(geom(), 1, cfg), FatalError);
+}
+
+TEST(PredictorConfigTest, TotalWeightsMatchTableSizes)
+{
+    const auto cfg = smallConfig(featureSetTable1A());
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    std::size_t expected = 0;
+    for (const auto& f : cfg.features)
+        expected += f.tableSize();
+    EXPECT_EQ(pred.totalWeights(), expected);
+}
+
+TEST(PredictorTest, LearnsADeadPcStream)
+{
+    auto cfg = smallConfig({FeatureSpec::parse("bias(18,1)")});
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    // Set 0 is sampled (sampling picks multiples of sets/sampled).
+    const int conf = trainDeadStream(pred, 0x400000, 0, 2000);
+    EXPECT_GT(conf, 20); // strongly dead
+}
+
+TEST(PredictorTest, LearnsALivePcStream)
+{
+    auto cfg = smallConfig({FeatureSpec::parse("bias(18,1)")});
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    // Two blocks ping-ponged: every access after the first pair is a
+    // reuse at LRU position 1 (< A for all features).
+    int conf = 0;
+    for (int i = 0; i < 2000; ++i)
+        conf = pred.observe(access(0x400000, (i % 2) * 2048 * 64), 0,
+                            true);
+    EXPECT_LT(conf, -20); // strongly live
+}
+
+TEST(PredictorTest, SeparatesDeadAndLivePcs)
+{
+    auto cfg = smallConfig({FeatureSpec::parse("bias(18,1)")});
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    const Pc dead_pc = 0x400000;
+    const Pc live_pc = 0x500000;
+    for (int i = 0; i < 3000; ++i) {
+        // Dead PC touches fresh blocks; live PC ping-pongs two blocks.
+        pred.observe(
+            access(dead_pc, (static_cast<Addr>(i) * 4096 + 1) * 2048 * 64),
+            0, false);
+        pred.observe(access(live_pc, (i % 2) * 2048 * 64), 0, true);
+    }
+    const int dead_conf = pred.observe(
+        access(dead_pc, 0x123ull * 2048 * 64), 0, false);
+    const int live_conf =
+        pred.observe(access(live_pc, 0), 0, true);
+    EXPECT_GT(dead_conf, live_conf + 20);
+}
+
+TEST(PredictorTest, ConfidenceStaysWithinNineBits)
+{
+    auto cfg = smallConfig(featureSetTable1A());
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    Rng rng(1);
+    int lo = 0, hi = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const int c = pred.observe(
+            access(0x400000 + 4 * rng.below(4), rng.below(1u << 30)),
+            0, rng.chance(0.3));
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+    }
+    EXPECT_GE(lo, pred.minConfidence());
+    EXPECT_LE(hi, pred.maxConfidence());
+    EXPECT_EQ(pred.maxConfidence(), 255);
+    EXPECT_EQ(pred.minConfidence(), -256);
+}
+
+TEST(PredictorTest, NonSampledSetsDoNotTrain)
+{
+    auto cfg = smallConfig({FeatureSpec::parse("bias(18,1)")});
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    // Set 1 is not sampled (2048 sets, 64 sampled => multiples of 32).
+    const int before = pred.observe(access(0x400000, 64), 1, false);
+    trainDeadStream(pred, 0x400000, 1, 500);
+    const int after = pred.observe(access(0x400000, 64), 1, false);
+    EXPECT_EQ(pred.trainingEvents(), 0u);
+    EXPECT_EQ(before, after);
+}
+
+TEST(PredictorTest, WritebacksAreIgnored)
+{
+    auto cfg = smallConfig({FeatureSpec::parse("bias(18,1)")});
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    cache::AccessInfo wb = access(0x400000, 64);
+    wb.type = cache::AccessType::Writeback;
+    EXPECT_EQ(pred.observe(wb, 0, false), 0);
+    EXPECT_EQ(pred.trainingEvents(), 0u);
+}
+
+/**
+ * Per-feature associativity: with A=1, a reuse at LRU position >= 1
+ * must NOT train "live" (the feature's 1-way cache would have missed),
+ * while an A=18 feature trains live for any sampler hit.
+ */
+TEST(PredictorTest, AssociativityGatesLiveTraining)
+{
+    auto run = [&](const char* feature) {
+        auto cfg = smallConfig({FeatureSpec::parse(feature)});
+        MultiperspectivePredictor pred(geom(), 1, cfg);
+        int conf = 0;
+        // Ping-pong two blocks: each hit occurs at LRU position 1.
+        for (int i = 0; i < 1000; ++i)
+            conf = pred.observe(access(0x400000, (i % 2) * 2048 * 64),
+                                0, true);
+        return conf;
+    };
+    EXPECT_LT(run("bias(18,1)"), -20); // live at assoc 18
+    // At A=1 the same stream never trains live, and each promotion
+    // demotes the other block to exactly position 1 == A => dead.
+    EXPECT_GT(run("bias(1,1)"), 20);
+}
+
+TEST(PredictorTest, DistinguishesByAddressRegion)
+{
+    auto cfg = smallConfig({FeatureSpec::parse("address(18,12,25,0)")});
+    MultiperspectivePredictor pred(geom(), 1, cfg);
+    const Addr live_base = 0x10000000;
+    const Addr dead_base = 0x80000000;
+    for (int i = 0; i < 3000; ++i) {
+        pred.observe(access(0x400000, live_base + (i % 2) * 2048 * 64),
+                     0, true);
+        pred.observe(
+            access(0x400000,
+                   dead_base + (static_cast<Addr>(i) + 7) * 2048 * 64),
+            0, false);
+    }
+    // Probe with addresses drawn from the trained populations (the
+    // bases themselves alias: both have zero bits in 12..25).
+    const int live = pred.observe(
+        access(0x400000, live_base + 1 * 2048 * 64), 0, true);
+    const int dead = pred.observe(
+        access(0x400000, dead_base + 1234ull * 2048 * 64), 0, false);
+    EXPECT_GT(dead, live + 20);
+}
+
+} // namespace
+} // namespace mrp::core

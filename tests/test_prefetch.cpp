@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the stream prefetcher: direction learning after at most
+ * two misses, degree/distance behaviour, stream capacity with LRU
+ * replacement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prefetch/stream_prefetcher.hpp"
+
+namespace mrp::prefetch {
+namespace {
+
+std::vector<Addr>
+missSeq(StreamPrefetcher& pf, const std::vector<Addr>& blocks)
+{
+    std::vector<Addr> out;
+    for (const Addr b : blocks)
+        pf.onL1Miss(b << kBlockShift, out);
+    return out;
+}
+
+TEST(StreamPrefetcherTest, NoPrefetchOnFirstTwoMisses)
+{
+    StreamPrefetcher pf;
+    std::vector<Addr> out;
+    pf.onL1Miss(100 << kBlockShift, out);
+    EXPECT_TRUE(out.empty()); // stream allocated, no direction yet
+}
+
+TEST(StreamPrefetcherTest, AscendingStreamPrefetchesAhead)
+{
+    StreamPrefetcher pf;
+    const auto out = missSeq(pf, {100, 101, 102, 103});
+    ASSERT_FALSE(out.empty());
+    // All prefetched addresses run ahead of the last miss direction.
+    for (const Addr a : out)
+        EXPECT_GT(blockAddr(a), 101u);
+    EXPECT_GT(pf.issued(), 0u);
+}
+
+TEST(StreamPrefetcherTest, DescendingStreamDetected)
+{
+    StreamPrefetcher pf;
+    const auto out = missSeq(pf, {200, 199, 198});
+    ASSERT_FALSE(out.empty());
+    for (const Addr a : out)
+        EXPECT_LT(blockAddr(a), 199u);
+}
+
+TEST(StreamPrefetcherTest, DegreeLimitsPerTriggerIssue)
+{
+    StreamPrefetcherConfig cfg;
+    cfg.degree = 2;
+    cfg.distance = 16;
+    StreamPrefetcher pf(cfg);
+    std::vector<Addr> out;
+    pf.onL1Miss(10 << kBlockShift, out);
+    pf.onL1Miss(11 << kBlockShift, out);
+    const std::size_t first_burst = out.size();
+    EXPECT_LE(first_burst, 2u);
+}
+
+TEST(StreamPrefetcherTest, DistanceBoundsRunahead)
+{
+    StreamPrefetcherConfig cfg;
+    cfg.degree = 8;
+    cfg.distance = 4;
+    StreamPrefetcher pf(cfg);
+    std::vector<Addr> out;
+    for (Addr b = 50; b < 60; ++b)
+        pf.onL1Miss(b << kBlockShift, out);
+    for (const Addr a : out)
+        EXPECT_LE(blockAddr(a), 59u + 4u);
+}
+
+TEST(StreamPrefetcherTest, RandomMissesProduceNoStreams)
+{
+    StreamPrefetcher pf;
+    std::vector<Addr> out;
+    // Far-apart blocks never match a stream window.
+    for (Addr b = 0; b < 64; ++b)
+        pf.onL1Miss((b * 1000) << kBlockShift, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcherTest, TracksSixteenConcurrentStreams)
+{
+    StreamPrefetcherConfig cfg;
+    StreamPrefetcher pf(cfg);
+    std::vector<Addr> out;
+    // Interleave 16 streams; all should be confirmed and prefetching.
+    for (int round = 0; round < 4; ++round)
+        for (Addr s = 0; s < 16; ++s)
+            pf.onL1Miss((s * 100000 + 7 + round) << kBlockShift, out);
+    EXPECT_GT(out.size(), 16u);
+}
+
+TEST(StreamPrefetcherTest, LruReplacesColdStreams)
+{
+    StreamPrefetcher pf;
+    std::vector<Addr> out;
+    // Allocate 16 streams, then a 17th: the first stream must be the
+    // one replaced, so re-missing near stream 0's region allocates
+    // fresh (no immediate prefetch).
+    for (Addr s = 0; s < 17; ++s)
+        pf.onL1Miss((s * 100000) << kBlockShift, out);
+    out.clear();
+    pf.onL1Miss((0 * 100000 + 1) << kBlockShift, out);
+    EXPECT_TRUE(out.empty()); // had to re-learn stream 0
+}
+
+TEST(StreamPrefetcherTest, ResetDropsState)
+{
+    StreamPrefetcher pf;
+    std::vector<Addr> out;
+    pf.onL1Miss(100 << kBlockShift, out);
+    pf.onL1Miss(101 << kBlockShift, out);
+    pf.reset();
+    out.clear();
+    pf.onL1Miss(102 << kBlockShift, out);
+    EXPECT_TRUE(out.empty()); // stream was forgotten
+}
+
+} // namespace
+} // namespace mrp::prefetch

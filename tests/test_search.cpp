@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the feature design-space exploration machinery (§5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/feature_sets.hpp"
+#include "search/feature_search.hpp"
+
+namespace mrp::search {
+namespace {
+
+SearchConfig
+tinyConfig()
+{
+    SearchConfig cfg;
+    cfg.workloads = {7, 14}; // thrash.2x, mixpc.hi
+    cfg.traceInstructions = 120000;
+    cfg.baseConfig = core::singleThreadMpppbConfig();
+    return cfg;
+}
+
+TEST(EvaluatorTest, RequiresWorkloads)
+{
+    SearchConfig cfg = tinyConfig();
+    cfg.workloads.clear();
+    EXPECT_THROW(FeatureSetEvaluator{cfg}, FatalError);
+}
+
+TEST(EvaluatorTest, EvaluationIsDeterministic)
+{
+    const SearchConfig cfg = tinyConfig();
+    FeatureSetEvaluator eval(cfg);
+    const auto set = core::featureSetTable1A();
+    EXPECT_DOUBLE_EQ(eval.averageMpki(set), eval.averageMpki(set));
+    EXPECT_EQ(eval.workloadCount(), 2u);
+}
+
+TEST(EvaluatorTest, ReferenceLinesAreOrdered)
+{
+    const SearchConfig cfg = tinyConfig();
+    FeatureSetEvaluator eval(cfg);
+    // MIN can never have more misses than LRU.
+    EXPECT_LE(eval.minMpki(), eval.lruMpki());
+}
+
+TEST(RandomSearchTest, ProducesRequestedCandidates)
+{
+    const SearchConfig cfg = tinyConfig();
+    FeatureSetEvaluator eval(cfg);
+    const auto cands = randomSearch(eval, cfg, 3, 42);
+    ASSERT_EQ(cands.size(), 3u);
+    for (const auto& c : cands) {
+        EXPECT_EQ(c.features.size(), cfg.featuresPerSet);
+        EXPECT_GT(c.averageMpki, 0.0);
+    }
+}
+
+TEST(RandomSearchTest, SeedControlsTheDraw)
+{
+    const SearchConfig cfg = tinyConfig();
+    FeatureSetEvaluator eval(cfg);
+    const auto a = randomSearch(eval, cfg, 2, 1);
+    const auto b = randomSearch(eval, cfg, 2, 1);
+    const auto c = randomSearch(eval, cfg, 2, 2);
+    EXPECT_EQ(a[0].features, b[0].features);
+    EXPECT_NE(a[0].features, c[0].features);
+}
+
+TEST(HillClimbTest, NeverRegresses)
+{
+    const SearchConfig cfg = tinyConfig();
+    FeatureSetEvaluator eval(cfg);
+    Candidate start;
+    start.features = core::featureSetTable1A();
+    start.averageMpki = eval.averageMpki(start.features);
+    const auto refined = hillClimb(eval, cfg, start, 6, 77);
+    EXPECT_LE(refined.averageMpki, start.averageMpki);
+    EXPECT_EQ(refined.features.size(), start.features.size());
+}
+
+} // namespace
+} // namespace mrp::search

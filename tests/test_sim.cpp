@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the simulation drivers: single-core, the MIN two-pass
+ * runner, the multi-core FIESTA-style driver, weighted speedup, and
+ * the policy factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/multi_core.hpp"
+#include "sim/single_core.hpp"
+#include "trace/workloads.hpp"
+
+namespace mrp::sim {
+namespace {
+
+TEST(PolicyFactoryTest, KnowsAllStandardNames)
+{
+    const cache::CacheGeometry g(2 * 1024 * 1024, 16);
+    for (const char* name :
+         {"LRU", "Random", "SRRIP", "DRRIP", "MDPP", "SDBP",
+          "Perceptron", "Hawkeye", "MPPPB", "MPPPB-MC", "MPPPB-1A",
+          "MPPPB-1B", "MPPPB-T2"}) {
+        auto pol = makePolicyFactory(name)(g, 1);
+        ASSERT_NE(pol, nullptr) << name;
+    }
+    EXPECT_THROW(makePolicyFactory("NoSuchPolicy"), FatalError);
+}
+
+TEST(PolicyFactoryTest, PaperPolicyListShape)
+{
+    const auto names = paperPolicyNames();
+    EXPECT_EQ(names.size(), 4u);
+    EXPECT_EQ(names.front(), "LRU");
+    EXPECT_EQ(names.back(), "MPPPB");
+}
+
+TEST(SingleCoreTest, ProducesConsistentNumbers)
+{
+    const auto tr = trace::makeSuiteTrace(4, 120000); // gups.fit
+    const auto r = runSingleCore(tr, makePolicyFactory("LRU"), {});
+    EXPECT_EQ(r.benchmark, tr.name());
+    EXPECT_EQ(r.policy, "LRU");
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 4.0);
+    EXPECT_GE(r.llcDemandAccesses, r.llcDemandMisses);
+    EXPECT_NEAR(r.mpki,
+                1000.0 * static_cast<double>(r.llcDemandMisses) /
+                    static_cast<double>(r.instructions),
+                1e-9);
+}
+
+TEST(SingleCoreTest, DeterministicAcrossRuns)
+{
+    const auto tr = trace::makeSuiteTrace(7, 120000);
+    const auto a = runSingleCore(tr, makePolicyFactory("MPPPB"), {});
+    const auto b = runSingleCore(tr, makePolicyFactory("MPPPB"), {});
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.llcDemandMisses, b.llcDemandMisses);
+}
+
+TEST(SingleCoreTest, MinNeverMissesMoreThanLru)
+{
+    for (unsigned bench : {6u, 9u, 14u}) {
+        const auto tr = trace::makeSuiteTrace(bench, 250000);
+        const auto lru = runSingleCore(tr, makePolicyFactory("LRU"), {});
+        const auto min = runSingleCoreMin(tr, {});
+        EXPECT_LE(min.llcDemandMisses, lru.llcDemandMisses)
+            << tr.name();
+        EXPECT_EQ(min.policy, "MIN");
+    }
+}
+
+TEST(SingleCoreTest, WarmupShrinksMeasuredWindow)
+{
+    const auto tr = trace::makeSuiteTrace(0, 100000);
+    SingleCoreConfig cfg;
+    cfg.warmupFraction = 0.5;
+    const auto r = runSingleCore(tr, makePolicyFactory("LRU"), cfg);
+    EXPECT_LT(r.instructions, tr.instructions());
+    // Warmup stops at a record boundary; allow one pad-run of slack.
+    EXPECT_GE(r.instructions, tr.instructions() / 2 - 64);
+}
+
+TEST(MultiCoreTest, RunsAMixAndReportsPerCoreIpc)
+{
+    const auto t0 = trace::makeSuiteTrace(0, 60000);
+    const auto t1 = trace::makeSuiteTrace(4, 60000);
+    const auto t2 = trace::makeSuiteTrace(7, 60000);
+    const auto t3 = trace::makeSuiteTrace(25, 60000);
+    MultiCoreConfig cfg;
+    cfg.warmupInstructions = 40000;
+    cfg.measureCycles = 50000;
+    const auto r = runMultiCore({&t0, &t1, &t2, &t3},
+                                makePolicyFactory("LRU"), cfg);
+    for (unsigned c = 0; c < 4; ++c) {
+        EXPECT_GT(r.ipc[c], 0.0) << c;
+        EXPECT_LE(r.ipc[c], 4.0) << c;
+        EXPECT_GT(r.instructions[c], 0u);
+    }
+    EXPECT_NE(r.mixName.find(t0.name()), std::string::npos);
+    EXPECT_GT(r.mpki, 0.0);
+}
+
+TEST(MultiCoreTest, WeightedSpeedupMath)
+{
+    MultiCoreResult r;
+    r.ipc = {1.0, 2.0, 0.5, 1.0};
+    const double ws = r.weightedSpeedup({2.0, 2.0, 1.0, 0.5});
+    EXPECT_DOUBLE_EQ(ws, 0.5 + 1.0 + 0.5 + 2.0);
+    EXPECT_THROW(r.weightedSpeedup({0.0, 1.0, 1.0, 1.0}), FatalError);
+}
+
+TEST(MultiCoreTest, StandaloneIpcIsPositiveAndBounded)
+{
+    const auto tr = trace::makeSuiteTrace(0, 60000);
+    MultiCoreConfig cfg;
+    cfg.warmupInstructions = 40000;
+    cfg.measureCycles = 50000;
+    const double ipc = standaloneIpc(tr, cfg);
+    EXPECT_GT(ipc, 0.0);
+    EXPECT_LE(ipc, 4.0);
+}
+
+TEST(MultiCoreTest, SharedCacheContentionReducesIpc)
+{
+    // Four *distinct* memory-hungry benchmarks (real mixes never
+    // repeat a benchmark) must interfere in the shared LLC: per-core
+    // IPC in the mix <= standalone IPC (with slack).
+    const auto t0 = trace::makeSuiteTrace(7, 400000);  // thrash.2x
+    const auto t1 = trace::makeSuiteTrace(9, 400000);  // scan.a
+    const auto t2 = trace::makeSuiteTrace(14, 400000); // mixpc.hi
+    const auto t3 = trace::makeSuiteTrace(16, 400000); // field.a
+    MultiCoreConfig cfg;
+    cfg.warmupInstructions = 400000;
+    cfg.measureCycles = 150000;
+    const std::array<const trace::Trace*, 4> mix = {&t0, &t1, &t2, &t3};
+    const auto r = runMultiCore(mix, makePolicyFactory("LRU"), cfg);
+    for (unsigned c = 0; c < 4; ++c) {
+        const double solo = standaloneIpc(*mix[c], cfg);
+        EXPECT_LE(r.ipc[c], solo * 1.10) << mix[c]->name();
+    }
+}
+
+} // namespace
+} // namespace mrp::sim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the trace substrate: record packing, the builder, the
+ * workload registry, and mix generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/builder.hpp"
+#include "trace/mix.hpp"
+#include "trace/record.hpp"
+#include "trace/workloads.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::trace {
+namespace {
+
+TEST(RecordTest, PacksAndUnpacksMemOps)
+{
+    const Addr a = 0x0000123456789ABCull;
+    const Record r = Record::memOp(0x400100, Op::Load, a, true);
+    EXPECT_EQ(r.pc(), 0x400100u);
+    EXPECT_EQ(r.op(), Op::Load);
+    EXPECT_EQ(r.addr(), a);
+    EXPECT_TRUE(r.dependsOnPrevLoad());
+    EXPECT_TRUE(r.isMem());
+    EXPECT_EQ(r.count(), 1u);
+
+    const Record s = Record::memOp(0x400104, Op::Store, 0x40, false);
+    EXPECT_EQ(s.op(), Op::Store);
+    EXPECT_FALSE(s.dependsOnPrevLoad());
+}
+
+TEST(RecordTest, NonMemCarriesCount)
+{
+    const Record r = Record::nonMem(0x400200, 17);
+    EXPECT_FALSE(r.isMem());
+    EXPECT_EQ(r.count(), 17u);
+    EXPECT_THROW(r.addr(), PanicError);
+    EXPECT_THROW(Record::nonMem(0x400200, 0), PanicError);
+}
+
+TEST(RecordTest, RecordIs16Bytes)
+{
+    EXPECT_EQ(sizeof(Record), 16u);
+}
+
+TEST(BuilderTest, CountsInstructions)
+{
+    TraceBuilder b("t", 0x400000, 1);
+    b.load(1, 0x1000);
+    b.pad(10);
+    b.store(2, 0x2000);
+    EXPECT_EQ(b.instructions(), 12u);
+    const Trace t = std::move(b).build();
+    EXPECT_EQ(t.instructions(), 12u);
+    EXPECT_EQ(t.memOps(), 2u);
+    EXPECT_EQ(t.records().size(), 3u);
+}
+
+TEST(BuilderTest, SitesAreStablePcs)
+{
+    TraceBuilder b("t", 0x400000, 1);
+    EXPECT_EQ(b.site(0), 0x400000u);
+    EXPECT_EQ(b.site(3), 0x40000Cu);
+}
+
+TEST(WorkloadsTest, SuiteHas33Benchmarks)
+{
+    EXPECT_EQ(suiteSize(), 33u); // the paper's benchmark count
+    EXPECT_EQ(heldOutSize(), 15u);
+}
+
+TEST(WorkloadsTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0; i < suiteSize(); ++i)
+        names.insert(suiteName(i));
+    for (unsigned i = 0; i < heldOutSize(); ++i)
+        names.insert(heldOutName(i));
+    EXPECT_EQ(names.size(), suiteSize() + heldOutSize());
+}
+
+TEST(WorkloadsTest, GenerationIsDeterministic)
+{
+    const Trace a = makeSuiteTrace(7, 20000);
+    const Trace b = makeSuiteTrace(7, 20000);
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+        EXPECT_EQ(a.records()[i].pc(), b.records()[i].pc());
+        EXPECT_EQ(a.records()[i].op(), b.records()[i].op());
+    }
+}
+
+TEST(WorkloadsTest, RejectsOutOfRangeIndices)
+{
+    EXPECT_THROW(makeSuiteTrace(suiteSize(), 1000), FatalError);
+    EXPECT_THROW(makeHeldOutTrace(heldOutSize(), 1000), FatalError);
+    EXPECT_THROW(suiteName(suiteSize()), FatalError);
+}
+
+/** Property sweep: every benchmark generates a sane trace. */
+class EverySuiteBenchmark : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EverySuiteBenchmark, GeneratesCloseToTargetLength)
+{
+    const InstCount target = 30000;
+    const Trace t = makeSuiteTrace(GetParam(), target);
+    EXPECT_GE(t.instructions(), target);
+    EXPECT_LE(t.instructions(), target + 2000);
+    EXPECT_GT(t.memOps(), 0u);
+}
+
+TEST_P(EverySuiteBenchmark, AddressesStayInPrivateRegion)
+{
+    const unsigned idx = GetParam();
+    const Trace t = makeSuiteTrace(idx, 20000);
+    const Addr base = 0x100000000ull + idx * 0x40000000ull;
+    for (const auto& r : t.records()) {
+        if (!r.isMem())
+            continue;
+        EXPECT_GE(r.addr(), base);
+        EXPECT_LT(r.addr(), base + 0x40000000ull);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, EverySuiteBenchmark,
+                         ::testing::Range(0u, 33u),
+                         [](const auto& info) {
+                             std::string n = suiteName(info.param) + "_" +
+                                             std::to_string(info.param);
+                             for (char& c : n)
+                                 if (c == '.')
+                                     c = '_';
+                             return n;
+                         });
+
+class EveryHeldOutBenchmark : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EveryHeldOutBenchmark, Generates)
+{
+    const Trace t = makeHeldOutTrace(GetParam(), 20000);
+    EXPECT_GE(t.instructions(), 20000u);
+    EXPECT_GT(t.memOps(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(HeldOut, EveryHeldOutBenchmark,
+                         ::testing::Range(0u, 15u));
+
+TEST(MixTest, MixesDrawWithoutReplacement)
+{
+    const auto mixes = makeMixes(200);
+    EXPECT_EQ(mixes.size(), 200u);
+    for (const auto& m : mixes) {
+        std::set<unsigned> uniq(m.benchmarks.begin(),
+                                m.benchmarks.end());
+        EXPECT_EQ(uniq.size(), 4u);
+        for (const unsigned b : m.benchmarks)
+            EXPECT_LT(b, suiteSize());
+    }
+}
+
+TEST(MixTest, Deterministic)
+{
+    const auto a = makeMixes(50, 99);
+    const auto b = makeMixes(50, 99);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].benchmarks, b[i].benchmarks);
+}
+
+TEST(MixTest, SplitIsDisjointPrefix)
+{
+    const auto split = makeMixSplit(10, 30);
+    EXPECT_EQ(split.train.size(), 10u);
+    EXPECT_EQ(split.test.size(), 30u);
+    const auto all = makeMixes(40);
+    EXPECT_EQ(split.train[0].benchmarks, all[0].benchmarks);
+    EXPECT_EQ(split.test[0].benchmarks, all[10].benchmarks);
+}
+
+TEST(MixTest, NameJoinsBenchmarks)
+{
+    Mix m{{0, 1, 2, 3}};
+    const auto n = m.name();
+    EXPECT_NE(n.find(suiteName(0)), std::string::npos);
+    EXPECT_NE(n.find('+'), std::string::npos);
+}
+
+TEST(MixTest, MixesCoverTheSuite)
+{
+    // With hundreds of mixes, every benchmark should appear somewhere.
+    const auto mixes = makeMixes(300);
+    std::set<unsigned> seen;
+    for (const auto& m : mixes)
+        for (const unsigned b : m.benchmarks)
+            seen.insert(b);
+    EXPECT_EQ(seen.size(), suiteSize());
+}
+
+} // namespace
+} // namespace mrp::trace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for binary trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace_io.hpp"
+#include "trace/workloads.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::trace {
+namespace {
+
+void
+expectEqualTraces(const Trace& a, const Trace& b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.instructions(), b.instructions());
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+        EXPECT_EQ(a.records()[i].pc(), b.records()[i].pc());
+        EXPECT_EQ(a.records()[i].op(), b.records()[i].op());
+        EXPECT_EQ(a.records()[i].count(), b.records()[i].count());
+        if (a.records()[i].isMem()) {
+            EXPECT_EQ(a.records()[i].addr(), b.records()[i].addr());
+            EXPECT_EQ(a.records()[i].dependsOnPrevLoad(),
+                      b.records()[i].dependsOnPrevLoad());
+        }
+    }
+}
+
+TEST(TraceIoTest, RoundTripsThroughStream)
+{
+    const Trace original = makeSuiteTrace(22, 30000); // pointer chase
+    std::stringstream ss;
+    writeTrace(ss, original);
+    const Trace loaded = readTrace(ss);
+    expectEqualTraces(original, loaded);
+}
+
+TEST(TraceIoTest, RoundTripsThroughFile)
+{
+    const Trace original = makeSuiteTrace(9, 20000);
+    const std::string path = "/tmp/mrp_trace_io_test.mrpt";
+    saveTrace(path, original);
+    const Trace loaded = loadTrace(path);
+    expectEqualTraces(original, loaded);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "NOPE and more bytes to be safe";
+    EXPECT_THROW(readTrace(ss), FatalError);
+}
+
+TEST(TraceIoTest, RejectsTruncation)
+{
+    const Trace original = makeSuiteTrace(0, 5000);
+    std::stringstream full;
+    writeTrace(full, original);
+    const std::string bytes = full.str();
+    std::stringstream cut;
+    cut << bytes.substr(0, bytes.size() / 2);
+    EXPECT_THROW(readTrace(cut), FatalError);
+}
+
+TEST(TraceIoTest, RejectsCorruptInstructionCount)
+{
+    const Trace original = makeSuiteTrace(0, 5000);
+    std::stringstream full;
+    writeTrace(full, original);
+    std::string bytes = full.str();
+    bytes[8] ^= 0x5A; // flip bits in the instruction-count field
+    std::stringstream bad;
+    bad << bytes;
+    EXPECT_THROW(readTrace(bad), FatalError);
+}
+
+TEST(TraceIoTest, MissingFile)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/path/to.mrpt"), FatalError);
+}
+
+} // namespace
+} // namespace mrp::trace

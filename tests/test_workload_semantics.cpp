@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Semantic property tests of the synthetic workload generators: the
+ * reuse-correlation structure each family is documented to exhibit
+ * (DESIGN.md §4) actually holds in the emitted traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/generators.hpp"
+#include "trace/workloads.hpp"
+
+namespace mrp::trace {
+namespace {
+
+GenParams
+params(InstCount insts)
+{
+    GenParams p;
+    p.name = "t";
+    p.instructions = insts;
+    p.seed = 42;
+    p.dataBase = 0x100000000ull;
+    p.codeBase = 0x400000;
+    return p;
+}
+
+/** Collect per-block touch counts of a trace. */
+std::map<Addr, unsigned>
+touchCounts(const Trace& t)
+{
+    std::map<Addr, unsigned> counts;
+    for (const auto& r : t.records())
+        if (r.isMem())
+            ++counts[blockAddr(r.addr())];
+    return counts;
+}
+
+TEST(GeneratorSemantics, CyclicThrashHasUniformReuseDistance)
+{
+    const Addr ws = 1 * 1024 * 1024;
+    const auto t = makeCyclicThrash(params(400000), ws, 3);
+    // Every block address appears, and the gap between consecutive
+    // appearances of any block equals the working-set size in blocks.
+    std::map<Addr, std::vector<std::size_t>> positions;
+    std::size_t idx = 0;
+    for (const auto& r : t.records()) {
+        if (!r.isMem())
+            continue;
+        positions[blockAddr(r.addr())].push_back(idx);
+        ++idx;
+    }
+    const Addr nblocks = ws / kBlockBytes;
+    EXPECT_EQ(positions.size(), nblocks);
+    for (const auto& [blk, pos] : positions)
+        for (std::size_t i = 1; i < pos.size(); ++i)
+            EXPECT_EQ(pos[i] - pos[i - 1], nblocks);
+}
+
+TEST(GeneratorSemantics, StreamNeverRevisitsWithinAPass)
+{
+    const auto t = makeStream(params(100000), 64 * 1024 * 1024, 4);
+    const auto counts = touchCounts(t);
+    // Working set far exceeds the trace: every block touched at most
+    // twice (load + the occasional paired store).
+    for (const auto& [blk, n] : counts)
+        EXPECT_LE(n, 2u);
+}
+
+TEST(GeneratorSemantics, PointerChaseIsFullyDependent)
+{
+    const auto t = makePointerChase(params(60000), 2 * 1024 * 1024, 3);
+    unsigned dependent = 0, loads = 0;
+    for (const auto& r : t.records()) {
+        if (!r.isMem())
+            continue;
+        ++loads;
+        if (r.dependsOnPrevLoad())
+            ++dependent;
+    }
+    // Every chase hop (half the loads; the rest is the aux structure)
+    // is data-dependent.
+    EXPECT_GT(dependent, loads / 3);
+}
+
+TEST(GeneratorSemantics, PointerChaseVisitsWholeCycle)
+{
+    const Addr ws = 256 * 1024; // 4096 blocks
+    const auto t = makePointerChase(params(120000), ws, 0);
+    std::set<Addr> chased;
+    for (const auto& r : t.records())
+        if (r.isMem() && r.dependsOnPrevLoad())
+            chased.insert(blockAddr(r.addr()));
+    // Sattolo's cycle: the chase reaches every block of the region.
+    EXPECT_EQ(chased.size(), ws / kBlockBytes);
+}
+
+TEST(GeneratorSemantics, FieldAccessSeparatesOffsets)
+{
+    const auto t =
+        makeFieldAccess(params(100000), 4 * 1024 * 1024, 512 * 1024,
+                        0.5, 2);
+    unsigned header = 0, payload = 0;
+    for (const auto& r : t.records()) {
+        if (!r.isMem())
+            continue;
+        if (blockOffset(r.addr()) == 0)
+            ++header;
+        else
+            ++payload;
+    }
+    // Both populations are present in force.
+    EXPECT_GT(header, 10000u);
+    EXPECT_GT(payload, 10000u);
+}
+
+TEST(GeneratorSemantics, SamePcMixedUsesOneLoadSite)
+{
+    const auto t = makeSamePcMixed(params(80000), 512 * 1024,
+                                   8 * 1024 * 1024, 0.5, 3);
+    std::set<Pc> pcs;
+    for (const auto& r : t.records())
+        if (r.isMem())
+            pcs.insert(r.pc());
+    EXPECT_EQ(pcs.size(), 1u); // PC carries no signal by design
+}
+
+TEST(GeneratorSemantics, ProducerConsumerWritesBeforeReads)
+{
+    const auto t =
+        makeProducerConsumer(params(120000), 64 * 1024, 4, 1);
+    // Every consumed (loaded) block must have been stored earlier.
+    std::set<Addr> written;
+    for (const auto& r : t.records()) {
+        if (!r.isMem())
+            continue;
+        if (r.op() == Op::Store)
+            written.insert(blockAddr(r.addr()));
+        else
+            EXPECT_TRUE(written.count(blockAddr(r.addr())))
+                << "read before write at block "
+                << blockAddr(r.addr());
+    }
+}
+
+TEST(GeneratorSemantics, HotColdSetsUsesDoubleStrideStream)
+{
+    const auto t = makeHotColdSets(params(60000), 256 * 1024,
+                                   4 * 1024 * 1024, 2);
+    // The streaming region blocks all have even block indices
+    // relative to the stream base (128-byte stride).
+    std::set<Addr> stream_blocks;
+    for (const auto& r : t.records())
+        if (r.isMem() && blockAddr(r.addr()) > (0x100000000ull >> 6) * 4)
+            stream_blocks.insert(blockAddr(r.addr()));
+    unsigned odd = 0;
+    for (const Addr b : stream_blocks)
+        odd += b & 1;
+    // All stream blocks share parity (hot region is far below them).
+    EXPECT_TRUE(odd == 0 || odd == stream_blocks.size());
+}
+
+TEST(GeneratorSemantics, PhasedAlternatesRegions)
+{
+    const auto t = makePhased(params(200000), 256 * 1024,
+                              1024 * 1024, 20000, 2);
+    // Identify phase changes by code site: site 1 = friendly loop,
+    // site 2 = thrash loop; both must appear repeatedly.
+    unsigned transitions = 0;
+    Pc last_pc = 0;
+    for (const auto& r : t.records()) {
+        if (!r.isMem())
+            continue;
+        if (last_pc != 0 && r.pc() != last_pc)
+            ++transitions;
+        last_pc = r.pc();
+    }
+    EXPECT_GE(transitions, 8u); // several phase flips in the trace
+}
+
+TEST(GeneratorSemantics, BurstSecondTouchFollowsGap)
+{
+    const auto t = makeBurst(params(300000), 2 * 1024 * 1024,
+                             128 * 1024, 4, 1);
+    // Blocks of the live stream (offset != 0, below the dead region)
+    // are touched exactly twice, far apart.
+    std::map<Addr, std::vector<std::size_t>> touches;
+    std::size_t idx = 0;
+    for (const auto& r : t.records()) {
+        if (!r.isMem())
+            continue;
+        touches[blockAddr(r.addr())].push_back(idx);
+        ++idx;
+    }
+    unsigned two_touch_far = 0;
+    for (const auto& [blk, pos] : touches)
+        if (pos.size() == 2 && pos[1] - pos[0] > 1000)
+            ++two_touch_far;
+    EXPECT_GT(two_touch_far, 500u);
+}
+
+} // namespace
+} // namespace mrp::trace
