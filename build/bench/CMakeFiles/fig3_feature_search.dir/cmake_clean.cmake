@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_feature_search.dir/fig3_feature_search.cpp.o"
+  "CMakeFiles/fig3_feature_search.dir/fig3_feature_search.cpp.o.d"
+  "fig3_feature_search"
+  "fig3_feature_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_feature_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_multicore_mpki.dir/fig5_multicore_mpki.cpp.o"
+  "CMakeFiles/fig5_multicore_mpki.dir/fig5_multicore_mpki.cpp.o.d"
+  "fig5_multicore_mpki"
+  "fig5_multicore_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_multicore_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

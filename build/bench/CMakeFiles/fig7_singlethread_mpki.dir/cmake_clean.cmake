@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_singlethread_mpki.dir/fig7_singlethread_mpki.cpp.o"
+  "CMakeFiles/fig7_singlethread_mpki.dir/fig7_singlethread_mpki.cpp.o.d"
+  "fig7_singlethread_mpki"
+  "fig7_singlethread_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_singlethread_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_roc.dir/fig8_roc.cpp.o"
+  "CMakeFiles/fig8_roc.dir/fig8_roc.cpp.o.d"
+  "fig8_roc"
+  "fig8_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_report.dir/overhead_report.cpp.o"
+  "CMakeFiles/overhead_report.dir/overhead_report.cpp.o.d"
+  "overhead_report"
+  "overhead_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_feature_benefit.dir/table3_feature_benefit.cpp.o"
+  "CMakeFiles/table3_feature_benefit.dir/table3_feature_benefit.cpp.o.d"
+  "table3_feature_benefit"
+  "table3_feature_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_feature_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_search.dir/feature_search.cpp.o"
+  "CMakeFiles/feature_search.dir/feature_search.cpp.o.d"
+  "feature_search"
+  "feature_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_sim_cli.dir/mrp_sim_cli.cpp.o"
+  "CMakeFiles/mrp_sim_cli.dir/mrp_sim_cli.cpp.o.d"
+  "mrp_sim_cli"
+  "mrp_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_mpppb.dir/tune_mpppb.cpp.o"
+  "CMakeFiles/tune_mpppb.dir/tune_mpppb.cpp.o.d"
+  "tune_mpppb"
+  "tune_mpppb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_mpppb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

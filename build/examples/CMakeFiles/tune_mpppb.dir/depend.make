@@ -1,0 +1,2 @@
+# Empty dependencies file for tune_mpppb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_cache.dir/basic_cache.cpp.o"
+  "CMakeFiles/mrp_cache.dir/basic_cache.cpp.o.d"
+  "CMakeFiles/mrp_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/mrp_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mrp_cache.dir/policy_cache.cpp.o"
+  "CMakeFiles/mrp_cache.dir/policy_cache.cpp.o.d"
+  "libmrp_cache.a"
+  "libmrp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

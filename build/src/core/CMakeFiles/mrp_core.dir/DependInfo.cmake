@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feature.cpp" "src/core/CMakeFiles/mrp_core.dir/feature.cpp.o" "gcc" "src/core/CMakeFiles/mrp_core.dir/feature.cpp.o.d"
+  "/root/repo/src/core/feature_sets.cpp" "src/core/CMakeFiles/mrp_core.dir/feature_sets.cpp.o" "gcc" "src/core/CMakeFiles/mrp_core.dir/feature_sets.cpp.o.d"
+  "/root/repo/src/core/mpppb.cpp" "src/core/CMakeFiles/mrp_core.dir/mpppb.cpp.o" "gcc" "src/core/CMakeFiles/mrp_core.dir/mpppb.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/mrp_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/mrp_core.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/mrp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mrp_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mrp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/mrp_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

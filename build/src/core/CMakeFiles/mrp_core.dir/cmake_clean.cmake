@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_core.dir/feature.cpp.o"
+  "CMakeFiles/mrp_core.dir/feature.cpp.o.d"
+  "CMakeFiles/mrp_core.dir/feature_sets.cpp.o"
+  "CMakeFiles/mrp_core.dir/feature_sets.cpp.o.d"
+  "CMakeFiles/mrp_core.dir/mpppb.cpp.o"
+  "CMakeFiles/mrp_core.dir/mpppb.cpp.o.d"
+  "CMakeFiles/mrp_core.dir/predictor.cpp.o"
+  "CMakeFiles/mrp_core.dir/predictor.cpp.o.d"
+  "libmrp_core.a"
+  "libmrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

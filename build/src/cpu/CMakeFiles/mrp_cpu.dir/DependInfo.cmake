@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core_model.cpp" "src/cpu/CMakeFiles/mrp_cpu.dir/core_model.cpp.o" "gcc" "src/cpu/CMakeFiles/mrp_cpu.dir/core_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/mrp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mrp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mrp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/mrp_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

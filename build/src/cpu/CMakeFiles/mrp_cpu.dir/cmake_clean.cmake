@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_cpu.dir/core_model.cpp.o"
+  "CMakeFiles/mrp_cpu.dir/core_model.cpp.o.d"
+  "libmrp_cpu.a"
+  "libmrp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

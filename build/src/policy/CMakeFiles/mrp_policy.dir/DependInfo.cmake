@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/hawkeye.cpp" "src/policy/CMakeFiles/mrp_policy.dir/hawkeye.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/hawkeye.cpp.o.d"
+  "/root/repo/src/policy/lru.cpp" "src/policy/CMakeFiles/mrp_policy.dir/lru.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/lru.cpp.o.d"
+  "/root/repo/src/policy/min.cpp" "src/policy/CMakeFiles/mrp_policy.dir/min.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/min.cpp.o.d"
+  "/root/repo/src/policy/perceptron.cpp" "src/policy/CMakeFiles/mrp_policy.dir/perceptron.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/perceptron.cpp.o.d"
+  "/root/repo/src/policy/sdbp.cpp" "src/policy/CMakeFiles/mrp_policy.dir/sdbp.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/sdbp.cpp.o.d"
+  "/root/repo/src/policy/ship.cpp" "src/policy/CMakeFiles/mrp_policy.dir/ship.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/ship.cpp.o.d"
+  "/root/repo/src/policy/srrip.cpp" "src/policy/CMakeFiles/mrp_policy.dir/srrip.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/srrip.cpp.o.d"
+  "/root/repo/src/policy/tree_plru.cpp" "src/policy/CMakeFiles/mrp_policy.dir/tree_plru.cpp.o" "gcc" "src/policy/CMakeFiles/mrp_policy.dir/tree_plru.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/mrp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mrp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/mrp_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

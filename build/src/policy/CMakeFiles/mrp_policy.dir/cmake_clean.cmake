@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_policy.dir/hawkeye.cpp.o"
+  "CMakeFiles/mrp_policy.dir/hawkeye.cpp.o.d"
+  "CMakeFiles/mrp_policy.dir/lru.cpp.o"
+  "CMakeFiles/mrp_policy.dir/lru.cpp.o.d"
+  "CMakeFiles/mrp_policy.dir/min.cpp.o"
+  "CMakeFiles/mrp_policy.dir/min.cpp.o.d"
+  "CMakeFiles/mrp_policy.dir/perceptron.cpp.o"
+  "CMakeFiles/mrp_policy.dir/perceptron.cpp.o.d"
+  "CMakeFiles/mrp_policy.dir/sdbp.cpp.o"
+  "CMakeFiles/mrp_policy.dir/sdbp.cpp.o.d"
+  "CMakeFiles/mrp_policy.dir/ship.cpp.o"
+  "CMakeFiles/mrp_policy.dir/ship.cpp.o.d"
+  "CMakeFiles/mrp_policy.dir/srrip.cpp.o"
+  "CMakeFiles/mrp_policy.dir/srrip.cpp.o.d"
+  "CMakeFiles/mrp_policy.dir/tree_plru.cpp.o"
+  "CMakeFiles/mrp_policy.dir/tree_plru.cpp.o.d"
+  "libmrp_policy.a"
+  "libmrp_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

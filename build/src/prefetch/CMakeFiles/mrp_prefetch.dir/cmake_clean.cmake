@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_prefetch.dir/stream_prefetcher.cpp.o"
+  "CMakeFiles/mrp_prefetch.dir/stream_prefetcher.cpp.o.d"
+  "libmrp_prefetch.a"
+  "libmrp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

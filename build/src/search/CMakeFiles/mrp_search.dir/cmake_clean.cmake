@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_search.dir/feature_search.cpp.o"
+  "CMakeFiles/mrp_search.dir/feature_search.cpp.o.d"
+  "libmrp_search.a"
+  "libmrp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

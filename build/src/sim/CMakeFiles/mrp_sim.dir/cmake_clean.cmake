@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_sim.dir/multi_core.cpp.o"
+  "CMakeFiles/mrp_sim.dir/multi_core.cpp.o.d"
+  "CMakeFiles/mrp_sim.dir/policies.cpp.o"
+  "CMakeFiles/mrp_sim.dir/policies.cpp.o.d"
+  "CMakeFiles/mrp_sim.dir/roc_probe.cpp.o"
+  "CMakeFiles/mrp_sim.dir/roc_probe.cpp.o.d"
+  "CMakeFiles/mrp_sim.dir/single_core.cpp.o"
+  "CMakeFiles/mrp_sim.dir/single_core.cpp.o.d"
+  "libmrp_sim.a"
+  "libmrp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

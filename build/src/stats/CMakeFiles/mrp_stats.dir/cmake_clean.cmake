@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_stats.dir/roc.cpp.o"
+  "CMakeFiles/mrp_stats.dir/roc.cpp.o.d"
+  "libmrp_stats.a"
+  "libmrp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/mrp_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/mrp_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/mix.cpp" "src/trace/CMakeFiles/mrp_trace.dir/mix.cpp.o" "gcc" "src/trace/CMakeFiles/mrp_trace.dir/mix.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/mrp_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/mrp_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workloads.cpp" "src/trace/CMakeFiles/mrp_trace.dir/workloads.cpp.o" "gcc" "src/trace/CMakeFiles/mrp_trace.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

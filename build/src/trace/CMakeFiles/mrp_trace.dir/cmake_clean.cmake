@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_trace.dir/generators.cpp.o"
+  "CMakeFiles/mrp_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/mrp_trace.dir/mix.cpp.o"
+  "CMakeFiles/mrp_trace.dir/mix.cpp.o.d"
+  "CMakeFiles/mrp_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/mrp_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/mrp_trace.dir/workloads.cpp.o"
+  "CMakeFiles/mrp_trace.dir/workloads.cpp.o.d"
+  "libmrp_trace.a"
+  "libmrp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

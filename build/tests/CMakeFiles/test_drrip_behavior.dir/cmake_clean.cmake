@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drrip_behavior.dir/test_drrip_behavior.cpp.o"
+  "CMakeFiles/test_drrip_behavior.dir/test_drrip_behavior.cpp.o.d"
+  "test_drrip_behavior"
+  "test_drrip_behavior.pdb"
+  "test_drrip_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drrip_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min.dir/test_min.cpp.o"
+  "CMakeFiles/test_min.dir/test_min.cpp.o.d"
+  "test_min"
+  "test_min.pdb"
+  "test_min[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

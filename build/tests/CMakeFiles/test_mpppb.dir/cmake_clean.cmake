@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpppb.dir/test_mpppb.cpp.o"
+  "CMakeFiles/test_mpppb.dir/test_mpppb.cpp.o.d"
+  "test_mpppb"
+  "test_mpppb.pdb"
+  "test_mpppb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpppb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

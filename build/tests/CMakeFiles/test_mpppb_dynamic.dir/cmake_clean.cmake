@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpppb_dynamic.dir/test_mpppb_dynamic.cpp.o"
+  "CMakeFiles/test_mpppb_dynamic.dir/test_mpppb_dynamic.cpp.o.d"
+  "test_mpppb_dynamic"
+  "test_mpppb_dynamic.pdb"
+  "test_mpppb_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpppb_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicore_properties.dir/test_multicore_properties.cpp.o"
+  "CMakeFiles/test_multicore_properties.dir/test_multicore_properties.cpp.o.d"
+  "test_multicore_properties"
+  "test_multicore_properties.pdb"
+  "test_multicore_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicore_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_basic.dir/test_policy_basic.cpp.o"
+  "CMakeFiles/test_policy_basic.dir/test_policy_basic.cpp.o.d"
+  "test_policy_basic"
+  "test_policy_basic.pdb"
+  "test_policy_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

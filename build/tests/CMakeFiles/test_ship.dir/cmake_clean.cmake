@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ship.dir/test_ship.cpp.o"
+  "CMakeFiles/test_ship.dir/test_ship.cpp.o.d"
+  "test_ship"
+  "test_ship.pdb"
+  "test_ship[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

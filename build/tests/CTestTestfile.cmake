@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetch[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_min[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_feature[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_mpppb[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_predictors[1]_include.cmake")
+include("/root/repo/build/tests/test_roc[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_mpppb_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_sampling_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_ship[1]_include.cmake")
+include("/root/repo/build/tests/test_drrip_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_multicore_properties[1]_include.cmake")
