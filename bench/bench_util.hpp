@@ -15,9 +15,11 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "runner/experiment_runner.hpp"
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
 #include "trace/mix.hpp"
@@ -50,6 +52,48 @@ inline unsigned
 mixCount(unsigned fallback)
 {
     return static_cast<unsigned>(envCount("MRP_BENCH_MIXES", fallback));
+}
+
+/**
+ * Worker-thread count for a bench: `--jobs N` on the command line,
+ * else MRP_BENCH_JOBS, else 0 (ExperimentRunner picks the hardware
+ * concurrency).
+ */
+inline unsigned
+jobsFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    return static_cast<unsigned>(envCount("MRP_BENCH_JOBS", 0));
+}
+
+/** Pre-generate the single-thread traces of the whole suite. */
+inline std::vector<trace::Trace>
+makeSuiteTraces(InstCount insts)
+{
+    std::vector<trace::Trace> out;
+    out.reserve(trace::suiteSize());
+    for (unsigned i = 0; i < trace::suiteSize(); ++i)
+        out.push_back(trace::makeSuiteTrace(i, insts));
+    return out;
+}
+
+/** Report one batch's execution metrics on stderr. */
+inline void
+reportBatch(const runner::RunSet& set)
+{
+    InstCount insts = 0;
+    for (const auto& r : set.results)
+        insts += r.instructions;
+    std::fprintf(stderr,
+                 "# batch: %zu runs, %u worker(s), %.2fs wall, "
+                 "%.0f simulated insts/sec\n",
+                 set.results.size(), set.jobs, set.wallSeconds,
+                 set.wallSeconds > 0.0
+                     ? static_cast<double>(insts) / set.wallSeconds
+                     : 0.0);
 }
 
 /** Pre-generate the multi-core region traces of the whole suite. */

@@ -6,6 +6,9 @@
  * geometric means (paper: Hawkeye 5.1%, Perceptron 6.3%, MPPPB 9.0%,
  * MIN 13.6% — our substrate is synthetic, so the *ordering* and
  * MPPPB's ~2/3-of-MIN share are the reproduction targets).
+ *
+ * The benchmark × policy product runs through the parallel
+ * ExperimentRunner (--jobs N / MRP_BENCH_JOBS).
  */
 
 #include <algorithm>
@@ -13,12 +16,24 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace mrp;
     const InstCount insts = bench::singleThreadInsts();
-    const std::vector<std::string> policies = {"Hawkeye", "Perceptron",
-                                               "MPPPB"};
+    const std::vector<std::string> policies = {
+        "LRU", "Hawkeye", "Perceptron", "MPPPB", "MIN"};
+
+    const auto suite = bench::makeSuiteTraces(insts);
+    std::vector<runner::RunRequest> batch;
+    batch.reserve(suite.size() * policies.size());
+    for (const auto& tr : suite)
+        for (const auto& p : policies)
+            batch.push_back(runner::RunRequest::singleCore(
+                tr, runner::PolicySpec::byName(p)));
+
+    const runner::ExperimentRunner pool(bench::jobsFromArgs(argc, argv));
+    const auto set = pool.run(batch);
+    bench::reportBatch(set);
 
     struct Row
     {
@@ -26,23 +41,16 @@ main()
         double hawkeye, perceptron, mpppb, min;
     };
     std::vector<Row> rows;
-
+    const std::size_t stride = policies.size();
     for (unsigned b = 0; b < trace::suiteSize(); ++b) {
-        const auto tr = trace::makeSuiteTrace(b, insts);
-        const double lru =
-            sim::runSingleCore(tr, sim::makePolicyFactory("LRU"), {})
-                .ipc;
+        const std::size_t base = b * stride;
         Row row;
-        row.benchmark = tr.name();
-        double* cells[3] = {&row.hawkeye, &row.perceptron, &row.mpppb};
-        for (std::size_t p = 0; p < policies.size(); ++p)
-            *cells[p] = sim::runSingleCore(
-                            tr, sim::makePolicyFactory(policies[p]), {})
-                            .ipc /
-                        lru;
-        row.min = sim::runSingleCoreMin(tr, {}).ipc / lru;
+        row.benchmark = set.results[base].benchmark;
+        row.hawkeye = set.speedupOver(base + 1, "LRU");
+        row.perceptron = set.speedupOver(base + 2, "LRU");
+        row.mpppb = set.speedupOver(base + 3, "LRU");
+        row.min = set.speedupOver(base + 4, "LRU");
         rows.push_back(row);
-        std::fprintf(stderr, "# done %s\n", row.benchmark.c_str());
     }
 
     std::sort(rows.begin(), rows.end(),

@@ -5,41 +5,49 @@
  * Hawkeye 3.8 > Perceptron 3.7 > MPPPB 3.5 > MIN; our synthetic suite
  * is more memory-intensive so absolute values are higher — the
  * ordering is the target).
+ *
+ * The benchmark × policy product runs through the parallel
+ * ExperimentRunner (--jobs N / MRP_BENCH_JOBS).
  */
 
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace mrp;
     const InstCount insts = bench::singleThreadInsts();
-    const std::vector<std::string> policies = {"LRU", "Hawkeye",
-                                               "Perceptron", "MPPPB"};
+    const std::vector<std::string> policies = {
+        "LRU", "Hawkeye", "Perceptron", "MPPPB", "MIN"};
+
+    const auto suite = bench::makeSuiteTraces(insts);
+    std::vector<runner::RunRequest> batch;
+    batch.reserve(suite.size() * policies.size());
+    for (const auto& tr : suite)
+        for (const auto& p : policies)
+            batch.push_back(runner::RunRequest::singleCore(
+                tr, runner::PolicySpec::byName(p)));
+
+    const runner::ExperimentRunner pool(bench::jobsFromArgs(argc, argv));
+    const auto set = pool.run(batch);
+    bench::reportBatch(set);
 
     std::printf("# Figure 7: LLC demand MPKI, single-thread, 2MB LLC\n");
     std::printf("%-16s", "benchmark");
     for (const auto& p : policies)
         std::printf(" %10s", p.c_str());
-    std::printf(" %10s\n", "MIN");
+    std::printf("\n");
 
-    std::vector<std::vector<double>> mpkis(policies.size() + 1);
+    const std::size_t stride = policies.size();
+    std::vector<std::vector<double>> mpkis(policies.size());
     for (unsigned b = 0; b < trace::suiteSize(); ++b) {
-        const auto tr = trace::makeSuiteTrace(b, insts);
-        std::printf("%-16s", tr.name().c_str());
+        std::printf("%-16s", suite[b].name().c_str());
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            const double m =
-                sim::runSingleCore(tr,
-                                   sim::makePolicyFactory(policies[p]),
-                                   {})
-                    .mpki;
+            const double m = set.results[b * stride + p].mpki;
             mpkis[p].push_back(m);
             std::printf(" %10.2f", m);
         }
-        const double m = sim::runSingleCoreMin(tr, {}).mpki;
-        mpkis.back().push_back(m);
-        std::printf(" %10.2f\n", m);
-        std::fflush(stdout);
+        std::printf("\n");
     }
 
     std::printf("%-16s", "arith.mean");

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/policy/CMakeFiles/mrp_policy.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/mrp_core.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/mrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/mrp_runner.dir/DependInfo.cmake"
   "/root/repo/build/src/search/CMakeFiles/mrp_search.dir/DependInfo.cmake"
   )
 

@@ -92,7 +92,8 @@ bench/CMakeFiles/fig4_multicore_speedup.dir/fig4_multicore_speedup.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/string \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
@@ -132,8 +133,14 @@ bench/CMakeFiles/fig4_multicore_speedup.dir/fig4_multicore_speedup.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/multi_core.hpp \
- /root/repo/src/cache/hierarchy.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/runner/experiment_runner.hpp \
+ /root/repo/src/runner/run_request.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/multi_core.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/cache/hierarchy.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -211,13 +218,12 @@ bench/CMakeFiles/fig4_multicore_speedup.dir/fig4_multicore_speedup.cpp.o: \
  /root/repo/src/util/types.hpp /root/repo/src/stats/level_stats.hpp \
  /root/repo/src/cache/policy_cache.hpp \
  /root/repo/src/cache/llc_policy.hpp /root/repo/src/cache/access.hpp \
- /root/repo/src/util/history.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/history.hpp \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/mpppb.hpp \

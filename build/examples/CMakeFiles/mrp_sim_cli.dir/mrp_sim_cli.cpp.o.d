@@ -124,10 +124,17 @@ examples/CMakeFiles/mrp_sim_cli.dir/mrp_sim_cli.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/sim/single_core.hpp /root/repo/src/cache/hierarchy.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/runner/experiment_runner.hpp \
+ /root/repo/src/runner/run_request.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/multi_core.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/cache/hierarchy.hpp \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -198,25 +205,21 @@ examples/CMakeFiles/mrp_sim_cli.dir/mrp_sim_cli.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/cache/basic_cache.hpp \
- /root/repo/src/cache/geometry.hpp /root/repo/src/util/bitfield.hpp \
- /root/repo/src/util/logging.hpp /root/repo/src/util/types.hpp \
- /root/repo/src/stats/level_stats.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/cache/basic_cache.hpp /root/repo/src/cache/geometry.hpp \
+ /root/repo/src/util/bitfield.hpp /root/repo/src/util/logging.hpp \
+ /root/repo/src/util/types.hpp /root/repo/src/stats/level_stats.hpp \
  /root/repo/src/cache/policy_cache.hpp \
  /root/repo/src/cache/llc_policy.hpp /root/repo/src/cache/access.hpp \
- /root/repo/src/util/history.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/history.hpp \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -226,5 +229,6 @@ examples/CMakeFiles/mrp_sim_cli.dir/mrp_sim_cli.cpp.o: \
  /root/repo/src/policy/sampling.hpp /root/repo/src/policy/srrip.hpp \
  /root/repo/src/policy/tree_plru.hpp /root/repo/src/trace/trace.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/trace/record.hpp /root/repo/src/trace/trace_io.hpp \
+ /root/repo/src/trace/record.hpp /root/repo/src/sim/single_core.hpp \
+ /root/repo/src/runner/report.hpp /root/repo/src/trace/trace_io.hpp \
  /root/repo/src/trace/workloads.hpp

@@ -213,8 +213,8 @@ examples/CMakeFiles/tune_mpppb.dir/tune_mpppb.cpp.o: \
  /root/repo/src/stats/level_stats.hpp \
  /root/repo/src/cache/policy_cache.hpp \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(cli_batch_jobs2 "/root/repo/build/examples/mrp_sim_cli" "--benchmark" "scan.a" "--insts" "120000" "--policy" "LRU,SRRIP,DRRIP,MDPP" "--jobs" "2")
+set_tests_properties(cli_batch_jobs2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -13,4 +13,5 @@ subdirs("cpu")
 subdirs("policy")
 subdirs("core")
 subdirs("sim")
+subdirs("runner")
 subdirs("search")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_runner.dir/experiment_runner.cpp.o"
+  "CMakeFiles/mrp_runner.dir/experiment_runner.cpp.o.d"
+  "CMakeFiles/mrp_runner.dir/report.cpp.o"
+  "CMakeFiles/mrp_runner.dir/report.cpp.o.d"
+  "CMakeFiles/mrp_runner.dir/run_set.cpp.o"
+  "CMakeFiles/mrp_runner.dir/run_set.cpp.o.d"
+  "libmrp_runner.a"
+  "libmrp_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrp_runner.a"
+)

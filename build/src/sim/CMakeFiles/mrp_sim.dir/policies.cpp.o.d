@@ -216,7 +216,18 @@ src/sim/CMakeFiles/mrp_sim.dir/policies.cpp.o: \
  /root/repo/src/core/feature.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/util/hash.hpp /root/repo/src/policy/reuse_predictor.hpp \
  /root/repo/src/policy/sampling.hpp /root/repo/src/policy/srrip.hpp \
- /root/repo/src/policy/tree_plru.hpp /root/repo/src/core/feature_sets.hpp \
- /root/repo/src/policy/hawkeye.hpp /root/repo/src/util/sat_counter.hpp \
- /root/repo/src/policy/lru.hpp /root/repo/src/policy/perceptron.hpp \
- /root/repo/src/policy/sdbp.hpp /root/repo/src/policy/ship.hpp
+ /root/repo/src/policy/tree_plru.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/feature_sets.hpp /root/repo/src/policy/hawkeye.hpp \
+ /root/repo/src/util/sat_counter.hpp /root/repo/src/policy/lru.hpp \
+ /root/repo/src/policy/perceptron.hpp /root/repo/src/policy/sdbp.hpp \
+ /root/repo/src/policy/ship.hpp

@@ -206,8 +206,8 @@ src/sim/CMakeFiles/mrp_sim.dir/single_core.cpp.o: \
  /root/repo/src/cache/llc_policy.hpp /root/repo/src/cache/access.hpp \
  /root/repo/src/util/history.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_policy_registry.cpp" "tests/CMakeFiles/test_policy_registry.dir/test_policy_registry.cpp.o" "gcc" "tests/CMakeFiles/test_policy_registry.dir/test_policy_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/mrp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mrp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mrp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/mrp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mrp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mrp_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/mrp_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/mrp_search.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -306,8 +306,8 @@ tests/CMakeFiles/test_roc.dir/test_roc.cpp.o: \
  /root/repo/src/stats/level_stats.hpp \
  /root/repo/src/cache/policy_cache.hpp \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /root/repo/src/core/mpppb.hpp \
- /root/repo/src/core/predictor.hpp /root/repo/src/core/feature.hpp \
- /root/repo/src/policy/srrip.hpp /root/repo/src/policy/tree_plru.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/trace/record.hpp \
- /root/repo/src/trace/workloads.hpp
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /root/repo/src/core/mpppb.hpp /root/repo/src/core/predictor.hpp \
+ /root/repo/src/core/feature.hpp /root/repo/src/policy/srrip.hpp \
+ /root/repo/src/policy/tree_plru.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/trace/record.hpp /root/repo/src/trace/workloads.hpp

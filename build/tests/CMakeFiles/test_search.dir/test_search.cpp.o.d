@@ -307,5 +307,5 @@ tests/CMakeFiles/test_search.dir/test_search.cpp.o: \
  /root/repo/src/stats/level_stats.hpp \
  /root/repo/src/cache/policy_cache.hpp \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /root/repo/src/trace/trace.hpp \
- /root/repo/src/trace/record.hpp
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/trace/record.hpp

@@ -293,18 +293,19 @@ tests/CMakeFiles/test_sim.dir/test_sim.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/multi_core.hpp /root/repo/src/cache/hierarchy.hpp \
- /root/repo/src/cache/basic_cache.hpp /root/repo/src/cache/geometry.hpp \
- /root/repo/src/util/bitfield.hpp /root/repo/src/util/logging.hpp \
- /root/repo/src/util/types.hpp /root/repo/src/stats/level_stats.hpp \
+ /root/repo/src/sim/multi_core.hpp /usr/include/c++/12/span \
+ /root/repo/src/cache/hierarchy.hpp /root/repo/src/cache/basic_cache.hpp \
+ /root/repo/src/cache/geometry.hpp /root/repo/src/util/bitfield.hpp \
+ /root/repo/src/util/logging.hpp /root/repo/src/util/types.hpp \
+ /root/repo/src/stats/level_stats.hpp \
  /root/repo/src/cache/policy_cache.hpp \
  /root/repo/src/cache/llc_policy.hpp /root/repo/src/cache/access.hpp \
  /root/repo/src/util/history.hpp \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /root/repo/src/core/mpppb.hpp \
- /root/repo/src/core/predictor.hpp /root/repo/src/core/feature.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/util/hash.hpp \
- /root/repo/src/policy/reuse_predictor.hpp \
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /root/repo/src/core/mpppb.hpp /root/repo/src/core/predictor.hpp \
+ /root/repo/src/core/feature.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/util/hash.hpp /root/repo/src/policy/reuse_predictor.hpp \
  /root/repo/src/policy/sampling.hpp /root/repo/src/policy/srrip.hpp \
  /root/repo/src/policy/tree_plru.hpp /root/repo/src/trace/trace.hpp \
  /root/repo/src/trace/record.hpp /root/repo/src/sim/single_core.hpp \

@@ -301,10 +301,10 @@ tests/CMakeFiles/test_smoke.dir/test_smoke.cpp.o: \
  /root/repo/src/cache/llc_policy.hpp /root/repo/src/cache/access.hpp \
  /root/repo/src/util/history.hpp \
  /root/repo/src/prefetch/stream_prefetcher.hpp \
- /root/repo/src/sim/policies.hpp /root/repo/src/core/mpppb.hpp \
- /root/repo/src/core/predictor.hpp /root/repo/src/core/feature.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/util/hash.hpp \
- /root/repo/src/policy/reuse_predictor.hpp \
+ /root/repo/src/sim/driver_config.hpp /root/repo/src/sim/policies.hpp \
+ /root/repo/src/core/mpppb.hpp /root/repo/src/core/predictor.hpp \
+ /root/repo/src/core/feature.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/util/hash.hpp /root/repo/src/policy/reuse_predictor.hpp \
  /root/repo/src/policy/sampling.hpp /root/repo/src/policy/srrip.hpp \
  /root/repo/src/policy/tree_plru.hpp /root/repo/src/trace/trace.hpp \
  /root/repo/src/trace/record.hpp /root/repo/src/trace/workloads.hpp

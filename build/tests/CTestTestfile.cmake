@@ -28,3 +28,5 @@ include("/root/repo/build/tests/test_policy_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_ship[1]_include.cmake")
 include("/root/repo/build/tests/test_drrip_behavior[1]_include.cmake")
 include("/root/repo/build/tests/test_multicore_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_registry[1]_include.cmake")
+include("/root/repo/build/tests/test_runner[1]_include.cmake")

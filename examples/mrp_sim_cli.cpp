@@ -1,17 +1,23 @@
 /**
  * @file
  * Command-line simulator driver: run any suite benchmark or an
- * external trace file under any policy, with configurable cache
- * sizes — the everyday research workflow as one executable.
+ * external trace file under any policy — or a comma-separated batch of
+ * policies executed in parallel — with configurable cache sizes; the
+ * everyday research workflow as one executable.
  *
  * Usage:
  *   mrp_sim_cli --list
  *   mrp_sim_cli --benchmark scan.a [--policy MPPPB] [--insts N]
  *               [--llc-kb 2048] [--no-prefetch] [--warmup 0.25]
+ *   mrp_sim_cli --benchmark scan.a --policy LRU,Hawkeye,MPPPB,MIN
+ *               [--jobs N] [--json FILE] [--csv FILE] [--timing]
  *   mrp_sim_cli --trace file.mrpt [--policy Hawkeye] ...
  *   mrp_sim_cli --benchmark scan.a --dump file.mrpt   (export trace)
  *
- * Policy "MIN" runs the two-pass Belady oracle.
+ * Policy "MIN" runs the two-pass Belady oracle. A multi-policy batch
+ * runs through the parallel ExperimentRunner; --jobs 0 (default)
+ * means one worker per hardware thread. --json/--csv write the
+ * deterministic batch report (add --timing for wall-clock fields).
  */
 
 #include <cstdio>
@@ -19,8 +25,10 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "sim/single_core.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/report.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/workloads.hpp"
 #include "util/logging.hpp"
@@ -36,8 +44,10 @@ usage()
         stderr,
         "usage: mrp_sim_cli --list\n"
         "       mrp_sim_cli (--benchmark NAME | --trace FILE)\n"
-        "                   [--policy NAME] [--insts N] [--llc-kb N]\n"
-        "                   [--no-prefetch] [--warmup FRAC]\n"
+        "                   [--policy NAME[,NAME...]] [--insts N]\n"
+        "                   [--llc-kb N] [--no-prefetch]\n"
+        "                   [--warmup FRAC] [--jobs N]\n"
+        "                   [--json FILE] [--csv FILE] [--timing]\n"
         "                   [--dump FILE]\n");
     return 2;
 }
@@ -54,19 +64,58 @@ benchmarkIndex(const std::string& name)
     return std::nullopt;
 }
 
+std::vector<std::string>
+splitCommas(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const auto comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+int run(int argc, char** argv);
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
+    // User/configuration errors (unknown names, bad values, I/O
+    // failures) surface as FatalError; report them as CLI errors, not
+    // aborts.
+    try {
+        return run(argc, argv);
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "mrp_sim_cli: %s\n", e.what());
+        return 2;
+    }
+}
+
+namespace {
+
+int
+run(int argc, char** argv)
+{
     std::string benchmark;
     std::string trace_path;
     std::string dump_path;
+    std::string json_path;
+    std::string csv_path;
     std::string policy = "MPPPB";
     InstCount insts = 2500000;
     Addr llc_kb = 2048;
     bool prefetch = true;
+    bool timing = false;
     double warmup = 0.25;
+    unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -98,6 +147,15 @@ main(int argc, char** argv)
             prefetch = false;
         } else if (arg == "--warmup") {
             warmup = std::atof(next());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--timing") {
+            timing = true;
         } else {
             return usage();
         }
@@ -132,23 +190,75 @@ main(int argc, char** argv)
     cfg.hierarchy.prefetchEnabled = prefetch;
     cfg.warmupFraction = warmup;
 
-    const auto r =
-        policy == "MIN"
-            ? sim::runSingleCoreMin(*tr, cfg)
-            : sim::runSingleCore(*tr, sim::makePolicyFactory(policy),
-                                 cfg);
-    std::printf("benchmark : %s\n", r.benchmark.c_str());
-    std::printf("policy    : %s\n", r.policy.c_str());
-    std::printf("insts     : %llu\n",
-                static_cast<unsigned long long>(r.instructions));
-    std::printf("cycles    : %llu\n",
-                static_cast<unsigned long long>(r.cycles));
-    std::printf("IPC       : %.4f\n", r.ipc);
-    std::printf("LLC MPKI  : %.3f (%llu demand misses, %llu accesses)\n",
-                r.mpki,
-                static_cast<unsigned long long>(r.llcDemandMisses),
-                static_cast<unsigned long long>(r.llcDemandAccesses));
-    std::printf("bypasses  : %llu\n",
-                static_cast<unsigned long long>(r.llcBypasses));
-    return 0;
+    const auto policies = splitCommas(policy);
+    fatalIf(policies.empty(), "empty --policy list");
+
+    if (policies.size() == 1 && json_path.empty() &&
+        csv_path.empty()) {
+        // Single-run path: the detailed per-run report.
+        const auto r =
+            policy == "MIN"
+                ? sim::runSingleCoreMin(*tr, cfg)
+                : sim::runSingleCore(
+                      *tr, sim::makePolicyFactory(policy), cfg);
+        std::printf("benchmark : %s\n", r.benchmark.c_str());
+        std::printf("policy    : %s\n", r.policy.c_str());
+        std::printf("insts     : %llu\n",
+                    static_cast<unsigned long long>(r.instructions));
+        std::printf("cycles    : %llu\n",
+                    static_cast<unsigned long long>(r.cycles));
+        std::printf("IPC       : %.4f\n", r.ipc);
+        std::printf("LLC MPKI  : %.3f (%llu demand misses, %llu "
+                    "accesses)\n",
+                    r.mpki,
+                    static_cast<unsigned long long>(r.llcDemandMisses),
+                    static_cast<unsigned long long>(
+                        r.llcDemandAccesses));
+        std::printf("bypasses  : %llu\n",
+                    static_cast<unsigned long long>(r.llcBypasses));
+        return 0;
+    }
+
+    // Batch path: one request per policy, run in parallel.
+    std::vector<runner::RunRequest> batch;
+    batch.reserve(policies.size());
+    for (const auto& p : policies)
+        batch.push_back(runner::RunRequest::singleCore(
+            *tr, runner::PolicySpec::byName(p), cfg));
+
+    const runner::ExperimentRunner pool(jobs);
+    const auto set = pool.run(batch);
+
+    std::printf("# %s: %zu policies, %u worker(s), %.2fs wall\n",
+                tr->name().c_str(), set.results.size(), set.jobs,
+                set.wallSeconds);
+    std::printf("%-12s %10s %10s %14s %10s\n", "policy", "IPC",
+                "MPKI", "insts", "misses");
+    bool failed = false;
+    for (const auto& r : set.results) {
+        if (!r.ok()) {
+            std::printf("%-12s FAILED: %s\n", r.policy.c_str(),
+                        r.error.c_str());
+            failed = true;
+            continue;
+        }
+        std::printf("%-12s %10.4f %10.3f %14llu %10llu\n",
+                    r.policy.c_str(), r.ipc, r.mpki,
+                    static_cast<unsigned long long>(r.instructions),
+                    static_cast<unsigned long long>(
+                        r.llcDemandMisses));
+    }
+
+    const runner::ReportOptions opts{timing};
+    if (!json_path.empty()) {
+        runner::writeFile(json_path, runner::toJson(set, opts));
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        runner::writeFile(csv_path, runner::toCsv(set, opts));
+        std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+    }
+    return failed ? 1 : 0;
 }
+
+} // namespace

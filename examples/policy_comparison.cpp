@@ -1,19 +1,24 @@
 /**
  * @file
  * Example: compare every implemented LLC management policy on a
- * selection of benchmarks, printing MPKI and speedup over LRU.
+ * selection of benchmarks, printing MPKI and speedup over LRU. The
+ * benchmark × policy product is declared as one RunRequest batch and
+ * executed by the parallel ExperimentRunner.
  *
- * Usage: policy_comparison [instructions] [benchmark indices...]
- * Defaults to 800k instructions over a representative subset.
+ * Usage: policy_comparison [--jobs N] [instructions]
+ *                          [benchmark indices...]
+ * Defaults to 800k instructions over the whole suite, with worker
+ * count picked from the hardware. MRP_POLICIES=A,B,C narrows the
+ * policy list.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "sim/single_core.hpp"
+#include "runner/experiment_runner.hpp"
 #include "trace/workloads.hpp"
 #include "util/math_util.hpp"
 
@@ -22,12 +27,22 @@ main(int argc, char** argv)
 {
     using namespace mrp;
 
+    unsigned jobs = 0;
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else
+            positional.push_back(argv[i]);
+    }
     InstCount insts = 800000;
-    if (argc > 1)
-        insts = std::strtoull(argv[1], nullptr, 10);
+    if (!positional.empty())
+        insts = std::strtoull(positional[0], nullptr, 10);
     std::vector<unsigned> benches;
-    for (int i = 2; i < argc; ++i)
-        benches.push_back(static_cast<unsigned>(std::atoi(argv[i])));
+    for (std::size_t i = 1; i < positional.size(); ++i)
+        benches.push_back(
+            static_cast<unsigned>(std::atoi(positional[i])));
     if (benches.empty())
         for (unsigned i = 0; i < trace::suiteSize(); ++i)
             benches.push_back(i);
@@ -50,42 +65,52 @@ main(int argc, char** argv)
             pos = comma + 1;
         }
     }
+    policies.push_back("MIN");
 
-    std::map<std::string, std::vector<double>> speedups;
-    std::map<std::string, std::vector<double>> mpkis;
+    std::vector<trace::Trace> traces;
+    traces.reserve(benches.size());
+    for (const unsigned b : benches)
+        traces.push_back(trace::makeSuiteTrace(b, insts));
+
+    std::vector<runner::RunRequest> batch;
+    batch.reserve(traces.size() * policies.size());
+    for (const auto& tr : traces)
+        for (const auto& p : policies)
+            batch.push_back(runner::RunRequest::singleCore(
+                tr, runner::PolicySpec::byName(p)));
+
+    const runner::ExperimentRunner pool(jobs);
+    const auto set = pool.run(batch);
+    std::fprintf(stderr, "# %zu runs, %u worker(s), %.2fs wall\n",
+                 set.results.size(), set.jobs, set.wallSeconds);
 
     std::printf("%-16s", "benchmark");
     for (const auto& p : policies)
         std::printf(" %10s", p.c_str());
-    std::printf(" %10s\n", "MIN");
+    std::printf("\n");
 
-    for (const unsigned b : benches) {
-        const auto trace = trace::makeSuiteTrace(b, insts);
-        std::printf("%-16s", trace.name().c_str());
-        double lru_ipc = 0.0;
-        for (const auto& p : policies) {
-            const auto r = sim::runSingleCore(
-                trace, sim::makePolicyFactory(p), {});
-            if (p == "LRU")
-                lru_ipc = r.ipc;
-            const double speedup = r.ipc / lru_ipc;
+    const std::size_t stride = policies.size();
+    std::vector<std::vector<double>> speedups(policies.size());
+    std::vector<std::vector<double>> mpkis(policies.size());
+    for (std::size_t b = 0; b < traces.size(); ++b) {
+        std::printf("%-16s", traces[b].name().c_str());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const std::size_t idx = b * stride + p;
+            const double speedup = set.speedupOver(idx, "LRU");
             speedups[p].push_back(speedup);
-            mpkis[p].push_back(r.mpki);
-            std::printf(" %5.2f/%4.1f", speedup, r.mpki);
+            mpkis[p].push_back(set.results[idx].mpki);
+            std::printf(" %5.2f/%4.1f", speedup,
+                        set.results[idx].mpki);
         }
-        const auto rmin = sim::runSingleCoreMin(trace, {});
-        speedups["MIN"].push_back(rmin.ipc / lru_ipc);
-        mpkis["MIN"].push_back(rmin.mpki);
-        std::printf(" %5.2f/%4.1f\n", rmin.ipc / lru_ipc, rmin.mpki);
+        std::printf("\n");
     }
 
     std::printf("\n%-16s", "geomean speedup");
-    for (const auto& p : policies)
-        std::printf(" %10.4f", geomean(speedups[p]));
-    std::printf(" %10.4f\n", geomean(speedups["MIN"]));
-    std::printf("%-16s", "mean mpki");
-    for (const auto& p : policies)
-        std::printf(" %10.3f", mean(mpkis[p]));
-    std::printf(" %10.3f\n", mean(mpkis["MIN"]));
+    for (const auto& col : speedups)
+        std::printf(" %10.4f", geomean(col));
+    std::printf("\n%-16s", "mean mpki");
+    for (const auto& col : mpkis)
+        std::printf(" %10.3f", mean(col));
+    std::printf("\n");
     return 0;
 }

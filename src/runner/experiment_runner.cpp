@@ -1,0 +1,231 @@
+#include "runner/experiment_runner.hpp"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "sim/policies.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::runner {
+
+namespace {
+
+/**
+ * One worker's queue of request indices. Owners pop from the front,
+ * thieves steal from the back, so a stolen task is the one the owner
+ * would have reached last — the classic work-stealing discipline,
+ * which keeps steals rare when the initial round-robin split is
+ * already balanced.
+ */
+class StealQueue
+{
+  public:
+    void
+    push(std::size_t idx)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(idx);
+    }
+
+    std::optional<std::size_t>
+    popFront()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return std::nullopt;
+        const std::size_t idx = tasks_.front();
+        tasks_.pop_front();
+        return idx;
+    }
+
+    std::optional<std::size_t>
+    stealBack()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return std::nullopt;
+        const std::size_t idx = tasks_.back();
+        tasks_.pop_back();
+        return idx;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::deque<std::size_t> tasks_;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+validate(const RunRequest& req, std::size_t idx)
+{
+    const std::size_t expect = req.isMultiCore() ? 4 : 1;
+    fatalIf(req.traces.size() != expect,
+            "request " + std::to_string(idx) + ": " +
+                std::to_string(req.traces.size()) + " trace(s) for a " +
+                (req.isMultiCore() ? "multi-core" : "single-core") +
+                " config (need " + std::to_string(expect) + ")");
+    for (const auto* t : req.traces)
+        fatalIf(t == nullptr,
+                "request " + std::to_string(idx) + ": null trace");
+    fatalIf(req.policy.name.empty(),
+            "request " + std::to_string(idx) + ": empty policy name");
+}
+
+std::string
+mixName(const std::vector<const trace::Trace*>& traces)
+{
+    std::string out;
+    for (const auto* t : traces) {
+        if (!out.empty())
+            out += "+";
+        out += t->name();
+    }
+    return out;
+}
+
+void
+executeInto(const RunRequest& req, RunResult& out)
+{
+    if (req.isMultiCore()) {
+        const auto& cfg = std::get<sim::MultiCoreConfig>(req.config);
+        fatalIf(req.policy.name == "MIN" && !req.policy.factory,
+                "MIN needs a single-core request (two-pass oracle)");
+        const auto factory =
+            req.policy.factory
+                ? req.policy.factory
+                : sim::PolicyRegistry::make(req.policy.name);
+        const std::array<const trace::Trace*, 4> mix = {
+            req.traces[0], req.traces[1], req.traces[2], req.traces[3]};
+        const auto r = sim::runMultiCore(mix, factory, cfg);
+        out.policy = req.policy.name;
+        out.ipc = 0.0;
+        out.instructions = 0;
+        out.coreIpc.assign(r.ipc.begin(), r.ipc.end());
+        for (unsigned c = 0; c < 4; ++c) {
+            out.ipc += r.ipc[c];
+            out.instructions += r.instructions[c];
+        }
+        out.llcDemandMisses = r.llcDemandMisses;
+        out.mpki = r.mpki;
+        return;
+    }
+
+    const auto& cfg = std::get<sim::SingleCoreConfig>(req.config);
+    sim::SingleCoreResult r;
+    if (req.policy.name == "MIN" && !req.policy.factory) {
+        r = sim::runSingleCoreMin(*req.traces[0], cfg);
+    } else {
+        const auto factory =
+            req.policy.factory
+                ? req.policy.factory
+                : sim::PolicyRegistry::make(req.policy.name);
+        r = sim::runSingleCore(*req.traces[0], factory, cfg);
+    }
+    out.policy = r.policy;
+    out.ipc = r.ipc;
+    out.mpki = r.mpki;
+    out.instructions = r.instructions;
+    out.llcDemandAccesses = r.llcDemandAccesses;
+    out.llcDemandMisses = r.llcDemandMisses;
+    out.llcBypasses = r.llcBypasses;
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(unsigned jobs) : jobs_(jobs)
+{
+    if (jobs_ == 0)
+        jobs_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+RunResult
+ExperimentRunner::runOne(const RunRequest& request, std::size_t index)
+{
+    validate(request, index);
+    RunResult out;
+    out.index = index;
+    out.benchmark = mixName(request.traces);
+    out.policy = request.policy.name;
+    out.label =
+        request.label.empty() ? out.benchmark : request.label;
+    out.multiCore = request.isMultiCore();
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        executeInto(request, out);
+    } catch (const std::exception& e) {
+        out = RunResult{};
+        out.index = index;
+        out.benchmark = mixName(request.traces);
+        out.policy = request.policy.name;
+        out.label = request.label.empty() ? out.benchmark
+                                          : request.label;
+        out.multiCore = request.isMultiCore();
+        out.error = e.what();
+    }
+    out.wallSeconds = secondsSince(start);
+    if (out.wallSeconds > 0.0 && out.instructions > 0)
+        out.instsPerSecond =
+            static_cast<double>(out.instructions) / out.wallSeconds;
+    return out;
+}
+
+RunSet
+ExperimentRunner::run(const std::vector<RunRequest>& batch) const
+{
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        validate(batch[i], i);
+
+    RunSet set;
+    set.results.resize(batch.size());
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        jobs_, std::max<std::size_t>(1, batch.size())));
+    set.jobs = workers;
+    const auto start = std::chrono::steady_clock::now();
+
+    if (workers <= 1 || batch.size() <= 1) {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            set.results[i] = runOne(batch[i], i);
+        set.wallSeconds = secondsSince(start);
+        return set;
+    }
+
+    // Round-robin split across per-worker queues; idle workers steal.
+    std::vector<StealQueue> queues(workers);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        queues[i % workers].push(i);
+
+    const auto worker = [&](unsigned me) {
+        for (;;) {
+            std::optional<std::size_t> task = queues[me].popFront();
+            for (unsigned off = 1; !task && off < workers; ++off)
+                task = queues[(me + off) % workers].stealBack();
+            if (!task)
+                return;
+            set.results[*task] = runOne(batch[*task], *task);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back(worker, w);
+    for (auto& t : threads)
+        t.join();
+
+    set.wallSeconds = secondsSince(start);
+    return set;
+}
+
+} // namespace mrp::runner

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Work-stealing parallel executor for experiment batches.
+ *
+ * Every (trace, policy) cell of a paper figure is independent: each
+ * run builds its own hierarchy, policy, and core models, and traces
+ * are immutable, so cells parallelize with no shared mutable state.
+ * The runner executes a batch of RunRequests across worker threads and
+ * returns results keyed by request index, so the outcome is
+ * bit-identical for any worker count (only the wall-clock metrics
+ * differ).
+ */
+
+#ifndef MRP_RUNNER_EXPERIMENT_RUNNER_HPP
+#define MRP_RUNNER_EXPERIMENT_RUNNER_HPP
+
+#include <vector>
+
+#include "runner/run_request.hpp"
+
+namespace mrp::runner {
+
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param jobs worker-thread count; 0 picks the hardware
+     *        concurrency (at least 1).
+     */
+    explicit ExperimentRunner(unsigned jobs = 0);
+
+    /** Resolved worker count. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute every request and return results in request order.
+     * Malformed requests (wrong trace count, null trace) throw
+     * FatalError before any thread starts; runtime failures of an
+     * individual run (unknown policy name, driver error) are captured
+     * in that run's RunResult::error and do not abort the batch.
+     */
+    RunSet run(const std::vector<RunRequest>& batch) const;
+
+    /** Execute one request in the calling thread (index 0). */
+    static RunResult runOne(const RunRequest& request,
+                            std::size_t index = 0);
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace mrp::runner
+
+#endif // MRP_RUNNER_EXPERIMENT_RUNNER_HPP

@@ -1,0 +1,183 @@
+#include "runner/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace mrp::runner {
+
+namespace {
+
+/**
+ * Shortest round-trip decimal form of a double ("%.17g" trimmed via
+ * re-parse), so reports are compact yet bit-faithful — and therefore
+ * byte-identical whenever the underlying doubles are.
+ */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+escapeJson(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+escapeCsv(const std::string& s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+appendRunJson(std::string& out, const RunResult& r,
+              const ReportOptions& opts)
+{
+    out += "    {\"index\": " + std::to_string(r.index);
+    out += ", \"benchmark\": \"" + escapeJson(r.benchmark) + "\"";
+    out += ", \"policy\": \"" + escapeJson(r.policy) + "\"";
+    out += ", \"label\": \"" + escapeJson(r.label) + "\"";
+    out += std::string(", \"mode\": ") +
+           (r.multiCore ? "\"multi\"" : "\"single\"");
+    out += ", \"ipc\": " + formatDouble(r.ipc);
+    out += ", \"mpki\": " + formatDouble(r.mpki);
+    out += ", \"instructions\": " + std::to_string(r.instructions);
+    out += ", \"llcDemandAccesses\": " +
+           std::to_string(r.llcDemandAccesses);
+    out += ", \"llcDemandMisses\": " +
+           std::to_string(r.llcDemandMisses);
+    out += ", \"llcBypasses\": " + std::to_string(r.llcBypasses);
+    if (r.multiCore) {
+        out += ", \"coreIpc\": [";
+        for (std::size_t c = 0; c < r.coreIpc.size(); ++c) {
+            if (c)
+                out += ", ";
+            out += formatDouble(r.coreIpc[c]);
+        }
+        out += "]";
+    }
+    if (!r.ok())
+        out += ", \"error\": \"" + escapeJson(r.error) + "\"";
+    if (opts.timing) {
+        out += ", \"wallSeconds\": " + formatDouble(r.wallSeconds);
+        out += ", \"instsPerSecond\": " +
+               formatDouble(r.instsPerSecond);
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+toJson(const RunSet& set, const ReportOptions& opts)
+{
+    std::string out = "{\n";
+    if (opts.timing) {
+        out += "  \"jobs\": " + std::to_string(set.jobs) + ",\n";
+        out += "  \"wallSeconds\": " + formatDouble(set.wallSeconds) +
+               ",\n";
+    }
+    out += "  \"runs\": [\n";
+    for (std::size_t i = 0; i < set.results.size(); ++i) {
+        appendRunJson(out, set.results[i], opts);
+        if (i + 1 < set.results.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ],\n  \"summary\": [\n";
+    const auto summaries = set.policySummaries();
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const auto& s = summaries[i];
+        out += "    {\"policy\": \"" + escapeJson(s.policy) + "\"";
+        out += ", \"runs\": " + std::to_string(s.runs);
+        out += ", \"geomeanIpc\": " + formatDouble(s.geomeanIpc);
+        out += ", \"meanMpki\": " + formatDouble(s.meanMpki) + "}";
+        if (i + 1 < summaries.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+toCsv(const RunSet& set, const ReportOptions& opts)
+{
+    std::string out =
+        "index,benchmark,policy,label,mode,ipc,mpki,instructions,"
+        "llc_demand_accesses,llc_demand_misses,llc_bypasses,error";
+    if (opts.timing)
+        out += ",wall_seconds,insts_per_second";
+    out += "\n";
+    for (const auto& r : set.results) {
+        out += std::to_string(r.index);
+        out += "," + escapeCsv(r.benchmark);
+        out += "," + escapeCsv(r.policy);
+        out += "," + escapeCsv(r.label);
+        out += std::string(",") + (r.multiCore ? "multi" : "single");
+        out += "," + formatDouble(r.ipc);
+        out += "," + formatDouble(r.mpki);
+        out += "," + std::to_string(r.instructions);
+        out += "," + std::to_string(r.llcDemandAccesses);
+        out += "," + std::to_string(r.llcDemandMisses);
+        out += "," + std::to_string(r.llcBypasses);
+        out += "," + escapeCsv(r.error);
+        if (opts.timing) {
+            out += "," + formatDouble(r.wallSeconds);
+            out += "," + formatDouble(r.instsPerSecond);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+void
+writeFile(const std::string& path, const std::string& content)
+{
+    std::ofstream f(path, std::ios::binary);
+    fatalIf(!f, "cannot open for writing: " + path);
+    f << content;
+    f.flush();
+    fatalIf(!f, "write failed: " + path);
+}
+
+} // namespace mrp::runner

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * JSON and CSV serialization of a RunSet.
+ *
+ * Reports are deterministic by default: runs appear in request-index
+ * order and the wall-clock/throughput fields are omitted, so the same
+ * batch produces byte-identical output regardless of worker count.
+ * Opt into the timing fields (ReportOptions::timing) for profiling
+ * output that is *not* expected to be reproducible.
+ *
+ * JSON schema (timing fields marked †):
+ *   {
+ *     "jobs"†: N, "wallSeconds"†: S,
+ *     "runs": [
+ *       { "index": I, "benchmark": "...", "policy": "...",
+ *         "label": "...", "mode": "single"|"multi",
+ *         "ipc": X, "mpki": X, "instructions": N,
+ *         "llcDemandAccesses": N, "llcDemandMisses": N,
+ *         "llcBypasses": N,
+ *         "coreIpc": [X, ...],        // multi-core runs only
+ *         "error": "...",             // failed runs only
+ *         "wallSeconds"†: S, "instsPerSecond"†: X }, ... ],
+ *     "summary": [
+ *       { "policy": "...", "runs": N,
+ *         "geomeanIpc": X, "meanMpki": X }, ... ]
+ *   }
+ *
+ * CSV columns:
+ *   index,benchmark,policy,label,mode,ipc,mpki,instructions,
+ *   llc_demand_accesses,llc_demand_misses,llc_bypasses,error
+ *   [,wall_seconds,insts_per_second]†
+ */
+
+#ifndef MRP_RUNNER_REPORT_HPP
+#define MRP_RUNNER_REPORT_HPP
+
+#include <string>
+
+#include "runner/run_request.hpp"
+
+namespace mrp::runner {
+
+struct ReportOptions
+{
+    /** Include the nondeterministic wall-clock/throughput fields. */
+    bool timing = false;
+};
+
+/** Serialize @p set as JSON (UTF-8, trailing newline). */
+std::string toJson(const RunSet& set, const ReportOptions& opts = {});
+
+/** Serialize @p set as CSV (header row, trailing newline). */
+std::string toCsv(const RunSet& set, const ReportOptions& opts = {});
+
+/** Write @p content to @p path; throws FatalError on I/O failure. */
+void writeFile(const std::string& path, const std::string& content);
+
+} // namespace mrp::runner
+
+#endif // MRP_RUNNER_REPORT_HPP

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The declarative experiment-batch vocabulary of the parallel runner:
+ * a RunRequest names one (trace, policy, driver config) cell, a
+ * RunResult is its measured outcome plus execution metrics, and a
+ * RunSet is the deterministic, index-ordered collection a batch
+ * produces.
+ *
+ * Every paper figure is a cross product of workloads and policies;
+ * expressing the product as data (instead of nested loops in each
+ * bench) is what lets one engine execute any figure in parallel.
+ */
+
+#ifndef MRP_RUNNER_RUN_REQUEST_HPP
+#define MRP_RUNNER_RUN_REQUEST_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/multi_core.hpp"
+#include "sim/single_core.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace mrp::runner {
+
+/**
+ * Policy selection for one run: a registry name, optionally overridden
+ * by an explicit factory (for configurations that have no registered
+ * name, e.g. leave-one-feature-out MPPPB variants). The name "MIN"
+ * with no factory selects the two-pass Belady oracle, which is valid
+ * for single-core requests only.
+ */
+struct PolicySpec
+{
+    std::string name;          //!< display / report name
+    sim::PolicyFactory factory; //!< empty => resolve name via registry
+
+    static PolicySpec
+    byName(std::string name)
+    {
+        return {std::move(name), {}};
+    }
+
+    static PolicySpec
+    custom(std::string name, sim::PolicyFactory factory)
+    {
+        return {std::move(name), std::move(factory)};
+    }
+};
+
+/**
+ * One experiment cell. Traces are borrowed: the caller owns them and
+ * must keep them alive until the batch completes (pre-generate the
+ * suite once; the runner never copies a trace).
+ */
+struct RunRequest
+{
+    /** 1 trace => single-core run; 4 traces => multi-core mix run. */
+    std::vector<const trace::Trace*> traces;
+    PolicySpec policy;
+    /** Driver configuration matching the trace count. */
+    std::variant<sim::SingleCoreConfig, sim::MultiCoreConfig> config;
+    /** Optional report label; defaults to the benchmark/mix name. */
+    std::string label;
+
+    static RunRequest
+    singleCore(const trace::Trace& trace, PolicySpec policy,
+               sim::SingleCoreConfig cfg = {})
+    {
+        RunRequest r;
+        r.traces = {&trace};
+        r.policy = std::move(policy);
+        r.config = cfg;
+        return r;
+    }
+
+    static RunRequest
+    multiCore(const std::array<const trace::Trace*, 4>& mix,
+              PolicySpec policy, sim::MultiCoreConfig cfg = {})
+    {
+        RunRequest r;
+        r.traces.assign(mix.begin(), mix.end());
+        r.policy = std::move(policy);
+        r.config = std::move(cfg);
+        return r;
+    }
+
+    bool
+    isMultiCore() const
+    {
+        return std::holds_alternative<sim::MultiCoreConfig>(config);
+    }
+};
+
+/**
+ * Measured outcome of one request, keyed by its index in the batch so
+ * result ordering is independent of worker completion order. A failed
+ * run (unknown policy, driver error) carries the message in `error`
+ * and zeroed metrics instead of aborting the batch.
+ */
+struct RunResult
+{
+    std::size_t index = 0;
+    std::string benchmark; //!< trace name, or "a+b+c+d" for a mix
+    std::string policy;
+    std::string label;
+    std::string error; //!< empty on success
+    bool multiCore = false;
+
+    double ipc = 0.0;
+    double mpki = 0.0;
+    InstCount instructions = 0; //!< measured (post-warmup)
+    std::uint64_t llcDemandAccesses = 0;
+    std::uint64_t llcDemandMisses = 0;
+    std::uint64_t llcBypasses = 0;
+    std::vector<double> coreIpc; //!< per-core IPCs (multi-core only)
+
+    /** Wall-clock execution metrics; excluded from deterministic
+     * reports (they vary run to run). */
+    double wallSeconds = 0.0;
+    double instsPerSecond = 0.0; //!< simulated instructions / second
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Per-policy aggregate over the successful runs of a batch. */
+struct PolicySummary
+{
+    std::string policy;
+    unsigned runs = 0;
+    double geomeanIpc = 0.0;
+    double meanMpki = 0.0;
+};
+
+/**
+ * Outcome of one batch: results in request-index order plus batch-wide
+ * execution metrics.
+ */
+struct RunSet
+{
+    std::vector<RunResult> results; //!< results[i] answers request i
+    unsigned jobs = 1;              //!< worker threads used
+    double wallSeconds = 0.0;       //!< whole-batch wall clock
+
+    /**
+     * Per-policy geomean IPC and mean MPKI over successful runs, in
+     * order of first appearance in the batch. Runs with non-positive
+     * IPC (errors) are skipped.
+     */
+    std::vector<PolicySummary> policySummaries() const;
+
+    /**
+     * IPC of the result at @p index divided by the IPC of the
+     * same-benchmark run under @p baseline_policy; throws FatalError
+     * if no such baseline run exists in the batch.
+     */
+    double speedupOver(std::size_t index,
+                       const std::string& baseline_policy) const;
+};
+
+} // namespace mrp::runner
+
+#endif // MRP_RUNNER_RUN_REQUEST_HPP

@@ -1,0 +1,61 @@
+#include "runner/run_request.hpp"
+
+#include "util/logging.hpp"
+#include "util/math_util.hpp"
+
+namespace mrp::runner {
+
+std::vector<PolicySummary>
+RunSet::policySummaries() const
+{
+    std::vector<std::string> order;
+    for (const auto& r : results) {
+        bool seen = false;
+        for (const auto& p : order)
+            seen = seen || p == r.policy;
+        if (!seen)
+            order.push_back(r.policy);
+    }
+
+    std::vector<PolicySummary> out;
+    out.reserve(order.size());
+    for (const auto& policy : order) {
+        std::vector<double> ipcs;
+        std::vector<double> mpkis;
+        for (const auto& r : results) {
+            if (r.policy != policy || !r.ok() || r.ipc <= 0.0)
+                continue;
+            ipcs.push_back(r.ipc);
+            mpkis.push_back(r.mpki);
+        }
+        PolicySummary s;
+        s.policy = policy;
+        s.runs = static_cast<unsigned>(ipcs.size());
+        if (!ipcs.empty()) {
+            s.geomeanIpc = geomean(ipcs);
+            s.meanMpki = mean(mpkis);
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+double
+RunSet::speedupOver(std::size_t index,
+                    const std::string& baseline_policy) const
+{
+    fatalIf(index >= results.size(), "speedupOver: index out of range");
+    const RunResult& r = results[index];
+    for (const auto& base : results) {
+        if (base.policy != baseline_policy ||
+            base.benchmark != r.benchmark || !base.ok())
+            continue;
+        fatalIf(base.ipc <= 0.0,
+                "speedupOver: baseline IPC is non-positive");
+        return r.ipc / base.ipc;
+    }
+    fatal("speedupOver: no successful " + baseline_policy +
+          " run for benchmark " + r.benchmark + " in the batch");
+}
+
+} // namespace mrp::runner

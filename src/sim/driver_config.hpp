@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Configuration shared by every simulation driver.
+ *
+ * SingleCoreConfig and MultiCoreConfig used to duplicate the hierarchy
+ * and warmup knobs as unrelated structs, which made it impossible to
+ * pass "a driver configuration" around generically (the experiment
+ * runner needs exactly that). DriverConfig is now the common base:
+ * hierarchy sizing plus both warmup schemes the drivers use.
+ */
+
+#ifndef MRP_SIM_DRIVER_CONFIG_HPP
+#define MRP_SIM_DRIVER_CONFIG_HPP
+
+#include "cache/hierarchy.hpp"
+#include "util/types.hpp"
+
+namespace mrp::sim {
+
+/**
+ * Base of every driver configuration: the memory hierarchy to build
+ * and the warmup policy to apply before measurement.
+ *
+ * Two warmup schemes exist in the paper and both live here so derived
+ * configs do not re-declare them (which is how SingleCoreConfig and
+ * MultiCoreConfig drifted apart historically — add new shared fields
+ * HERE, not in the derived structs):
+ *  - warmupFraction: warm for a fraction of the trace (single-thread
+ *    drivers, §4.1);
+ *  - warmupInstructions: warm until a total retired-instruction budget
+ *    across all cores is reached (multi-core FIESTA scheme, §4.2).
+ * Each driver documents which field it honours.
+ */
+struct DriverConfig
+{
+    cache::HierarchyConfig hierarchy{}; //!< 2MB LLC default
+
+    double warmupFraction = 0.25; //!< fraction of the trace for warmup
+
+    /**
+     * Total warmup across cores; sized so the 8MB LLC (131K blocks)
+     * fills and the predictors reach steady state before measurement.
+     */
+    InstCount warmupInstructions = 1600000;
+};
+
+} // namespace mrp::sim
+
+#endif // MRP_SIM_DRIVER_CONFIG_HPP

@@ -11,8 +11,10 @@ namespace mrp::sim {
 
 double
 MultiCoreResult::weightedSpeedup(
-    const std::array<double, 4>& single_ipc) const
+    std::span<const double> single_ipc) const
 {
+    fatalIf(single_ipc.size() != ipc.size(),
+            "weightedSpeedup needs one standalone IPC per core");
     double ws = 0.0;
     for (std::size_t i = 0; i < ipc.size(); ++i) {
         fatalIf(single_ipc[i] <= 0.0, "standalone IPC must be positive");

@@ -12,23 +12,26 @@
 #define MRP_SIM_MULTI_CORE_HPP
 
 #include <array>
+#include <span>
 #include <string>
 
 #include "cache/hierarchy.hpp"
+#include "sim/driver_config.hpp"
 #include "sim/policies.hpp"
 #include "trace/trace.hpp"
 
 namespace mrp::sim {
 
-/** Multi-core driver parameters (scaled from the paper's billions). */
-struct MultiCoreConfig
+/**
+ * Multi-core driver parameters (scaled from the paper's billions).
+ * The hierarchy and warmup knobs live in DriverConfig (the multi-core
+ * driver honours warmupInstructions); declare new shared fields there,
+ * not here.
+ */
+struct MultiCoreConfig : DriverConfig
 {
-    cache::HierarchyConfig hierarchy = cache::multiCoreConfig();
-    /**
-     * Total warmup across cores; sized so the 8MB LLC (131K blocks)
-     * fills and the predictors reach steady state before measurement.
-     */
-    InstCount warmupInstructions = 1600000;
+    MultiCoreConfig() { hierarchy = cache::multiCoreConfig(); }
+
     Cycle measureCycles = 500000; //!< per-core window
 };
 
@@ -46,8 +49,16 @@ struct MultiCoreResult
      * Weighted speedup given per-benchmark standalone IPCs:
      * sum_i ipc[i] / single_ipc[i] (normalize against the LRU run's
      * value to obtain the paper's normalized weighted speedup).
+     * @p single_ipc must supply exactly one value per core.
      */
-    double weightedSpeedup(const std::array<double, 4>& single_ipc) const;
+    double weightedSpeedup(std::span<const double> single_ipc) const;
+
+    /** Convenience overload for the current 4-core callers. */
+    double
+    weightedSpeedup(const std::array<double, 4>& single_ipc) const
+    {
+        return weightedSpeedup(std::span<const double>(single_ipc));
+    }
 };
 
 /** Run a 4-trace mix under the policy built by @p factory. */

@@ -11,16 +11,19 @@
 #include <string>
 
 #include "cache/hierarchy.hpp"
+#include "sim/driver_config.hpp"
 #include "sim/policies.hpp"
 #include "trace/trace.hpp"
 
 namespace mrp::sim {
 
-/** Single-thread driver parameters. */
-struct SingleCoreConfig
+/**
+ * Single-thread driver parameters. The hierarchy and warmup knobs
+ * live in DriverConfig (the single-thread driver honours
+ * warmupFraction); declare new shared fields there, not here.
+ */
+struct SingleCoreConfig : DriverConfig
 {
-    cache::HierarchyConfig hierarchy{}; //!< 2MB LLC default
-    double warmupFraction = 0.25; //!< fraction of the trace for warmup
 };
 
 /** Measured outcome of one single-thread run. */

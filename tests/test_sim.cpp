@@ -113,6 +113,23 @@ TEST(MultiCoreTest, WeightedSpeedupMath)
     EXPECT_THROW(r.weightedSpeedup({0.0, 1.0, 1.0, 1.0}), FatalError);
 }
 
+TEST(MultiCoreTest, WeightedSpeedupAcceptsSpanValidatedAgainstCores)
+{
+    MultiCoreResult r;
+    r.ipc = {1.0, 2.0, 0.5, 1.0};
+    // Any contiguous range of the right length works via std::span.
+    const std::vector<double> single = {2.0, 2.0, 1.0, 0.5};
+    EXPECT_DOUBLE_EQ(r.weightedSpeedup(std::span<const double>(single)),
+                     r.weightedSpeedup({2.0, 2.0, 1.0, 0.5}));
+    // A length mismatch against the core count must be rejected.
+    const std::vector<double> three = {1.0, 1.0, 1.0};
+    EXPECT_THROW(r.weightedSpeedup(std::span<const double>(three)),
+                 FatalError);
+    const std::vector<double> five = {1.0, 1.0, 1.0, 1.0, 1.0};
+    EXPECT_THROW(r.weightedSpeedup(std::span<const double>(five)),
+                 FatalError);
+}
+
 TEST(MultiCoreTest, StandaloneIpcIsPositiveAndBounded)
 {
     const auto tr = trace::makeSuiteTrace(0, 60000);
