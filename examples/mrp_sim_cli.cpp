@@ -11,6 +11,8 @@
  *               [--llc-kb 2048] [--no-prefetch] [--warmup 0.25]
  *   mrp_sim_cli --benchmark scan.a --policy LRU,Hawkeye,MPPPB,MIN
  *               [--jobs N] [--json FILE] [--csv FILE] [--timing]
+ *               [--journal FILE] [--resume FILE] [--timeout SEC]
+ *               [--retries N]
  *   mrp_sim_cli --trace file.mrpt [--policy Hawkeye] ...
  *   mrp_sim_cli --benchmark scan.a --dump file.mrpt   (export trace)
  *
@@ -18,11 +20,20 @@
  * runs through the parallel ExperimentRunner; --jobs 0 (default)
  * means one worker per hardware thread. --json/--csv write the
  * deterministic batch report (add --timing for wall-clock fields).
+ *
+ * Durability (see README "Resilience"): --journal appends each
+ * completed run to an fsync'd JSONL checkpoint; --resume skips runs
+ * already recorded there (and keeps journaling to the same file
+ * unless --journal overrides it), producing reports byte-identical
+ * to an uninterrupted batch; --timeout flags runs exceeding the
+ * per-run watchdog deadline; --retries re-executes transient
+ * (io/timeout/resource) failures with exponential backoff.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +59,8 @@ usage()
         "                   [--llc-kb N] [--no-prefetch]\n"
         "                   [--warmup FRAC] [--jobs N]\n"
         "                   [--json FILE] [--csv FILE] [--timing]\n"
+        "                   [--journal FILE] [--resume FILE]\n"
+        "                   [--timeout SEC] [--retries N]\n"
         "                   [--dump FILE]\n");
     return 2;
 }
@@ -94,7 +107,8 @@ main(int argc, char** argv)
     try {
         return run(argc, argv);
     } catch (const FatalError& e) {
-        std::fprintf(stderr, "mrp_sim_cli: %s\n", e.what());
+        std::fprintf(stderr, "mrp_sim_cli: %s [%s]\n", e.what(),
+                     errorCodeName(e.code()));
         return 2;
     }
 }
@@ -109,6 +123,7 @@ run(int argc, char** argv)
     std::string dump_path;
     std::string json_path;
     std::string csv_path;
+    runner::RunnerOptions ropts;
     std::string policy = "MPPPB";
     InstCount insts = 2500000;
     Addr llc_kb = 2048;
@@ -156,6 +171,15 @@ run(int argc, char** argv)
             csv_path = next();
         } else if (arg == "--timing") {
             timing = true;
+        } else if (arg == "--journal") {
+            ropts.journalPath = next();
+        } else if (arg == "--resume") {
+            ropts.resumePath = next();
+        } else if (arg == "--timeout") {
+            ropts.timeoutSeconds = std::atof(next());
+        } else if (arg == "--retries") {
+            ropts.maxRetries = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else {
             return usage();
         }
@@ -193,8 +217,27 @@ run(int argc, char** argv)
     const auto policies = splitCommas(policy);
     fatalIf(policies.empty(), "empty --policy list");
 
+    // --resume implies continuing the same journal; a first run with
+    // no journal yet is a cold start, not an error.
+    if (!ropts.resumePath.empty()) {
+        if (ropts.journalPath.empty())
+            ropts.journalPath = ropts.resumePath;
+        std::ifstream probe(ropts.resumePath);
+        if (!probe) {
+            std::fprintf(stderr,
+                         "note: resume journal %s not found; "
+                         "starting cold\n",
+                         ropts.resumePath.c_str());
+            ropts.resumePath.clear();
+        }
+    }
+    const bool resilience = !ropts.journalPath.empty() ||
+                            !ropts.resumePath.empty() ||
+                            ropts.timeoutSeconds > 0.0 ||
+                            ropts.maxRetries > 0;
+
     if (policies.size() == 1 && json_path.empty() &&
-        csv_path.empty()) {
+        csv_path.empty() && !resilience) {
         // Single-run path: the detailed per-run report.
         const auto r =
             policy == "MIN"
@@ -227,7 +270,7 @@ run(int argc, char** argv)
             *tr, runner::PolicySpec::byName(p), cfg));
 
     const runner::ExperimentRunner pool(jobs);
-    const auto set = pool.run(batch);
+    const auto set = pool.run(batch, ropts);
 
     std::printf("# %s: %zu policies, %u worker(s), %.2fs wall\n",
                 tr->name().c_str(), set.results.size(), set.jobs,
@@ -237,8 +280,8 @@ run(int argc, char** argv)
     bool failed = false;
     for (const auto& r : set.results) {
         if (!r.ok()) {
-            std::printf("%-12s FAILED: %s\n", r.policy.c_str(),
-                        r.error.c_str());
+            std::printf("%-12s FAILED [%s]: %s\n", r.policy.c_str(),
+                        errorCodeName(r.errorCode), r.error.c_str());
             failed = true;
             continue;
         }

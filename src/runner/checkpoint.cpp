@@ -1,0 +1,472 @@
+#include "runner/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "runner/report.hpp"
+#include "util/crc32.hpp"
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::runner {
+
+namespace {
+
+std::string
+hex8(std::uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", v);
+    return buf;
+}
+
+std::string
+journalJson(const RunResult& r)
+{
+    std::string out = "{\"index\": " + std::to_string(r.index);
+    out += ", \"benchmark\": \"" + detail::jsonEscape(r.benchmark) +
+           "\"";
+    out += ", \"policy\": \"" + detail::jsonEscape(r.policy) + "\"";
+    out += ", \"label\": \"" + detail::jsonEscape(r.label) + "\"";
+    out += std::string(", \"mode\": ") +
+           (r.multiCore ? "\"multi\"" : "\"single\"");
+    out += ", \"ipc\": " + detail::formatDouble(r.ipc);
+    out += ", \"mpki\": " + detail::formatDouble(r.mpki);
+    out += ", \"instructions\": " + std::to_string(r.instructions);
+    out += ", \"llcDemandAccesses\": " +
+           std::to_string(r.llcDemandAccesses);
+    out += ", \"llcDemandMisses\": " +
+           std::to_string(r.llcDemandMisses);
+    out += ", \"llcBypasses\": " + std::to_string(r.llcBypasses);
+    if (r.multiCore) {
+        out += ", \"coreIpc\": [";
+        for (std::size_t c = 0; c < r.coreIpc.size(); ++c) {
+            if (c)
+                out += ", ";
+            out += detail::formatDouble(r.coreIpc[c]);
+        }
+        out += "]";
+    }
+    if (!r.ok()) {
+        out += ", \"error\": \"" + detail::jsonEscape(r.error) + "\"";
+        out += std::string(", \"errorCode\": \"") +
+               errorCodeName(r.errorCode) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/**
+ * Minimal parser for the flat JSON objects this module itself emits:
+ * string / integer / double values plus one array of doubles. Any
+ * deviation makes the whole line invalid — the CRC prefix already
+ * guarantees integrity, so this layer only guards schema drift.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text)
+        : p_(text.data()), end_(text.data() + text.size())
+    {
+    }
+
+    bool
+    parse(RunResult& out)
+    {
+        skipWs();
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (consume('}'))
+            return atEnd();
+        for (;;) {
+            std::string key;
+            if (!parseString(&key) || !skipWsAnd(':'))
+                return false;
+            skipWs();
+            if (!dispatch(key, out))
+                return false;
+            skipWs();
+            if (consume('}'))
+                return atEnd();
+            if (!consume(','))
+                return false;
+            skipWs();
+        }
+    }
+
+  private:
+    bool
+    atEnd()
+    {
+        skipWs();
+        return p_ == end_;
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ != end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\r' ||
+                *p_ == '\n'))
+            ++p_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (p_ != end_ && *p_ == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    skipWsAnd(char c)
+    {
+        skipWs();
+        return consume(c);
+    }
+
+    bool
+    parseString(std::string* out)
+    {
+        if (!consume('"'))
+            return false;
+        out->clear();
+        while (p_ != end_ && *p_ != '"') {
+            char c = *p_++;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (p_ == end_)
+                return false;
+            const char esc = *p_++;
+            switch (esc) {
+            case '"': *out += '"'; break;
+            case '\\': *out += '\\'; break;
+            case '/': *out += '/'; break;
+            case 'n': *out += '\n'; break;
+            case 'r': *out += '\r'; break;
+            case 't': *out += '\t'; break;
+            case 'b': *out += '\b'; break;
+            case 'f': *out += '\f'; break;
+            case 'u': {
+                if (end_ - p_ < 4)
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = *p_++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // The writer only emits \u00XX control escapes.
+                if (code > 0x7F)
+                    return false;
+                *out += static_cast<char>(code);
+                break;
+            }
+            default: return false;
+            }
+        }
+        return consume('"');
+    }
+
+    bool
+    parseNumberToken(std::string* out)
+    {
+        out->clear();
+        while (p_ != end_ &&
+               (std::strchr("+-.eE", *p_) != nullptr ||
+                (*p_ >= '0' && *p_ <= '9')))
+            *out += *p_++;
+        return !out->empty();
+    }
+
+    bool
+    parseU64(std::uint64_t* out)
+    {
+        std::string tok;
+        if (!parseNumberToken(&tok))
+            return false;
+        errno = 0;
+        char* rest = nullptr;
+        *out = std::strtoull(tok.c_str(), &rest, 10);
+        return errno == 0 && rest != nullptr && *rest == '\0';
+    }
+
+    bool
+    parseDouble(double* out)
+    {
+        std::string tok;
+        if (!parseNumberToken(&tok))
+            return false;
+        char* rest = nullptr;
+        *out = std::strtod(tok.c_str(), &rest);
+        return rest != nullptr && *rest == '\0';
+    }
+
+    bool
+    parseDoubleArray(std::vector<double>* out)
+    {
+        if (!consume('['))
+            return false;
+        out->clear();
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            double v = 0.0;
+            skipWs();
+            if (!parseDouble(&v))
+                return false;
+            out->push_back(v);
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    dispatch(const std::string& key, RunResult& out)
+    {
+        if (key == "index") {
+            std::uint64_t v = 0;
+            if (!parseU64(&v))
+                return false;
+            out.index = static_cast<std::size_t>(v);
+            return true;
+        }
+        if (key == "benchmark")
+            return parseString(&out.benchmark);
+        if (key == "policy")
+            return parseString(&out.policy);
+        if (key == "label")
+            return parseString(&out.label);
+        if (key == "error")
+            return parseString(&out.error);
+        if (key == "errorCode") {
+            std::string name;
+            if (!parseString(&name))
+                return false;
+            out.errorCode = errorCodeFromName(name);
+            return true;
+        }
+        if (key == "mode") {
+            std::string mode;
+            if (!parseString(&mode))
+                return false;
+            if (mode != "single" && mode != "multi")
+                return false;
+            out.multiCore = mode == "multi";
+            return true;
+        }
+        if (key == "ipc")
+            return parseDouble(&out.ipc);
+        if (key == "mpki")
+            return parseDouble(&out.mpki);
+        if (key == "instructions")
+            return parseU64(&out.instructions);
+        if (key == "llcDemandAccesses")
+            return parseU64(&out.llcDemandAccesses);
+        if (key == "llcDemandMisses")
+            return parseU64(&out.llcDemandMisses);
+        if (key == "llcBypasses")
+            return parseU64(&out.llcBypasses);
+        if (key == "coreIpc")
+            return parseDoubleArray(&out.coreIpc);
+        // Unknown key: tolerate forward-compatible additions if the
+        // value is one of the shapes we know how to skip.
+        std::string str;
+        double num = 0.0;
+        std::vector<double> arr;
+        if (p_ != end_ && *p_ == '"')
+            return parseString(&str);
+        if (p_ != end_ && *p_ == '[')
+            return parseDoubleArray(&arr);
+        return parseDouble(&num);
+    }
+
+    const char* p_;
+    const char* end_;
+};
+
+struct ScanResult
+{
+    std::vector<RunResult> entries;
+    /** Byte length of the valid line prefix (everything before a torn
+     * or missing tail). */
+    std::uint64_t validBytes = 0;
+};
+
+/**
+ * Walk @p content line by line. An unparsable *final* chunk is a torn
+ * tail and is excluded from validBytes; an unparsable interior line is
+ * corruption and throws.
+ */
+ScanResult
+scanJournal(const std::string& content, const std::string& path)
+{
+    ScanResult scan;
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos < content.size()) {
+        ++line_no;
+        const std::size_t nl = content.find('\n', pos);
+        const bool complete = nl != std::string::npos;
+        const std::size_t len =
+            (complete ? nl : content.size()) - pos;
+        auto parsed = parseJournalLine(content.substr(pos, len));
+        const std::size_t next = complete ? nl + 1 : content.size();
+        if (!parsed) {
+            fatalIf(next < content.size(), ErrorCode::CorruptInput,
+                    "corrupt checkpoint journal " + path + ": line " +
+                        std::to_string(line_no) +
+                        " fails checksum/parse but is not the final "
+                        "line");
+            return scan; // torn tail: drop it
+        }
+        scan.entries.push_back(std::move(*parsed));
+        scan.validBytes = next;
+        pos = next;
+    }
+    return scan;
+}
+
+std::string
+readWholeFile(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, ErrorCode::Io,
+            "cannot open checkpoint journal: " + path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    fatalIf(is.bad(), ErrorCode::Io,
+            "read failed on checkpoint journal: " + path);
+    return ss.str();
+}
+
+bool
+fileExists(const std::string& path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+} // namespace
+
+std::string
+journalLine(const RunResult& result)
+{
+    const std::string json = journalJson(result);
+    return hex8(Crc32::of(json.data(), json.size())) + " " + json +
+           "\n";
+}
+
+std::optional<RunResult>
+parseJournalLine(const std::string& line)
+{
+    std::string body = line;
+    while (!body.empty() &&
+           (body.back() == '\n' || body.back() == '\r'))
+        body.pop_back();
+    if (body.size() < 10 || body[8] != ' ')
+        return std::nullopt;
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+        const char h = body[static_cast<std::size_t>(i)];
+        stored <<= 4;
+        if (h >= '0' && h <= '9')
+            stored |= static_cast<std::uint32_t>(h - '0');
+        else if (h >= 'a' && h <= 'f')
+            stored |= static_cast<std::uint32_t>(h - 'a' + 10);
+        else
+            return std::nullopt;
+    }
+    const std::string json = body.substr(9);
+    if (Crc32::of(json.data(), json.size()) != stored)
+        return std::nullopt;
+    RunResult r;
+    if (!JsonParser(json).parse(r))
+        return std::nullopt;
+    return r;
+}
+
+std::vector<RunResult>
+loadJournal(const std::string& path)
+{
+    return scanJournal(readWholeFile(path), path).entries;
+}
+
+CheckpointJournal::CheckpointJournal(const std::string& path)
+    : path_(path)
+{
+    fault::checkIo("runner.journal.open", "opening journal " + path);
+    // Heal a torn tail left by a crash: truncate to the valid line
+    // prefix so new appends never concatenate onto a partial line.
+    if (fileExists(path_)) {
+        const std::string content = readWholeFile(path_);
+        const auto scan = scanJournal(content, path_);
+        if (scan.validBytes < content.size())
+            fatalIf(::truncate(path_.c_str(),
+                               static_cast<off_t>(scan.validBytes)) !=
+                        0,
+                    ErrorCode::Io,
+                    "cannot truncate torn journal tail: " + path_ +
+                        ": " + std::strerror(errno));
+    }
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    fatalIf(fd_ < 0, ErrorCode::Io,
+            "cannot open journal for append: " + path_ + ": " +
+                std::strerror(errno));
+}
+
+CheckpointJournal::~CheckpointJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+CheckpointJournal::append(const RunResult& result)
+{
+    const std::string line = journalLine(result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    fault::checkIo("runner.journal.write",
+                   "appending to journal " + path_);
+    // One write(2) per line: a crash tears at most the final line,
+    // which the loader and the constructor's truncation both tolerate.
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n <= 0, ErrorCode::Io,
+                "journal write failed: " + path_ + ": " +
+                    std::strerror(errno));
+        off += static_cast<std::size_t>(n);
+    }
+    fatalIf(::fsync(fd_) != 0, ErrorCode::Io,
+            "journal fsync failed: " + path_ + ": " +
+                std::strerror(errno));
+}
+
+} // namespace mrp::runner

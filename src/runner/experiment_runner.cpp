@@ -3,12 +3,16 @@
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <thread>
 #include <utility>
 
+#include "runner/checkpoint.hpp"
 #include "sim/policies.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::runner {
@@ -98,6 +102,11 @@ mixName(const std::vector<const trace::Trace*>& traces)
 void
 executeInto(const RunRequest& req, RunResult& out)
 {
+    // Resilience-test sites: a stall simulates a wedged worker (the
+    // watchdog's prey), an I/O fault a transient failure (retry bait).
+    fault::checkStall("runner.execute.stall");
+    fault::checkIo("runner.execute", "executing request");
+
     if (req.isMultiCore()) {
         const auto& cfg = std::get<sim::MultiCoreConfig>(req.config);
         fatalIf(req.policy.name == "MIN" && !req.policy.factory,
@@ -142,6 +151,54 @@ executeInto(const RunRequest& req, RunResult& out)
     out.llcBypasses = r.llcBypasses;
 }
 
+/** Identity fields of a result, shared by success and failure paths. */
+void
+stampIdentity(const RunRequest& req, std::size_t index, RunResult& out)
+{
+    out.index = index;
+    out.benchmark = mixName(req.traces);
+    out.policy = req.policy.name;
+    out.label = req.label.empty() ? out.benchmark : req.label;
+    out.multiCore = req.isMultiCore();
+}
+
+/** One attempt, all failures captured as typed error data. */
+RunResult
+attemptOne(const RunRequest& request, std::size_t index)
+{
+    RunResult out;
+    stampIdentity(request, index, out);
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        executeInto(request, out);
+    } catch (const PanicError& e) {
+        out = RunResult{};
+        stampIdentity(request, index, out);
+        out.error = e.what();
+        out.errorCode = ErrorCode::Internal;
+    } catch (const FatalError& e) {
+        out = RunResult{};
+        stampIdentity(request, index, out);
+        out.error = e.what();
+        out.errorCode = e.code();
+    } catch (const std::bad_alloc&) {
+        out = RunResult{};
+        stampIdentity(request, index, out);
+        out.error = "out of memory executing request";
+        out.errorCode = ErrorCode::Resource;
+    } catch (const std::exception& e) {
+        out = RunResult{};
+        stampIdentity(request, index, out);
+        out.error = e.what();
+        out.errorCode = ErrorCode::Internal;
+    }
+    out.wallSeconds = secondsSince(start);
+    if (out.wallSeconds > 0.0 && out.instructions > 0)
+        out.instsPerSecond =
+            static_cast<double>(out.instructions) / out.wallSeconds;
+    return out;
+}
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(unsigned jobs) : jobs_(jobs)
@@ -154,57 +211,150 @@ RunResult
 ExperimentRunner::runOne(const RunRequest& request, std::size_t index)
 {
     validate(request, index);
+    return attemptOne(request, index);
+}
+
+RunResult
+ExperimentRunner::runOne(const RunRequest& request, std::size_t index,
+                         const RunnerOptions& options)
+{
+    validate(request, index);
     RunResult out;
-    out.index = index;
-    out.benchmark = mixName(request.traces);
-    out.policy = request.policy.name;
-    out.label =
-        request.label.empty() ? out.benchmark : request.label;
-    out.multiCore = request.isMultiCore();
-    const auto start = std::chrono::steady_clock::now();
-    try {
-        executeInto(request, out);
-    } catch (const std::exception& e) {
-        out = RunResult{};
-        out.index = index;
-        out.benchmark = mixName(request.traces);
-        out.policy = request.policy.name;
-        out.label = request.label.empty() ? out.benchmark
-                                          : request.label;
-        out.multiCore = request.isMultiCore();
-        out.error = e.what();
+    for (unsigned attempt = 0;; ++attempt) {
+        out = attemptOne(request, index);
+        out.attempts = attempt + 1;
+        if (out.ok() && options.timeoutSeconds > 0.0 &&
+            out.wallSeconds > options.timeoutSeconds) {
+            // Cooperative watchdog: the run finished but blew its
+            // deadline; discard its metrics and classify as a
+            // (retryable) timeout.
+            const double wall = out.wallSeconds;
+            const unsigned attempts = out.attempts;
+            out = RunResult{};
+            stampIdentity(request, index, out);
+            out.error = "run exceeded watchdog timeout (" +
+                        std::to_string(wall) + "s > " +
+                        std::to_string(options.timeoutSeconds) +
+                        "s limit)";
+            out.errorCode = ErrorCode::Timeout;
+            out.wallSeconds = wall;
+            out.attempts = attempts;
+        }
+        if (out.ok() || !isRetryable(out.errorCode) ||
+            attempt >= options.maxRetries)
+            return out;
+        // Deterministic exponential backoff: base * 2^attempt.
+        const double delay =
+            options.retryBackoffSeconds *
+            static_cast<double>(1ull << std::min(attempt, 20u));
+        if (delay > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
     }
-    out.wallSeconds = secondsSince(start);
-    if (out.wallSeconds > 0.0 && out.instructions > 0)
-        out.instsPerSecond =
-            static_cast<double>(out.instructions) / out.wallSeconds;
-    return out;
 }
 
 RunSet
 ExperimentRunner::run(const std::vector<RunRequest>& batch) const
+{
+    return run(batch, RunnerOptions{});
+}
+
+RunSet
+ExperimentRunner::run(const std::vector<RunRequest>& batch,
+                      const RunnerOptions& options) const
 {
     for (std::size_t i = 0; i < batch.size(); ++i)
         validate(batch[i], i);
 
     RunSet set;
     set.results.resize(batch.size());
+    std::vector<char> completed(batch.size(), 0);
+
+    // Resume: restore journaled results and skip their indices.
+    if (!options.resumePath.empty()) {
+        auto loaded = loadJournal(options.resumePath);
+        for (auto& r : loaded) {
+            fatalIf(r.index >= batch.size(), ErrorCode::Config,
+                    "resume journal " + options.resumePath +
+                        " entry index " + std::to_string(r.index) +
+                        " is out of range for this batch of " +
+                        std::to_string(batch.size()));
+            const auto& req = batch[r.index];
+            const std::string bench = mixName(req.traces);
+            const std::string label =
+                req.label.empty() ? bench : req.label;
+            fatalIf(r.benchmark != bench ||
+                        r.policy != req.policy.name ||
+                        r.label != label ||
+                        r.multiCore != req.isMultiCore(),
+                    ErrorCode::Config,
+                    "resume journal " + options.resumePath +
+                        " does not match this batch at index " +
+                        std::to_string(r.index) + " (journal has " +
+                        r.benchmark + "/" + r.policy +
+                        ", batch wants " + bench + "/" +
+                        req.policy.name + ")");
+            const std::size_t idx = r.index;
+            set.results[idx] = std::move(r);
+            completed[idx] = 1;
+        }
+    }
+
+    // Open the journal after resume so healing a torn tail cannot
+    // race the load when both point at the same file.
+    std::unique_ptr<CheckpointJournal> journal;
+    if (!options.journalPath.empty())
+        journal =
+            std::make_unique<CheckpointJournal>(options.journalPath);
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        if (!completed[i])
+            pending.push_back(i);
+
     const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-        jobs_, std::max<std::size_t>(1, batch.size())));
+        jobs_, std::max<std::size_t>(1, pending.size())));
     set.jobs = workers;
     const auto start = std::chrono::steady_clock::now();
 
-    if (workers <= 1 || batch.size() <= 1) {
-        for (std::size_t i = 0; i < batch.size(); ++i)
-            set.results[i] = runOne(batch[i], i);
+    // A journal-append failure must not escape a worker thread (that
+    // would terminate the process); record the first one and raise it
+    // after the batch drains.
+    std::mutex journal_err_mutex;
+    std::string journal_err;
+    ErrorCode journal_err_code = ErrorCode::Io;
+    const auto complete = [&](std::size_t idx, RunResult r) {
+        if (journal) {
+            try {
+                journal->append(r); // thread-safe; fsync'd per line
+            } catch (const FatalError& e) {
+                std::lock_guard<std::mutex> lock(journal_err_mutex);
+                if (journal_err.empty()) {
+                    journal_err = e.what();
+                    journal_err_code = e.code();
+                }
+            }
+        }
+        set.results[idx] = std::move(r);
+    };
+
+    const auto finish = [&]() {
         set.wallSeconds = secondsSince(start);
+        fatalIf(!journal_err.empty(), journal_err_code,
+                "checkpoint journaling failed: " + journal_err);
+    };
+
+    if (workers <= 1 || pending.size() <= 1) {
+        for (const std::size_t i : pending)
+            complete(i, runOne(batch[i], i, options));
+        finish();
         return set;
     }
 
     // Round-robin split across per-worker queues; idle workers steal.
     std::vector<StealQueue> queues(workers);
-    for (std::size_t i = 0; i < batch.size(); ++i)
-        queues[i % workers].push(i);
+    for (std::size_t k = 0; k < pending.size(); ++k)
+        queues[k % workers].push(pending[k]);
 
     const auto worker = [&](unsigned me) {
         for (;;) {
@@ -213,7 +363,7 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch) const
                 task = queues[(me + off) % workers].stealBack();
             if (!task)
                 return;
-            set.results[*task] = runOne(batch[*task], *task);
+            complete(*task, runOne(batch[*task], *task, options));
         }
     };
 
@@ -224,7 +374,7 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch) const
     for (auto& t : threads)
         t.join();
 
-    set.wallSeconds = secondsSince(start);
+    finish();
     return set;
 }
 

@@ -9,6 +9,13 @@
  * returns results keyed by request index, so the outcome is
  * bit-identical for any worker count (only the wall-clock metrics
  * differ).
+ *
+ * RunnerOptions adds the durability layer for long sweeps: an
+ * append-only checkpoint journal of completed results (see
+ * checkpoint.hpp), resume from such a journal (completed indices are
+ * not re-executed, and the final reports are byte-identical to an
+ * uninterrupted run), a per-run watchdog deadline, and bounded
+ * retry-with-exponential-backoff for transient failures.
  */
 
 #ifndef MRP_RUNNER_EXPERIMENT_RUNNER_HPP
@@ -19,6 +26,39 @@
 #include "runner/run_request.hpp"
 
 namespace mrp::runner {
+
+/** Durability knobs for a batch; default-constructed = PR-1 behavior
+ * (no journal, no deadline, no retries). */
+struct RunnerOptions
+{
+    /** Append each completed result to this JSONL journal (fsync'd);
+     * empty = no journaling. */
+    std::string journalPath;
+    /**
+     * Load this journal before executing and skip every request index
+     * it already covers (failed results are final too: rerun them
+     * with a fresh journal if that is not wanted). Entries must match
+     * the batch — same benchmark, policy, label, and mode at each
+     * index — or the batch aborts with ErrorCode::Config. Empty =
+     * cold start.
+     */
+    std::string resumePath;
+    /**
+     * Per-run watchdog deadline in seconds; 0 = unlimited. The check
+     * is cooperative: a run that finishes past the deadline is
+     * reported as ErrorCode::Timeout with its metrics discarded (the
+     * watchdog cannot preempt a wedged simulation kernel, but it
+     * keeps a stalled run from contaminating the batch and makes the
+     * stall retryable).
+     */
+    double timeoutSeconds = 0.0;
+    /** Extra attempts for runs failing with a retryable code (io,
+     * timeout, resource — see mrp::isRetryable). 0 = no retries. */
+    unsigned maxRetries = 0;
+    /** Base of the deterministic exponential retry backoff: attempt k
+     * sleeps backoff * 2^k seconds before re-executing. */
+    double retryBackoffSeconds = 0.01;
+};
 
 class ExperimentRunner
 {
@@ -37,13 +77,25 @@ class ExperimentRunner
      * Malformed requests (wrong trace count, null trace) throw
      * FatalError before any thread starts; runtime failures of an
      * individual run (unknown policy name, driver error) are captured
-     * in that run's RunResult::error and do not abort the batch.
+     * in that run's RunResult::error / errorCode and do not abort the
+     * batch.
      */
     RunSet run(const std::vector<RunRequest>& batch) const;
+
+    /** As above with the durability options (journal, resume,
+     * watchdog, retries). */
+    RunSet run(const std::vector<RunRequest>& batch,
+               const RunnerOptions& options) const;
 
     /** Execute one request in the calling thread (index 0). */
     static RunResult runOne(const RunRequest& request,
                             std::size_t index = 0);
+
+    /** Execute one request honoring the watchdog/retry options (the
+     * journal/resume fields are ignored at this granularity). */
+    static RunResult runOne(const RunRequest& request,
+                            std::size_t index,
+                            const RunnerOptions& options);
 
   private:
     unsigned jobs_;

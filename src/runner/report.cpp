@@ -7,7 +7,7 @@
 
 namespace mrp::runner {
 
-namespace {
+namespace detail {
 
 /**
  * Shortest round-trip decimal form of a double ("%.17g" trimmed via
@@ -29,7 +29,7 @@ formatDouble(double v)
 }
 
 std::string
-escapeJson(const std::string& s)
+jsonEscape(const std::string& s)
 {
     std::string out;
     out.reserve(s.size() + 2);
@@ -53,6 +53,12 @@ escapeJson(const std::string& s)
     return out;
 }
 
+} // namespace detail
+
+namespace {
+
+using detail::formatDouble;
+
 std::string
 escapeCsv(const std::string& s)
 {
@@ -73,9 +79,9 @@ appendRunJson(std::string& out, const RunResult& r,
               const ReportOptions& opts)
 {
     out += "    {\"index\": " + std::to_string(r.index);
-    out += ", \"benchmark\": \"" + escapeJson(r.benchmark) + "\"";
-    out += ", \"policy\": \"" + escapeJson(r.policy) + "\"";
-    out += ", \"label\": \"" + escapeJson(r.label) + "\"";
+    out += ", \"benchmark\": \"" + detail::jsonEscape(r.benchmark) + "\"";
+    out += ", \"policy\": \"" + detail::jsonEscape(r.policy) + "\"";
+    out += ", \"label\": \"" + detail::jsonEscape(r.label) + "\"";
     out += std::string(", \"mode\": ") +
            (r.multiCore ? "\"multi\"" : "\"single\"");
     out += ", \"ipc\": " + formatDouble(r.ipc);
@@ -95,8 +101,11 @@ appendRunJson(std::string& out, const RunResult& r,
         }
         out += "]";
     }
-    if (!r.ok())
-        out += ", \"error\": \"" + escapeJson(r.error) + "\"";
+    if (!r.ok()) {
+        out += ", \"error\": \"" + detail::jsonEscape(r.error) + "\"";
+        out += std::string(", \"errorCode\": \"") +
+               errorCodeName(r.errorCode) + "\"";
+    }
     if (opts.timing) {
         out += ", \"wallSeconds\": " + formatDouble(r.wallSeconds);
         out += ", \"instsPerSecond\": " +
@@ -127,7 +136,7 @@ toJson(const RunSet& set, const ReportOptions& opts)
     const auto summaries = set.policySummaries();
     for (std::size_t i = 0; i < summaries.size(); ++i) {
         const auto& s = summaries[i];
-        out += "    {\"policy\": \"" + escapeJson(s.policy) + "\"";
+        out += "    {\"policy\": \"" + detail::jsonEscape(s.policy) + "\"";
         out += ", \"runs\": " + std::to_string(s.runs);
         out += ", \"geomeanIpc\": " + formatDouble(s.geomeanIpc);
         out += ", \"meanMpki\": " + formatDouble(s.meanMpki) + "}";
@@ -144,7 +153,8 @@ toCsv(const RunSet& set, const ReportOptions& opts)
 {
     std::string out =
         "index,benchmark,policy,label,mode,ipc,mpki,instructions,"
-        "llc_demand_accesses,llc_demand_misses,llc_bypasses,error";
+        "llc_demand_accesses,llc_demand_misses,llc_bypasses,error,"
+        "error_code";
     if (opts.timing)
         out += ",wall_seconds,insts_per_second";
     out += "\n";
@@ -161,6 +171,8 @@ toCsv(const RunSet& set, const ReportOptions& opts)
         out += "," + std::to_string(r.llcDemandMisses);
         out += "," + std::to_string(r.llcBypasses);
         out += "," + escapeCsv(r.error);
+        out += std::string(",") +
+               (r.ok() ? "" : errorCodeName(r.errorCode));
         if (opts.timing) {
             out += "," + formatDouble(r.wallSeconds);
             out += "," + formatDouble(r.instsPerSecond);

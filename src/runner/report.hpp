@@ -19,6 +19,8 @@
  *         "llcBypasses": N,
  *         "coreIpc": [X, ...],        // multi-core runs only
  *         "error": "...",             // failed runs only
+ *         "errorCode": "...",         // failed runs only (see
+ *                                     // mrp::errorCodeName)
  *         "wallSeconds"†: S, "instsPerSecond"†: X }, ... ],
  *     "summary": [
  *       { "policy": "...", "runs": N,
@@ -27,8 +29,8 @@
  *
  * CSV columns:
  *   index,benchmark,policy,label,mode,ipc,mpki,instructions,
- *   llc_demand_accesses,llc_demand_misses,llc_bypasses,error
- *   [,wall_seconds,insts_per_second]†
+ *   llc_demand_accesses,llc_demand_misses,llc_bypasses,error,
+ *   error_code[,wall_seconds,insts_per_second]†
  */
 
 #ifndef MRP_RUNNER_REPORT_HPP
@@ -54,6 +56,20 @@ std::string toCsv(const RunSet& set, const ReportOptions& opts = {});
 
 /** Write @p content to @p path; throws FatalError on I/O failure. */
 void writeFile(const std::string& path, const std::string& content);
+
+namespace detail {
+
+/**
+ * Shortest round-trip decimal form of a double, so serialized values
+ * re-parse to the exact same bits — the property that makes reports
+ * (and checkpoint-journal round trips) byte-identical.
+ */
+std::string formatDouble(double v);
+
+/** JSON string-body escaping (quotes, backslash, control chars). */
+std::string jsonEscape(const std::string& s);
+
+} // namespace detail
 
 } // namespace mrp::runner
 

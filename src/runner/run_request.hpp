@@ -23,6 +23,7 @@
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
 #include "trace/trace.hpp"
+#include "util/logging.hpp"
 #include "util/types.hpp"
 
 namespace mrp::runner {
@@ -109,6 +110,8 @@ struct RunResult
     std::string policy;
     std::string label;
     std::string error; //!< empty on success
+    /** Classification of `error`; None on success. */
+    ErrorCode errorCode = ErrorCode::None;
     bool multiCore = false;
 
     double ipc = 0.0;
@@ -123,6 +126,9 @@ struct RunResult
      * reports (they vary run to run). */
     double wallSeconds = 0.0;
     double instsPerSecond = 0.0; //!< simulated instructions / second
+    /** Execution attempts consumed (1 = no retries); excluded from
+     * reports and the checkpoint journal. */
+    unsigned attempts = 1;
 
     bool ok() const { return error.empty(); }
 };

@@ -13,11 +13,12 @@ double
 MultiCoreResult::weightedSpeedup(
     std::span<const double> single_ipc) const
 {
-    fatalIf(single_ipc.size() != ipc.size(),
+    fatalIf(single_ipc.size() != ipc.size(), ErrorCode::Config,
             "weightedSpeedup needs one standalone IPC per core");
     double ws = 0.0;
     for (std::size_t i = 0; i < ipc.size(); ++i) {
-        fatalIf(single_ipc[i] <= 0.0, "standalone IPC must be positive");
+        fatalIf(single_ipc[i] <= 0.0, ErrorCode::Config,
+                "standalone IPC must be positive");
         ws += ipc[i] / single_ipc[i];
     }
     return ws;
@@ -36,7 +37,8 @@ runMultiCore(const std::array<const trace::Trace*, 4>& mix,
 
     std::vector<std::unique_ptr<cpu::CoreModel>> cores;
     for (unsigned c = 0; c < 4; ++c) {
-        fatalIf(mix[c] == nullptr, "null trace in mix");
+        fatalIf(mix[c] == nullptr, ErrorCode::Config,
+                "null trace in mix");
         cores.push_back(std::make_unique<cpu::CoreModel>(
             c, hier, *mix[c], /*loop=*/true));
     }

@@ -133,7 +133,7 @@ PolicyRegistry::make(const std::string& name)
     std::lock_guard<std::mutex> lock(r.mutex);
     const auto it = r.entries.find(name);
     if (it == r.entries.end())
-        fatal("unknown policy name: " + name);
+        fatal(ErrorCode::Config, "unknown policy name: " + name);
     return it->second.factory;
 }
 

@@ -39,7 +39,7 @@ runWithPolicy(const trace::Trace& trace,
     r.policy = policy_name;
     r.instructions = cpu.retired() - base_insts;
     r.cycles = cpu.cycle() - base_cycle;
-    fatalIf(r.instructions == 0 || r.cycles == 0,
+    fatalIf(r.instructions == 0 || r.cycles == 0, ErrorCode::Config,
             "measurement window is empty; trace too short for the "
             "warmup fraction");
     r.ipc = static_cast<double>(r.instructions) /

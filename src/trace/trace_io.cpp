@@ -1,9 +1,13 @@
 #include "trace/trace_io.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <vector>
 
+#include "util/crc32.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::trace {
@@ -11,79 +15,209 @@ namespace mrp::trace {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'R', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 32;
+constexpr std::uint64_t kFooterBytes = 4; // v2 CRC-32
+constexpr std::uint32_t kMaxNameLen = 4096;
 
 template <typename T>
 void
-put(std::ostream& os, const T& v)
+append(std::string& buf, const T& v)
 {
-    os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+    const char* p = reinterpret_cast<const char*>(&v);
+    buf.append(p, sizeof(T));
 }
 
-template <typename T>
-T
-get(std::istream& is)
+std::string
+hex32(std::uint32_t v)
 {
-    T v{};
-    is.read(reinterpret_cast<char*>(&v), sizeof(T));
-    fatalIf(!is, "truncated trace stream");
-    return v;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
 }
+
+/**
+ * Bounds-checked cursor over the trace image. Every read knows how
+ * many bytes remain, so corrupt length fields fail fast — with the
+ * offset where the stream ran dry — instead of driving unbounded
+ * allocations or silent short reads.
+ */
+class BoundedReader
+{
+  public:
+    BoundedReader(std::istream& is, std::uint64_t remaining)
+        : is_(is), remaining_(remaining)
+    {
+    }
+
+    std::uint64_t offset() const { return offset_; }
+    std::uint64_t remaining() const { return remaining_; }
+
+    void
+    read(void* dst, std::uint64_t size, const char* what)
+    {
+        fatalIf(size > remaining_, ErrorCode::CorruptInput,
+                std::string("truncated trace stream: need ") +
+                    std::to_string(size) + " byte(s) of " + what +
+                    " at offset " + std::to_string(offset_) +
+                    ", only " + std::to_string(remaining_) +
+                    " remain");
+        is_.read(static_cast<char*>(dst),
+                 static_cast<std::streamsize>(size));
+        fatalIf(!is_, ErrorCode::Io,
+                std::string("read failed at offset ") +
+                    std::to_string(offset_) + " while reading " +
+                    what);
+        offset_ += size;
+        remaining_ -= size;
+    }
+
+    template <typename T>
+    T
+    get(const char* what)
+    {
+        T v{};
+        read(&v, sizeof(T), what);
+        return v;
+    }
+
+  private:
+    std::istream& is_;
+    std::uint64_t offset_ = 0;
+    std::uint64_t remaining_;
+};
 
 } // namespace
 
 void
-writeTrace(std::ostream& os, const Trace& trace)
+writeTrace(std::ostream& os, const Trace& trace, TraceFormat format)
 {
-    os.write(kMagic, sizeof(kMagic));
-    put(os, kVersion);
-    put(os, static_cast<std::uint64_t>(trace.instructions()));
-    put(os, static_cast<std::uint64_t>(trace.records().size()));
-    put(os, static_cast<std::uint32_t>(trace.name().size()));
-    os.write(trace.name().data(),
-             static_cast<std::streamsize>(trace.name().size()));
+    fault::checkIo("trace_io.write.io", "writing trace stream");
+    const auto version = static_cast<std::uint32_t>(format);
+    fatalIf(version < 1 || version > 2,
+            "unsupported trace format version " +
+                std::to_string(version));
+
+    // Serialize into memory first: the CRC covers the exact image, and
+    // the write-corruption fault site can flip bits in any byte of it.
+    std::string buf;
     static_assert(sizeof(Record) == 16, "record layout changed");
-    os.write(reinterpret_cast<const char*>(trace.records().data()),
-             static_cast<std::streamsize>(trace.records().size() *
-                                          sizeof(Record)));
-    fatalIf(!os, "failed writing trace stream");
+    buf.reserve(kHeaderBytes + trace.name().size() +
+                trace.records().size() * sizeof(Record) +
+                kFooterBytes);
+    buf.append(kMagic, sizeof(kMagic));
+    append(buf, version);
+    append(buf, static_cast<std::uint64_t>(trace.instructions()));
+    append(buf, static_cast<std::uint64_t>(trace.records().size()));
+    append(buf, static_cast<std::uint32_t>(trace.name().size()));
+    buf.append(trace.name().data(), trace.name().size());
+    buf.append(reinterpret_cast<const char*>(trace.records().data()),
+               trace.records().size() * sizeof(Record));
+    if (format == TraceFormat::V2)
+        append(buf, Crc32::of(buf.data(), buf.size()));
+
+    fault::checkCorrupt("trace_io.write", buf.data(), buf.size());
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    fatalIf(!os, ErrorCode::Io, "failed writing trace stream");
 }
 
 void
-saveTrace(const std::string& path, const Trace& trace)
+saveTrace(const std::string& path, const Trace& trace,
+          TraceFormat format)
 {
+    fault::checkIo("trace_io.save.open", "opening " + path);
     std::ofstream os(path, std::ios::binary);
-    fatalIf(!os, "cannot open for writing: " + path);
-    writeTrace(os, trace);
+    fatalIf(!os, ErrorCode::Io, "cannot open for writing: " + path);
+    writeTrace(os, trace, format);
 }
 
 Trace
 readTrace(std::istream& is)
 {
-    char magic[4] = {};
-    is.read(magic, sizeof(magic));
-    fatalIf(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
-            "not a trace stream (bad magic)");
-    const auto version = get<std::uint32_t>(is);
-    fatalIf(version != kVersion, "unsupported trace version");
-    const auto instructions = get<std::uint64_t>(is);
-    const auto record_count = get<std::uint64_t>(is);
-    const auto name_len = get<std::uint32_t>(is);
-    fatalIf(name_len > 4096, "implausible trace name length");
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-    fatalIf(!is, "truncated trace name");
+    fault::checkIo("trace_io.read", "reading trace stream");
 
-    std::vector<Record> records(record_count);
-    is.read(reinterpret_cast<char*>(records.data()),
-            static_cast<std::streamsize>(record_count * sizeof(Record)));
-    fatalIf(!is, "truncated trace records");
+    // Measure the bytes actually available so every length field in
+    // the header can be validated before it drives an allocation.
+    const std::istream::pos_type start = is.tellg();
+    fatalIf(start == std::istream::pos_type(-1), ErrorCode::Io,
+            "trace stream is not seekable");
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(start);
+    fatalIf(!is || end < start, ErrorCode::Io,
+            "cannot determine trace stream size");
+    BoundedReader in(is, static_cast<std::uint64_t>(end - start));
+
+    char magic[4] = {};
+    in.read(magic, sizeof(magic), "magic");
+    fatalIf(std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+            ErrorCode::CorruptInput, "not a trace stream (bad magic)");
+    const auto version = in.get<std::uint32_t>("version");
+    fatalIf(version < 1 || version > 2, ErrorCode::CorruptInput,
+            "unsupported trace version " + std::to_string(version));
+    const auto instructions = in.get<std::uint64_t>("instruction count");
+    const auto record_count = in.get<std::uint64_t>("record count");
+    const auto name_len = in.get<std::uint32_t>("name length");
+
+    const std::uint64_t footer = version >= 2 ? kFooterBytes : 0;
+    fatalIf(name_len > kMaxNameLen, ErrorCode::CorruptInput,
+            "implausible trace name length " + std::to_string(name_len) +
+                " (max " + std::to_string(kMaxNameLen) + ")");
+    fatalIf(name_len + footer > in.remaining(), ErrorCode::CorruptInput,
+            "truncated trace stream: header claims a " +
+                std::to_string(name_len) +
+                "-byte name but only " +
+                std::to_string(in.remaining()) +
+                " byte(s) remain at offset " +
+                std::to_string(in.offset()));
+    const std::uint64_t payload_avail =
+        in.remaining() - name_len - footer;
+    fatalIf(record_count > payload_avail / sizeof(Record),
+            ErrorCode::CorruptInput,
+            "truncated trace stream: header claims " +
+                std::to_string(record_count) + " records (" +
+                std::to_string(record_count * sizeof(Record)) +
+                " bytes) but only " + std::to_string(payload_avail) +
+                " byte(s) remain at offset " +
+                std::to_string(in.offset() + name_len));
+
+    Crc32 crc;
+    crc.update(magic, sizeof(magic));
+    crc.update(&version, sizeof(version));
+    crc.update(&instructions, sizeof(instructions));
+    crc.update(&record_count, sizeof(record_count));
+    crc.update(&name_len, sizeof(name_len));
+
+    std::string name;
+    std::vector<Record> records;
+    try {
+        fault::checkAlloc("trace_io.read.alloc");
+        name.resize(name_len);
+        records.resize(record_count);
+    } catch (const std::bad_alloc&) {
+        fatal(ErrorCode::Resource,
+              "out of memory reading trace (" +
+                  std::to_string(record_count) + " records)");
+    }
+    if (name_len > 0)
+        in.read(name.data(), name_len, "name");
+    crc.update(name.data(), name.size());
+    if (record_count > 0)
+        in.read(records.data(), record_count * sizeof(Record),
+                "records");
+    crc.update(records.data(), records.size() * sizeof(Record));
+
+    if (version >= 2) {
+        const auto stored = in.get<std::uint32_t>("CRC footer");
+        fatalIf(stored != crc.value(), ErrorCode::CorruptInput,
+                "trace CRC mismatch: stored " + hex32(stored) +
+                    ", computed " + hex32(crc.value()));
+    }
 
     // Validate the instruction count against the records.
     InstCount total = 0;
     for (const auto& r : records)
         total += r.count();
-    fatalIf(total != instructions,
+    fatalIf(total != instructions, ErrorCode::CorruptInput,
             "trace header instruction count does not match records");
     return Trace(std::move(name), std::move(records), instructions);
 }
@@ -91,8 +225,9 @@ readTrace(std::istream& is)
 Trace
 loadTrace(const std::string& path)
 {
+    fault::checkIo("trace_io.load.open", "opening " + path);
     std::ifstream is(path, std::ios::binary);
-    fatalIf(!is, "cannot open for reading: " + path);
+    fatalIf(!is, ErrorCode::Io, "cannot open for reading: " + path);
     return readTrace(is);
 }
 

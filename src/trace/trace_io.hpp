@@ -5,12 +5,33 @@
  *
  * Format (little-endian): a 32-byte header — magic "MRPT", u32
  * version, u64 instruction count, u64 record count, u32 name length —
- * followed by the name bytes and the packed 16-byte records.
+ * followed by the name bytes and the packed 16-byte records. Version 2
+ * (the current writer default) appends a u32 CRC-32 footer covering
+ * every preceding byte, so any corruption of the payload is detected,
+ * not just implausible header fields. Version-1 files (no footer) are
+ * still read.
+ *
+ * The reader is hardened against corrupt input: the name-length and
+ * record-count fields are bounded against the bytes actually remaining
+ * in the stream before anything is allocated, and truncation errors
+ * report the byte offset where the stream ran dry. All reader
+ * failures throw FatalError with ErrorCode::CorruptInput (malformed
+ * bytes) or ErrorCode::Io (open/read failures).
+ *
+ * Fault-injection sites (see util/fault_injection.hpp):
+ *   "trace_io.write"       CorruptByte — flip a bit in the serialized
+ *                          image before it reaches the stream
+ *   "trace_io.write.io"    IoError — fail writeTrace
+ *   "trace_io.save.open"   IoError — fail saveTrace's open
+ *   "trace_io.read"        IoError — fail readTrace
+ *   "trace_io.load.open"   IoError — fail loadTrace's open
+ *   "trace_io.read.alloc"  AllocFail — record-buffer allocation fails
  */
 
 #ifndef MRP_TRACE_TRACE_IO_HPP
 #define MRP_TRACE_TRACE_IO_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -18,11 +39,19 @@
 
 namespace mrp::trace {
 
+/** On-disk format revision to emit; readers accept both. */
+enum class TraceFormat : std::uint32_t {
+    V1 = 1, //!< header + payload, no checksum (legacy)
+    V2 = 2, //!< adds the CRC-32 footer (default)
+};
+
 /** Serialize @p trace to a stream; throws FatalError on I/O failure. */
-void writeTrace(std::ostream& os, const Trace& trace);
+void writeTrace(std::ostream& os, const Trace& trace,
+                TraceFormat format = TraceFormat::V2);
 
 /** Serialize to a file path. */
-void saveTrace(const std::string& path, const Trace& trace);
+void saveTrace(const std::string& path, const Trace& trace,
+               TraceFormat format = TraceFormat::V2);
 
 /** Deserialize a trace; throws FatalError on corrupt input. */
 Trace readTrace(std::istream& is);

@@ -2,6 +2,11 @@
  * @file
  * Error-reporting helpers in the gem5 tradition: panic() for internal
  * invariant violations, fatal() for user/configuration errors.
+ *
+ * Both exception types carry a machine-readable ErrorCode so callers
+ * that capture failures as data (the experiment runner's RunResult,
+ * the JSON reports) can distinguish corrupt input from configuration
+ * mistakes from internal bugs without parsing message strings.
  */
 
 #ifndef MRP_UTIL_LOGGING_HPP
@@ -9,8 +14,68 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace mrp {
+
+/**
+ * Machine-readable failure classification, carried by FatalError /
+ * PanicError and surfaced in RunResult::errorCode and the batch
+ * reports. Io / Timeout / Resource failures are considered transient
+ * (retryable by the runner); the rest are permanent.
+ */
+enum class ErrorCode {
+    None = 0,     //!< no error (successful run)
+    Config,       //!< invalid configuration or argument (caller bug)
+    CorruptInput, //!< malformed or corrupt input data (trace, journal)
+    Io,           //!< I/O failure: open, read, write, fsync
+    Resource,     //!< allocation failure or resource exhaustion
+    Timeout,      //!< per-run watchdog deadline exceeded
+    Internal,     //!< library invariant violation (our bug)
+};
+
+/** Stable snake_case name of a code, as emitted in reports. */
+constexpr const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::Config: return "config";
+    case ErrorCode::CorruptInput: return "corrupt_input";
+    case ErrorCode::Io: return "io";
+    case ErrorCode::Resource: return "resource";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::Internal: return "internal";
+    }
+    return "internal";
+}
+
+/** Inverse of errorCodeName(); unknown names map to Internal. */
+constexpr ErrorCode
+errorCodeFromName(std::string_view name)
+{
+    if (name == "none")
+        return ErrorCode::None;
+    if (name == "config")
+        return ErrorCode::Config;
+    if (name == "corrupt_input")
+        return ErrorCode::CorruptInput;
+    if (name == "io")
+        return ErrorCode::Io;
+    if (name == "resource")
+        return ErrorCode::Resource;
+    if (name == "timeout")
+        return ErrorCode::Timeout;
+    return ErrorCode::Internal;
+}
+
+/** True for failures worth retrying (transient by nature). */
+constexpr bool
+isRetryable(ErrorCode code)
+{
+    return code == ErrorCode::Io || code == ErrorCode::Timeout ||
+           code == ErrorCode::Resource;
+}
 
 /** Thrown when the library itself detects an internal inconsistency. */
 class PanicError : public std::logic_error
@@ -18,14 +83,26 @@ class PanicError : public std::logic_error
   public:
     explicit PanicError(const std::string& msg)
         : std::logic_error("panic: " + msg) {}
+
+    /** Internal invariant violations are always ErrorCode::Internal. */
+    ErrorCode code() const { return ErrorCode::Internal; }
 };
 
-/** Thrown when a caller supplies an invalid configuration or argument. */
+/** Thrown when a caller supplies an invalid configuration or argument,
+ * or an operation on external state (files, traces) fails. */
 class FatalError : public std::runtime_error
 {
   public:
     explicit FatalError(const std::string& msg)
-        : std::runtime_error("fatal: " + msg) {}
+        : FatalError(ErrorCode::Config, msg) {}
+
+    FatalError(ErrorCode code, const std::string& msg)
+        : std::runtime_error("fatal: " + msg), code_(code) {}
+
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
 };
 
 /** Report an internal bug; never returns. */
@@ -42,6 +119,13 @@ fatal(const std::string& msg)
     throw FatalError(msg);
 }
 
+/** Report a classified failure; never returns. */
+[[noreturn]] inline void
+fatal(ErrorCode code, const std::string& msg)
+{
+    throw FatalError(code, msg);
+}
+
 /** Panic unless a condition holds. */
 inline void
 panicIf(bool cond, const std::string& msg)
@@ -56,6 +140,14 @@ fatalIf(bool cond, const std::string& msg)
 {
     if (cond)
         fatal(msg);
+}
+
+/** Classified fatal error unless a condition holds. */
+inline void
+fatalIf(bool cond, ErrorCode code, const std::string& msg)
+{
+    if (cond)
+        fatal(code, msg);
 }
 
 } // namespace mrp

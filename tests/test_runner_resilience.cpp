@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the runner's durability layer: checkpoint journaling,
+ * kill-and-resume with byte-identical reports, torn-tail healing,
+ * retry of injected transient failures, watchdog timeouts, and typed
+ * error codes in the JSON/CSV reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/checkpoint.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/report.hpp"
+#include "trace/workloads.hpp"
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::runner {
+namespace {
+
+class RunnerResilienceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        fault::disarmAll();
+        for (const auto& p : temp_paths_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    tempPath(const std::string& name)
+    {
+        const std::string p = "/tmp/mrp_resilience_" + name;
+        std::remove(p.c_str());
+        temp_paths_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> temp_paths_;
+};
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+void
+writeFileRaw(const std::string& path, const std::string& content)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << content;
+}
+
+/** First @p n lines of @p path (journal-truncation helper). */
+std::string
+firstLines(const std::string& path, unsigned n)
+{
+    const std::string content = readFile(path);
+    std::size_t pos = 0;
+    for (unsigned i = 0; i < n && pos != std::string::npos; ++i) {
+        const auto nl = content.find('\n', pos);
+        pos = nl == std::string::npos ? std::string::npos : nl + 1;
+    }
+    return pos == std::string::npos ? content : content.substr(0, pos);
+}
+
+/** Requests borrow the traces: callers keep them alive. */
+std::vector<RunRequest>
+smallBatch(std::initializer_list<const trace::Trace*> traces)
+{
+    std::vector<RunRequest> batch;
+    for (const auto* tr : traces)
+        for (const char* p : {"LRU", "SRRIP", "MPPPB"})
+            batch.push_back(
+                RunRequest::singleCore(*tr, PolicySpec::byName(p)));
+    return batch;
+}
+
+/** Arm the runner.execute site so it counts visits without firing —
+ * an execution odometer for asserting how many runs actually ran. */
+void
+armExecutionCounter()
+{
+    fault::Spec spec;
+    spec.firstHit = 1000000000; // never reached
+    fault::arm("runner.execute", spec);
+}
+
+TEST_F(RunnerResilienceTest, KillAndResumeReportsAreByteIdentical)
+{
+    const auto t0 = trace::makeSuiteTrace(4, 60000);
+    const auto t1 = trace::makeSuiteTrace(9, 60000);
+    const auto batch = smallBatch({&t0, &t1}); // 6 requests
+
+    const auto reference = ExperimentRunner(1).run(batch);
+    const std::string ref_json = toJson(reference);
+    const std::string ref_csv = toCsv(reference);
+
+    for (const unsigned workers : {1u, 2u}) {
+        const std::string journal =
+            tempPath("resume_w" + std::to_string(workers) + ".jsonl");
+
+        // Complete batch with journaling, then simulate a crash after
+        // 3 of 6 runs: keep 3 journal lines plus a torn partial line.
+        {
+            RunnerOptions opts;
+            opts.journalPath = journal;
+            ExperimentRunner(workers).run(batch, opts);
+        }
+        writeFileRaw(journal, firstLines(journal, 3) +
+                                  "deadbeef {\"index\": 5, \"benchm");
+
+        RunnerOptions opts;
+        opts.resumePath = journal;
+        opts.journalPath = journal;
+        armExecutionCounter();
+        const auto resumed = ExperimentRunner(workers).run(batch, opts);
+        EXPECT_EQ(fault::hits("runner.execute"), 3u)
+            << "resume must only execute the 3 unfinished requests";
+        fault::disarmAll();
+
+        EXPECT_EQ(toJson(resumed), ref_json) << workers << " workers";
+        EXPECT_EQ(toCsv(resumed), ref_csv) << workers << " workers";
+
+        // The journal is now complete: resuming again runs nothing
+        // and still reproduces the reports byte for byte.
+        RunnerOptions again;
+        again.resumePath = journal;
+        armExecutionCounter();
+        const auto replay = ExperimentRunner(workers).run(batch, again);
+        EXPECT_EQ(fault::hits("runner.execute"), 0u);
+        fault::disarmAll();
+        EXPECT_EQ(toJson(replay), ref_json);
+        EXPECT_EQ(toCsv(replay), ref_csv);
+    }
+}
+
+TEST_F(RunnerResilienceTest, JournalLineRoundTripsExactly)
+{
+    const auto tr = trace::makeSuiteTrace(7, 60000);
+    RunResult r = ExperimentRunner::runOne(
+        RunRequest::singleCore(tr, PolicySpec::byName("MPPPB")), 3);
+    ASSERT_TRUE(r.ok()) << r.error;
+
+    const auto parsed = parseJournalLine(journalLine(r));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->index, r.index);
+    EXPECT_EQ(parsed->benchmark, r.benchmark);
+    EXPECT_EQ(parsed->policy, r.policy);
+    EXPECT_EQ(parsed->label, r.label);
+    EXPECT_EQ(parsed->multiCore, r.multiCore);
+    EXPECT_EQ(parsed->ipc, r.ipc); // bitwise, not approximate
+    EXPECT_EQ(parsed->mpki, r.mpki);
+    EXPECT_EQ(parsed->instructions, r.instructions);
+    EXPECT_EQ(parsed->llcDemandAccesses, r.llcDemandAccesses);
+    EXPECT_EQ(parsed->llcDemandMisses, r.llcDemandMisses);
+    EXPECT_EQ(parsed->llcBypasses, r.llcBypasses);
+    EXPECT_EQ(parsed->errorCode, ErrorCode::None);
+
+    // Failed results round-trip their typed error too.
+    RunResult failed = ExperimentRunner::runOne(
+        RunRequest::singleCore(tr, PolicySpec::byName("NoSuch")), 4);
+    ASSERT_FALSE(failed.ok());
+    const auto fparsed = parseJournalLine(journalLine(failed));
+    ASSERT_TRUE(fparsed.has_value());
+    EXPECT_EQ(fparsed->error, failed.error);
+    EXPECT_EQ(fparsed->errorCode, ErrorCode::Config);
+}
+
+TEST_F(RunnerResilienceTest, CorruptJournalLinesAreRejected)
+{
+    const auto tr = trace::makeSuiteTrace(4, 60000);
+    const std::string path = tempPath("corrupt.jsonl");
+    {
+        RunnerOptions opts;
+        opts.journalPath = path;
+        ExperimentRunner(1).run(smallBatch({&tr}), opts);
+    }
+    std::string content = readFile(path);
+
+    // A torn *final* line is tolerated...
+    writeFileRaw(path, firstLines(path, 2) + "50f1 {\"trunc");
+    EXPECT_EQ(loadJournal(path).size(), 2u);
+
+    // ...but a corrupt interior line is a typed error.
+    content[content.find('\n') / 2] ^= 0x08; // bit flip in line 1
+    writeFileRaw(path, content);
+    try {
+        loadJournal(path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptInput);
+    }
+}
+
+TEST_F(RunnerResilienceTest, AppendHealsTornTail)
+{
+    const auto tr = trace::makeSuiteTrace(4, 60000);
+    const std::string path = tempPath("torn.jsonl");
+    {
+        RunnerOptions opts;
+        opts.journalPath = path;
+        ExperimentRunner(1).run(smallBatch({&tr}), opts);
+    }
+    writeFileRaw(path, firstLines(path, 2) + "ab12 {\"half");
+    {
+        CheckpointJournal journal(path);
+        RunResult r = ExperimentRunner::runOne(
+            RunRequest::singleCore(tr, PolicySpec::byName("LRU")), 9);
+        journal.append(r);
+    }
+    const auto entries = loadJournal(path);
+    ASSERT_EQ(entries.size(), 3u); // 2 healed + 1 appended, no merge
+    EXPECT_EQ(entries[2].index, 9u);
+}
+
+TEST_F(RunnerResilienceTest, ResumeRejectsMismatchedBatch)
+{
+    const auto t0 = trace::makeSuiteTrace(4, 60000);
+    const auto t1 = trace::makeSuiteTrace(9, 60000);
+    const std::string path = tempPath("mismatch.jsonl");
+    {
+        RunnerOptions opts;
+        opts.journalPath = path;
+        ExperimentRunner(1).run(smallBatch({&t0}), opts);
+    }
+
+    // Same shape, different benchmark at every index.
+    RunnerOptions opts;
+    opts.resumePath = path;
+    try {
+        ExperimentRunner(1).run(smallBatch({&t1}), opts);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Config);
+    }
+
+    // Fewer requests than the journal covers.
+    std::vector<RunRequest> tiny = {
+        RunRequest::singleCore(t0, PolicySpec::byName("LRU"))};
+    try {
+        ExperimentRunner(1).run(tiny, opts);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Config);
+    }
+}
+
+TEST_F(RunnerResilienceTest, TransientFailureIsRetriedAndSucceeds)
+{
+    const auto tr = trace::makeSuiteTrace(4, 60000);
+    const auto batch = smallBatch({&tr});
+    const auto reference = ExperimentRunner(1).run(batch);
+
+    fault::Spec spec; // IoError, fires exactly once
+    fault::Scoped f("runner.execute", spec);
+    RunnerOptions opts;
+    opts.maxRetries = 1;
+    opts.retryBackoffSeconds = 0.0;
+    const auto set = ExperimentRunner(1).run(batch, opts);
+
+    ASSERT_TRUE(set.results[0].ok()) << set.results[0].error;
+    EXPECT_EQ(set.results[0].attempts, 2u);
+    EXPECT_EQ(set.results[1].attempts, 1u);
+    EXPECT_EQ(toJson(set), toJson(reference)); // retry is invisible
+}
+
+TEST_F(RunnerResilienceTest, ExhaustedRetriesSurfaceTypedErrorInJson)
+{
+    const auto tr = trace::makeSuiteTrace(4, 60000);
+    std::vector<RunRequest> batch = {
+        RunRequest::singleCore(tr, PolicySpec::byName("LRU"))};
+
+    fault::Spec spec;
+    spec.maxFires = -1; // permanent outage
+    fault::Scoped f("runner.execute", spec);
+    RunnerOptions opts;
+    opts.maxRetries = 2;
+    opts.retryBackoffSeconds = 0.0;
+    const auto set = ExperimentRunner(1).run(batch, opts);
+
+    ASSERT_FALSE(set.results[0].ok());
+    EXPECT_EQ(set.results[0].errorCode, ErrorCode::Io);
+    EXPECT_EQ(set.results[0].attempts, 3u); // 1 try + 2 retries
+    EXPECT_EQ(fault::fires("runner.execute"), 3u);
+
+    const std::string json = toJson(set);
+    EXPECT_NE(json.find("\"errorCode\": \"io\""), std::string::npos)
+        << json;
+    const std::string csv = toCsv(set);
+    EXPECT_NE(csv.find(",io\n"), std::string::npos) << csv;
+}
+
+TEST_F(RunnerResilienceTest, ConfigErrorsAreNotRetried)
+{
+    const auto tr = trace::makeSuiteTrace(4, 60000);
+    std::vector<RunRequest> batch = {
+        RunRequest::singleCore(tr, PolicySpec::byName("NoSuch"))};
+    RunnerOptions opts;
+    opts.maxRetries = 5;
+    opts.retryBackoffSeconds = 0.0;
+    const auto set = ExperimentRunner(1).run(batch, opts);
+    ASSERT_FALSE(set.results[0].ok());
+    EXPECT_EQ(set.results[0].errorCode, ErrorCode::Config);
+    EXPECT_EQ(set.results[0].attempts, 1u);
+}
+
+TEST_F(RunnerResilienceTest, WatchdogFlagsStalledRunAsTimeout)
+{
+    const auto tr = trace::makeSuiteTrace(4, 20000);
+    std::vector<RunRequest> batch = {
+        RunRequest::singleCore(tr, PolicySpec::byName("LRU"))};
+
+    fault::Spec stall;
+    stall.kind = fault::Kind::Stall;
+    stall.stallMillis = 300;
+    stall.maxFires = 1;
+    {
+        fault::Scoped f("runner.execute.stall", stall);
+        RunnerOptions opts;
+        opts.timeoutSeconds = 0.1;
+        const auto set = ExperimentRunner(1).run(batch, opts);
+        ASSERT_FALSE(set.results[0].ok());
+        EXPECT_EQ(set.results[0].errorCode, ErrorCode::Timeout);
+        EXPECT_EQ(set.results[0].ipc, 0.0); // metrics discarded
+        EXPECT_NE(toJson(set).find("\"errorCode\": \"timeout\""),
+                  std::string::npos);
+    }
+
+    // A timeout is transient: with a retry budget the second (
+    // unstalled) attempt succeeds.
+    {
+        fault::Scoped f("runner.execute.stall", stall);
+        RunnerOptions opts;
+        opts.timeoutSeconds = 0.1;
+        opts.maxRetries = 1;
+        opts.retryBackoffSeconds = 0.0;
+        const auto set = ExperimentRunner(1).run(batch, opts);
+        ASSERT_TRUE(set.results[0].ok()) << set.results[0].error;
+        EXPECT_EQ(set.results[0].attempts, 2u);
+    }
+}
+
+TEST_F(RunnerResilienceTest, JournalWriteFailureSurfacesAsIoError)
+{
+    const auto tr = trace::makeSuiteTrace(4, 60000);
+    fault::Spec spec;
+    spec.maxFires = -1;
+    fault::Scoped f("runner.journal.write", spec);
+    RunnerOptions opts;
+    opts.journalPath = tempPath("failing.jsonl");
+    try {
+        ExperimentRunner(2).run(smallBatch({&tr}), opts);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+    }
+}
+
+} // namespace
+} // namespace mrp::runner

@@ -1,15 +1,21 @@
 /**
  * @file
- * Tests for binary trace serialization.
+ * Tests for binary trace serialization: v1/v2 round trips, the CRC-32
+ * footer, and a fuzz-style corrupt-input suite (truncation at header
+ * boundaries, bit flips, oversized length fields) driven through the
+ * fault injector. Every rejection must be a typed FatalError — no
+ * crash, no unbounded allocation.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "trace/trace_io.hpp"
 #include "trace/workloads.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::trace {
@@ -85,6 +91,216 @@ TEST(TraceIoTest, RejectsCorruptInstructionCount)
 TEST(TraceIoTest, MissingFile)
 {
     EXPECT_THROW(loadTrace("/nonexistent/path/to.mrpt"), FatalError);
+}
+
+/** Serialized image of @p trace in @p format. */
+std::string
+bytesOf(const Trace& trace, TraceFormat format)
+{
+    std::stringstream ss;
+    writeTrace(ss, trace, format);
+    return ss.str();
+}
+
+/** Code of the FatalError readTrace raises on @p bytes; None if it
+ * parses cleanly. */
+ErrorCode
+readCode(const std::string& bytes)
+{
+    std::stringstream ss;
+    ss << bytes;
+    try {
+        readTrace(ss);
+    } catch (const FatalError& e) {
+        return e.code();
+    }
+    return ErrorCode::None;
+}
+
+TEST(TraceIoTest, V1RoundTripsWithoutFooter)
+{
+    const Trace original = makeSuiteTrace(3, 10000);
+    const std::string v1 = bytesOf(original, TraceFormat::V1);
+    const std::string v2 = bytesOf(original, TraceFormat::V2);
+    EXPECT_EQ(v2.size(), v1.size() + 4); // v2 = v1 + CRC footer
+    std::stringstream ss;
+    ss << v1;
+    expectEqualTraces(original, readTrace(ss));
+}
+
+TEST(TraceIoTest, RejectsTruncationAtEveryHeaderBoundary)
+{
+    const Trace original = makeSuiteTrace(0, 5000);
+    const std::string bytes = bytesOf(original, TraceFormat::V2);
+    const std::size_t name_end = 32 + original.name().size();
+    // Every cut inside the header and name, a sample of cuts through
+    // the record payload, and every cut through the CRC footer.
+    std::vector<std::size_t> cuts;
+    for (std::size_t c = 0; c <= name_end; ++c)
+        cuts.push_back(c);
+    for (std::size_t c = name_end; c < bytes.size();
+         c += (bytes.size() - name_end) / 16 + 1)
+        cuts.push_back(c);
+    for (std::size_t back = 1; back <= 5; ++back)
+        cuts.push_back(bytes.size() - back);
+    for (const std::size_t cut : cuts) {
+        const ErrorCode code = readCode(bytes.substr(0, cut));
+        EXPECT_TRUE(code == ErrorCode::CorruptInput ||
+                    code == ErrorCode::Io)
+            << "cut at " << cut << " gave code "
+            << errorCodeName(code);
+    }
+}
+
+TEST(TraceIoTest, TruncationDiagnosticsReportOffsets)
+{
+    const Trace original = makeSuiteTrace(0, 5000);
+    const std::string bytes = bytesOf(original, TraceFormat::V2);
+    try {
+        std::stringstream cut;
+        cut << bytes.substr(0, 40 + original.name().size());
+        readTrace(cut);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptInput);
+        EXPECT_NE(std::string(e.what()).find("offset"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIoTest, RejectsBitFlippedCrcFooter)
+{
+    const Trace original = makeSuiteTrace(1, 5000);
+    std::string bytes = bytesOf(original, TraceFormat::V2);
+    bytes[bytes.size() - 2] ^= 0x10;
+    try {
+        std::stringstream ss;
+        ss << bytes;
+        readTrace(ss);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptInput);
+        EXPECT_NE(std::string(e.what()).find("CRC"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIoTest, CrcCatchesPayloadBitFlips)
+{
+    const Trace original = makeSuiteTrace(1, 5000);
+    std::string bytes = bytesOf(original, TraceFormat::V2);
+    // Flip a bit in the middle of the record payload — a corruption
+    // the v1 header checks could never see.
+    bytes[bytes.size() / 2] ^= 0x04;
+    EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
+}
+
+TEST(TraceIoTest, RejectsOversizedNameLength)
+{
+    const Trace original = makeSuiteTrace(0, 5000);
+    std::string bytes = bytesOf(original, TraceFormat::V2);
+    const std::uint32_t huge = 0xFFFFFFF0u;
+    std::memcpy(&bytes[28], &huge, sizeof(huge));
+    EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
+}
+
+TEST(TraceIoTest, RejectsOversizedRecordCountWithoutAllocating)
+{
+    const Trace original = makeSuiteTrace(0, 5000);
+    for (const auto format : {TraceFormat::V1, TraceFormat::V2}) {
+        std::string bytes = bytesOf(original, format);
+        // A corrupt u64 record count claiming ~16 TiB of records must
+        // be rejected from the stream bounds, not attempted.
+        const std::uint64_t huge = 1ull << 40;
+        std::memcpy(&bytes[16], &huge, sizeof(huge));
+        EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
+    }
+}
+
+TEST(TraceIoTest, RejectsPlausibleButWrongRecordCount)
+{
+    const Trace original = makeSuiteTrace(0, 5000);
+    std::string bytes = bytesOf(original, TraceFormat::V2);
+    std::uint64_t count = 0;
+    std::memcpy(&count, &bytes[16], sizeof(count));
+    count -= 1; // fewer records than present: CRC/alignment must catch
+    std::memcpy(&bytes[16], &count, sizeof(count));
+    EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
+}
+
+class TraceIoFaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarmAll(); }
+};
+
+TEST_F(TraceIoFaultTest, InjectedWriteCorruptionIsAlwaysDetected)
+{
+    const Trace original = makeSuiteTrace(2, 5000);
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        fault::Spec spec;
+        spec.kind = fault::Kind::CorruptByte;
+        spec.seed = seed;
+        fault::Scoped f("trace_io.write", spec);
+        const std::string bytes = bytesOf(original, TraceFormat::V2);
+        EXPECT_NE(readCode(bytes), ErrorCode::None)
+            << "seed " << seed << " corrupted a byte the reader "
+            << "failed to notice";
+    }
+}
+
+TEST_F(TraceIoFaultTest, InjectedAllocFailureIsTypedResourceError)
+{
+    const Trace original = makeSuiteTrace(2, 5000);
+    const std::string bytes = bytesOf(original, TraceFormat::V2);
+    fault::Spec spec;
+    spec.kind = fault::Kind::AllocFail;
+    fault::Scoped f("trace_io.read.alloc", spec);
+    EXPECT_EQ(readCode(bytes), ErrorCode::Resource);
+}
+
+TEST_F(TraceIoFaultTest, InjectedIoFailuresAreTypedIoErrors)
+{
+    const Trace original = makeSuiteTrace(2, 5000);
+    const std::string path = "/tmp/mrp_trace_io_fault_test.mrpt";
+    {
+        fault::Scoped f("trace_io.save.open", fault::Spec{});
+        try {
+            saveTrace(path, original);
+            FAIL() << "expected FatalError";
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::Io);
+        }
+    }
+    {
+        fault::Scoped f("trace_io.write.io", fault::Spec{});
+        std::stringstream ss;
+        try {
+            writeTrace(ss, original);
+            FAIL() << "expected FatalError";
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::Io);
+        }
+    }
+    saveTrace(path, original);
+    {
+        fault::Scoped f("trace_io.load.open", fault::Spec{});
+        try {
+            loadTrace(path);
+            FAIL() << "expected FatalError";
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::Io);
+        }
+    }
+    {
+        fault::Scoped f("trace_io.read", fault::Spec{});
+        EXPECT_EQ(readCode(bytesOf(original, TraceFormat::V2)),
+                  ErrorCode::Io);
+    }
+    expectEqualTraces(original, loadTrace(path)); // all disarmed
+    std::remove(path.c_str());
 }
 
 } // namespace
