@@ -13,6 +13,7 @@
  *               [--jobs N] [--json FILE] [--csv FILE] [--timing]
  *               [--journal FILE] [--resume FILE] [--timeout SEC]
  *               [--retries N]
+ *               [--metrics FILE] [--trace-out FILE] [--epoch N]
  *   mrp_sim_cli --trace file.mrpt [--policy Hawkeye] ...
  *   mrp_sim_cli --benchmark scan.a --dump file.mrpt   (export trace)
  *
@@ -28,6 +29,14 @@
  * to an uninterrupted batch; --timeout flags runs exceeding the
  * per-run watchdog deadline; --retries re-executes transient
  * (io/timeout/resource) failures with exponential backoff.
+ *
+ * Observability (see README "Observability"): --metrics writes a
+ * standalone metrics JSON document, --trace-out a Chrome
+ * trace_event-format timeline loadable in Perfetto, and --epoch sets
+ * the snapshot interval in LLC accesses (default 100000). Any of the
+ * three enables telemetry for every run, which also embeds a
+ * "metrics" object per run in --json and a metrics section in --csv.
+ * Resumed runs carry no metrics (the journal stores outcomes only).
  */
 
 #include <cstdio>
@@ -61,7 +70,8 @@ usage()
         "                   [--json FILE] [--csv FILE] [--timing]\n"
         "                   [--journal FILE] [--resume FILE]\n"
         "                   [--timeout SEC] [--retries N]\n"
-        "                   [--dump FILE]\n");
+        "                   [--metrics FILE] [--trace-out FILE]\n"
+        "                   [--epoch N] [--dump FILE]\n");
     return 2;
 }
 
@@ -123,6 +133,9 @@ run(int argc, char** argv)
     std::string dump_path;
     std::string json_path;
     std::string csv_path;
+    std::string metrics_path;
+    std::string trace_out_path;
+    std::uint64_t epoch = 0; //!< 0 = library default
     runner::RunnerOptions ropts;
     std::string policy = "MPPPB";
     InstCount insts = 2500000;
@@ -180,6 +193,13 @@ run(int argc, char** argv)
         } else if (arg == "--retries") {
             ropts.maxRetries = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--metrics") {
+            metrics_path = next();
+        } else if (arg == "--trace-out") {
+            trace_out_path = next();
+        } else if (arg == "--epoch") {
+            epoch = std::strtoull(next(), nullptr, 10);
+            fatalIf(epoch == 0, "--epoch must be positive");
         } else {
             return usage();
         }
@@ -213,6 +233,13 @@ run(int argc, char** argv)
     cfg.hierarchy.llcBytes = llc_kb * 1024;
     cfg.hierarchy.prefetchEnabled = prefetch;
     cfg.warmupFraction = warmup;
+    const bool telemetry =
+        !metrics_path.empty() || !trace_out_path.empty() || epoch > 0;
+    if (telemetry) {
+        cfg.telemetry.enabled = true;
+        if (epoch > 0)
+            cfg.telemetry.epochAccesses = epoch;
+    }
 
     const auto policies = splitCommas(policy);
     fatalIf(policies.empty(), "empty --policy list");
@@ -237,7 +264,7 @@ run(int argc, char** argv)
                             ropts.maxRetries > 0;
 
     if (policies.size() == 1 && json_path.empty() &&
-        csv_path.empty() && !resilience) {
+        csv_path.empty() && !resilience && !telemetry) {
         // Single-run path: the detailed per-run report.
         const auto r =
             policy == "MIN"
@@ -300,6 +327,14 @@ run(int argc, char** argv)
     if (!csv_path.empty()) {
         runner::writeFile(csv_path, runner::toCsv(set, opts));
         std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        runner::writeFile(metrics_path, runner::toMetricsJson(set));
+        std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+    }
+    if (!trace_out_path.empty()) {
+        runner::writeFile(trace_out_path, runner::toTraceJson(set));
+        std::fprintf(stderr, "wrote %s\n", trace_out_path.c_str());
     }
     return failed ? 1 : 0;
 }

@@ -32,8 +32,11 @@ Hierarchy::access(CoreId core, Pc pc, Addr addr, bool is_write,
 {
     panicIf(core >= cfg_.cores, "core id out of range");
 
-    if (l1_[core].access(addr, is_write))
+    if (l1_[core].access(addr, is_write)) {
+        if (prefetchTracking_)
+            prefetchers_[core].observeDemandHit(addr);
         return cfg_.l1Latency;
+    }
 
     // L1 miss: train the stream prefetcher before servicing the miss.
     pfBuf_.clear();
@@ -136,6 +139,57 @@ Hierarchy::issuePrefetches(CoreId core, const CoreContext* ctx)
         if (v1.valid && v1.dirty)
             writebackToL2(core, v1.blockAddress);
     }
+}
+
+void
+Hierarchy::attachTelemetry(telemetry::MetricsRegistry& registry)
+{
+    llc_.attachTelemetry(registry);
+    registry.gaugeFn("mem.dram_reads", [this] {
+        return static_cast<double>(dramReads_);
+    });
+    registry.gaugeFn("mem.dram_writes", [this] {
+        return static_cast<double>(dramWrites_);
+    });
+    if (!cfg_.prefetchEnabled)
+        return;
+    prefetchTracking_ = true;
+    for (auto& p : prefetchers_)
+        p.enableTracking();
+    const auto sum =
+        [this](std::uint64_t (prefetch::StreamPrefetcher::*get)()
+                   const) {
+            std::uint64_t n = 0;
+            for (const auto& p : prefetchers_)
+                n += (p.*get)();
+            return n;
+        };
+    using SP = prefetch::StreamPrefetcher;
+    registry.gaugeFn("prefetch.issued", [sum] {
+        return static_cast<double>(sum(&SP::trackedIssued));
+    });
+    registry.gaugeFn("prefetch.useful", [sum] {
+        return static_cast<double>(sum(&SP::useful));
+    });
+    registry.gaugeFn("prefetch.late", [sum] {
+        return static_cast<double>(sum(&SP::late));
+    });
+    registry.gaugeFn("prefetch.demand_l1_misses", [sum] {
+        return static_cast<double>(sum(&SP::demandMisses));
+    });
+    registry.gaugeFn("prefetch.accuracy", [sum] {
+        const std::uint64_t issued = sum(&SP::trackedIssued);
+        return issued == 0 ? 0.0
+                           : static_cast<double>(sum(&SP::useful)) /
+                                 static_cast<double>(issued);
+    });
+    registry.gaugeFn("prefetch.coverage", [sum] {
+        const std::uint64_t base =
+            sum(&SP::useful) + sum(&SP::demandMisses);
+        return base == 0 ? 0.0
+                         : static_cast<double>(sum(&SP::useful)) /
+                               static_cast<double>(base);
+    });
 }
 
 void

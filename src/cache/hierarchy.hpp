@@ -67,8 +67,22 @@ class Hierarchy
 
     const HierarchyConfig& config() const { return cfg_; }
 
+    prefetch::StreamPrefetcher& prefetcher(CoreId core)
+    {
+        return prefetchers_[core];
+    }
+
     std::uint64_t dramReads() const { return dramReads_; }
     std::uint64_t dramWrites() const { return dramWrites_; }
+
+    /**
+     * Enable telemetry for the whole hierarchy: LLC event counters and
+     * policy metrics, prefetcher accuracy/coverage probes, and DRAM
+     * traffic gauges. Call at the start of the measurement window; the
+     * registered callbacks reference this hierarchy, so it must
+     * outlive every snapshot taken from @p registry.
+     */
+    void attachTelemetry(telemetry::MetricsRegistry& registry);
 
     /** Zero every statistic without disturbing cache contents. */
     void resetStats();
@@ -86,6 +100,7 @@ class Hierarchy
     std::vector<Addr> pfBuf_;
     std::uint64_t dramReads_ = 0;
     std::uint64_t dramWrites_ = 0;
+    bool prefetchTracking_ = false;
 };
 
 } // namespace mrp::cache

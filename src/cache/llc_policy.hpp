@@ -20,6 +20,10 @@
 #include "cache/geometry.hpp"
 #include "util/types.hpp"
 
+namespace mrp::telemetry {
+class MetricsRegistry;
+}
+
 namespace mrp::cache {
 
 /** Interface implemented by every LLC management policy. */
@@ -79,6 +83,19 @@ class LlcPolicy
     {
         (void)set;
         (void)way;
+    }
+
+    /**
+     * Opt-in introspection: register this policy's metrics (decision
+     * counters, predictor state probes) with @p registry. Called at
+     * most once, after warmup, and only when telemetry is enabled for
+     * the run; the default is a no-op so policies without internal
+     * state need not care.
+     */
+    virtual void
+    attachTelemetry(telemetry::MetricsRegistry& registry)
+    {
+        (void)registry;
     }
 };
 

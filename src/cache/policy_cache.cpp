@@ -31,6 +31,23 @@ PolicyCache::findWay(std::uint32_t set, std::uint64_t tag) const
     return -1;
 }
 
+void
+PolicyCache::attachTelemetry(telemetry::MetricsRegistry& registry)
+{
+    tel_ = std::make_unique<Telemetry>();
+    tel_->demandAccesses = &registry.counter("llc.demand_accesses");
+    tel_->demandHits = &registry.counter("llc.demand_hits");
+    tel_->demandMisses = &registry.counter("llc.demand_misses");
+    tel_->prefetchAccesses = &registry.counter("llc.prefetch_accesses");
+    tel_->writebackAccesses =
+        &registry.counter("llc.writeback_accesses");
+    tel_->bypasses = &registry.counter("llc.bypasses");
+    tel_->fills = &registry.counter("llc.fills");
+    tel_->evictions = &registry.counter("llc.evictions");
+    tel_->dirtyEvictions = &registry.counter("llc.dirty_evictions");
+    policy_->attachTelemetry(registry);
+}
+
 LlcResult
 PolicyCache::access(const AccessInfo& info)
 {
@@ -48,6 +65,20 @@ PolicyCache::access(const AccessInfo& info)
       case AccessType::Writeback:
         ++stats_.writebackAccesses;
         break;
+    }
+    if (tel_) {
+        switch (info.type) {
+          case AccessType::Load:
+          case AccessType::Store:
+            tel_->demandAccesses->add();
+            break;
+          case AccessType::Prefetch:
+            tel_->prefetchAccesses->add();
+            break;
+          case AccessType::Writeback:
+            tel_->writebackAccesses->add();
+            break;
+        }
     }
 
     LlcResult result;
@@ -68,6 +99,9 @@ PolicyCache::access(const AccessInfo& info)
             ++stats_.writebackHits;
             break;
         }
+        if (tel_ && (info.type == AccessType::Load ||
+                     info.type == AccessType::Store))
+            tel_->demandHits->add();
         policy_->onHit(info, set, static_cast<std::uint32_t>(hit_way));
         if (observer_)
             observer_->onAccess(info, true, set, hit_way);
@@ -89,6 +123,9 @@ PolicyCache::access(const AccessInfo& info)
         ++stats_.writebackMisses;
         break;
     }
+    if (tel_ && (info.type == AccessType::Load ||
+                 info.type == AccessType::Store))
+        tel_->demandMisses->add();
     policy_->onMiss(info, set);
     if (observer_)
         observer_->onAccess(info, false, set, -1);
@@ -105,6 +142,8 @@ PolicyCache::access(const AccessInfo& info)
     if (fill_way == geom_.ways()) {
         if (policy_->shouldBypass(info, set)) {
             ++stats_.bypasses;
+            if (tel_)
+                tel_->bypasses->add();
             result.bypassed = true;
             if (observer_)
                 observer_->onBypass(info, set);
@@ -120,6 +159,11 @@ PolicyCache::access(const AccessInfo& info)
         ++stats_.evictions;
         if (victim.dirty)
             ++stats_.dirtyEvictions;
+        if (tel_) {
+            tel_->evictions->add();
+            if (victim.dirty)
+                tel_->dirtyEvictions->add();
+        }
         policy_->onEvict(set, fill_way);
         if (observer_)
             observer_->onEvict(set, fill_way, result.victim.blockAddress);
@@ -129,6 +173,8 @@ PolicyCache::access(const AccessInfo& info)
     slot.tag = tag;
     slot.valid = true;
     slot.dirty = info.type == AccessType::Writeback;
+    if (tel_)
+        tel_->fills->add();
     policy_->onFill(info, set, fill_way);
     if (observer_)
         observer_->onFill(info, set, fill_way);

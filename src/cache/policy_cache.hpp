@@ -13,6 +13,7 @@
 #include "cache/basic_cache.hpp"
 #include "cache/llc_policy.hpp"
 #include "stats/level_stats.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mrp::cache {
 
@@ -42,6 +43,13 @@ class PolicyCache
     void setObserver(LlcObserver* obs) { observer_ = obs; }
 
     /**
+     * Register "llc.*" event counters with @p registry and forward to
+     * the policy's attachTelemetry. Until this is called the hot path
+     * pays a single null check.
+     */
+    void attachTelemetry(telemetry::MetricsRegistry& registry);
+
+    /**
      * Perform one access: lookup, policy notification, and — on a
      * miss — the fill with policy-controlled bypass and victim choice.
      */
@@ -67,6 +75,20 @@ class PolicyCache
         bool dirty = false;
     };
 
+    /** Counters mirrored into the metrics registry when attached. */
+    struct Telemetry
+    {
+        telemetry::Counter* demandAccesses = nullptr;
+        telemetry::Counter* demandHits = nullptr;
+        telemetry::Counter* demandMisses = nullptr;
+        telemetry::Counter* prefetchAccesses = nullptr;
+        telemetry::Counter* writebackAccesses = nullptr;
+        telemetry::Counter* bypasses = nullptr;
+        telemetry::Counter* fills = nullptr;
+        telemetry::Counter* evictions = nullptr;
+        telemetry::Counter* dirtyEvictions = nullptr;
+    };
+
     Block& blockAt(std::uint32_t set, std::uint32_t way);
     int findWay(std::uint32_t set, std::uint64_t tag) const;
 
@@ -76,6 +98,7 @@ class PolicyCache
     std::vector<Block> blocks_;
     stats::LevelStats stats_;
     std::vector<std::uint64_t> demandMissesPerCore_;
+    std::unique_ptr<Telemetry> tel_; //!< null until attachTelemetry
 };
 
 } // namespace mrp::cache

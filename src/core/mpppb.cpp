@@ -97,16 +97,45 @@ MpppbPolicy::bypassFavored() const
     return !cfg_.dynamicBypass || psel_ <= 0;
 }
 
+void
+MpppbPolicy::attachTelemetry(telemetry::MetricsRegistry& registry)
+{
+    tel_ = std::make_unique<Telemetry>();
+    tel_->placePi1 = &registry.counter("mpppb.placement.pi1");
+    tel_->placePi2 = &registry.counter("mpppb.placement.pi2");
+    tel_->placePi3 = &registry.counter("mpppb.placement.pi3");
+    tel_->placeMru = &registry.counter("mpppb.placement.mru");
+    tel_->promotions = &registry.counter("mpppb.promotions");
+    tel_->promotionsSuppressed =
+        &registry.counter("mpppb.promotions_suppressed");
+    tel_->bypassSuppressed =
+        &registry.counter("mpppb.bypass.dueling_suppressed");
+    registry.gaugeFn("mpppb.psel",
+                     [this] { return static_cast<double>(psel_); });
+    predictor_.attachTelemetry(registry);
+}
+
 std::uint32_t
 MpppbPolicy::placementFor(int confidence) const
 {
     const auto& th = cfg_.thresholds;
-    if (confidence > th.tau[0])
+    if (confidence > th.tau[0]) {
+        if (tel_)
+            tel_->placePi1->add();
         return th.pi[0];
-    if (confidence > th.tau[1])
+    }
+    if (confidence > th.tau[1]) {
+        if (tel_)
+            tel_->placePi2->add();
         return th.pi[1];
-    if (confidence > th.tau[2])
+    }
+    if (confidence > th.tau[2]) {
+        if (tel_)
+            tel_->placePi3->add();
         return th.pi[2];
+    }
+    if (tel_)
+        tel_->placeMru->add();
     return mruPos_;
 }
 
@@ -128,8 +157,13 @@ MpppbPolicy::onHit(const cache::AccessInfo& info, std::uint32_t set,
     const int conf = predictor_.observe(info, set, true);
     // §3.6: above τ4 the block is not promoted — it keeps the recency
     // position that encodes its earlier placement decision.
-    if (conf > cfg_.thresholds.tauNoPromote)
+    if (conf > cfg_.thresholds.tauNoPromote) {
+        if (tel_)
+            tel_->promotionsSuppressed->add();
         return;
+    }
+    if (tel_)
+        tel_->promotions->add();
     place(set, way, mruPos_);
 }
 
@@ -168,8 +202,11 @@ MpppbPolicy::shouldBypass(const cache::AccessInfo& info, std::uint32_t set)
       case SetRole::NoBypassLeader:
         return false;
       case SetRole::Follower:
-        if (!bypassFavored())
+        if (!bypassFavored()) {
+            if (tel_ && lastConfidence_ > cfg_.thresholds.tauBypass)
+                tel_->bypassSuppressed->add();
             return false;
+        }
         break;
     }
     return lastConfidence_ > cfg_.thresholds.tauBypass;

@@ -87,6 +87,7 @@ class MpppbPolicy : public cache::LlcPolicy
                             std::uint32_t set) override;
     void onFill(const cache::AccessInfo& info, std::uint32_t set,
                 std::uint32_t way) override;
+    void attachTelemetry(telemetry::MetricsRegistry& registry) override;
 
     MultiperspectivePredictor& predictor() { return predictor_; }
     const MpppbConfig& config() const { return cfg_; }
@@ -99,6 +100,18 @@ class MpppbPolicy : public cache::LlcPolicy
         Follower,
         BypassLeader,
         NoBypassLeader,
+    };
+
+    /** Decision counters fed once telemetry is attached. */
+    struct Telemetry
+    {
+        telemetry::Counter* placePi1 = nullptr;
+        telemetry::Counter* placePi2 = nullptr;
+        telemetry::Counter* placePi3 = nullptr;
+        telemetry::Counter* placeMru = nullptr;
+        telemetry::Counter* promotions = nullptr;
+        telemetry::Counter* promotionsSuppressed = nullptr;
+        telemetry::Counter* bypassSuppressed = nullptr;
     };
 
     /** Map a confidence to a placement position (§3.6). */
@@ -114,6 +127,7 @@ class MpppbPolicy : public cache::LlcPolicy
     int lastConfidence_ = 0;
     int psel_ = 0;
     int pselMax_ = 0;
+    std::unique_ptr<Telemetry> tel_; //!< null until attachTelemetry
 };
 
 } // namespace mrp::core

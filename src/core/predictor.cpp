@@ -43,6 +43,66 @@ MultiperspectivePredictor::totalWeights() const
     return n;
 }
 
+double
+MultiperspectivePredictor::meanAbsWeight(std::size_t feature) const
+{
+    const auto& t = tables_[feature];
+    std::uint64_t sum = 0;
+    for (const std::int8_t w : t)
+        sum += static_cast<std::uint64_t>(w < 0 ? -w : w);
+    return t.empty() ? 0.0
+                     : static_cast<double>(sum) /
+                           static_cast<double>(t.size());
+}
+
+namespace {
+
+/** Sorted, deduplicated histogram bounds spanning [lo, hi]. */
+std::vector<std::int64_t>
+symmetricBounds(int lo, int hi)
+{
+    std::vector<std::int64_t> b;
+    for (const int v : {lo, lo / 2, lo / 4, lo / 8, -1, 0, hi / 8,
+                        hi / 4, hi / 2, hi})
+        b.push_back(v);
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    return b;
+}
+
+/** Two-digit feature tag for stable metric-name sorting. */
+std::string
+featureTag(std::size_t f)
+{
+    return f < 10 ? "0" + std::to_string(f) : std::to_string(f);
+}
+
+} // namespace
+
+void
+MultiperspectivePredictor::attachTelemetry(
+    telemetry::MetricsRegistry& registry)
+{
+    tel_ = std::make_unique<Telemetry>();
+    const auto weight_bounds = symmetricBounds(weightMin_, weightMax_);
+    for (std::size_t f = 0; f < cfg_.features.size(); ++f) {
+        const std::string base = "predictor.feature." + featureTag(f);
+        tel_->featureWeight.push_back(
+            &registry.histogram(base + ".weight", weight_bounds));
+        registry.gaugeFn(base + ".mean_abs_weight",
+                         [this, f] { return meanAbsWeight(f); });
+    }
+    const auto conf_bounds =
+        symmetricBounds(minConfidence(), maxConfidence());
+    tel_->confidenceHit =
+        &registry.histogram("predictor.confidence.hit", conf_bounds);
+    tel_->confidenceMiss =
+        &registry.histogram("predictor.confidence.miss", conf_bounds);
+    registry.gaugeFn("predictor.training_events", [this] {
+        return static_cast<double>(trainingEvents_);
+    });
+}
+
 void
 MultiperspectivePredictor::computeIndices(const FeatureInput& in,
                                           IndexVec& out) const
@@ -171,6 +231,13 @@ MultiperspectivePredictor::observe(const cache::AccessInfo& info,
     IndexVec idx{};
     computeIndices(in, idx);
     const int confidence = sumOf(idx);
+
+    if (tel_) {
+        for (std::size_t f = 0; f < cfg_.features.size(); ++f)
+            tel_->featureWeight[f]->record(tables_[f][idx[f]]);
+        (hit ? tel_->confidenceHit : tel_->confidenceMiss)
+            ->record(confidence);
+    }
 
     if (sampling_.sampled(set))
         samplerAccess(info, set, idx, confidence);

@@ -17,12 +17,14 @@
 #define MRP_CORE_PREDICTOR_HPP
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "cache/geometry.hpp"
 #include "core/feature.hpp"
 #include "policy/reuse_predictor.hpp"
 #include "policy/sampling.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mrp::core {
 
@@ -62,6 +64,17 @@ class MultiperspectivePredictor : public policy::ReusePredictor
     /** Sampler training events so far (diagnostics). */
     std::uint64_t trainingEvents() const { return trainingEvents_; }
 
+    /** Mean |weight| over one feature's table (saturation probe). */
+    double meanAbsWeight(std::size_t feature) const;
+
+    /**
+     * Register per-feature weight histograms, hit/miss confidence
+     * histograms, and mean-|weight| probes with @p registry. The
+     * registered gauge callbacks reference this predictor, so it must
+     * outlive every snapshot taken from @p registry.
+     */
+    void attachTelemetry(telemetry::MetricsRegistry& registry);
+
   private:
     using IndexVec = std::array<std::uint8_t, kMaxFeatures>;
 
@@ -71,6 +84,14 @@ class MultiperspectivePredictor : public policy::ReusePredictor
         std::uint16_t tag = 0;
         std::int16_t confidence = 0;
         IndexVec indices{};
+    };
+
+    /** Histograms fed on every observe() once telemetry is attached. */
+    struct Telemetry
+    {
+        std::vector<telemetry::Histogram*> featureWeight;
+        telemetry::Histogram* confidenceHit = nullptr;
+        telemetry::Histogram* confidenceMiss = nullptr;
     };
 
     void computeIndices(const FeatureInput& in, IndexVec& out) const;
@@ -89,6 +110,7 @@ class MultiperspectivePredictor : public policy::ReusePredictor
     std::vector<std::uint8_t> lastMiss_;
     std::vector<Addr> lastBlock_;
     std::uint64_t trainingEvents_ = 0;
+    std::unique_ptr<Telemetry> tel_; //!< null until attachTelemetry
 };
 
 } // namespace mrp::core

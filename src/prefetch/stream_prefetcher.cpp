@@ -18,6 +18,51 @@ StreamPrefetcher::reset()
     for (auto& s : streams_)
         s = Stream{};
     useClock_ = 0;
+    if (tracking_)
+        enableTracking(); // restart the tracked period cleanly
+}
+
+void
+StreamPrefetcher::enableTracking()
+{
+    tracking_ = true;
+    filter_.assign(kFilterSlots, kNoBlock);
+    issuedAtEnable_ = issued_;
+    useful_ = 0;
+    late_ = 0;
+    demandMisses_ = 0;
+}
+
+void
+StreamPrefetcher::observeDemandHit(Addr addr)
+{
+    if (!tracking_)
+        return;
+    const Addr blk = blockAddr(addr);
+    Addr& slot = filter_[blk & (kFilterSlots - 1)];
+    if (slot == blk) {
+        ++useful_;
+        slot = kNoBlock;
+    }
+}
+
+double
+StreamPrefetcher::accuracy() const
+{
+    const std::uint64_t n = trackedIssued();
+    return n == 0 ? 0.0
+                  : static_cast<double>(useful_) /
+                        static_cast<double>(n);
+}
+
+double
+StreamPrefetcher::coverage() const
+{
+    const std::uint64_t covered_plus_missed = useful_ + demandMisses_;
+    return covered_plus_missed == 0
+               ? 0.0
+               : static_cast<double>(useful_) /
+                     static_cast<double>(covered_plus_missed);
 }
 
 void
@@ -25,6 +70,15 @@ StreamPrefetcher::onL1Miss(Addr addr, std::vector<Addr>& out)
 {
     const Addr blk = blockAddr(addr);
     ++useClock_;
+
+    if (tracking_) {
+        ++demandMisses_;
+        Addr& slot = filter_[blk & (kFilterSlots - 1)];
+        if (slot == blk) {
+            ++late_;
+            slot = kNoBlock;
+        }
+    }
 
     // Try to match an existing stream within the window.
     Stream* match = nullptr;
@@ -82,6 +136,8 @@ StreamPrefetcher::onL1Miss(Addr addr, std::vector<Addr>& out)
         out.push_back(match->head << kBlockShift);
         ++issued_;
         ++emitted;
+        if (tracking_)
+            filter_[match->head & (kFilterSlots - 1)] = match->head;
     }
 }
 

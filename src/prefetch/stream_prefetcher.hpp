@@ -44,6 +44,38 @@ class StreamPrefetcher
     /** Drop all stream state (e.g.\ between runs). */
     void reset();
 
+    /**
+     * Start accuracy/coverage tracking (telemetry). Recently issued
+     * prefetches are remembered in a small direct-mapped filter; a
+     * demand hit on a filtered block counts as useful, a demand miss
+     * on one as late. Tracking counters cover only the period after
+     * this call, so attach it at the start of the measurement window.
+     */
+    void enableTracking();
+
+    bool trackingEnabled() const { return tracking_; }
+
+    /** Demand L1 *hit* on @p addr (only called while tracking). */
+    void observeDemandHit(Addr addr);
+
+    /** Prefetches issued since tracking was enabled. */
+    std::uint64_t trackedIssued() const
+    {
+        return issued_ - issuedAtEnable_;
+    }
+    /** Tracked prefetches later hit by demand. */
+    std::uint64_t useful() const { return useful_; }
+    /** Tracked prefetches demand-missed before (or despite) arrival. */
+    std::uint64_t late() const { return late_; }
+    /** Demand L1 misses observed while tracking. */
+    std::uint64_t demandMisses() const { return demandMisses_; }
+
+    /** useful / issued over the tracked period (0 when nothing issued). */
+    double accuracy() const;
+    /** useful / (useful + demand misses): fraction of would-be misses
+     * the prefetcher hid. */
+    double coverage() const;
+
   private:
     struct Stream
     {
@@ -55,10 +87,20 @@ class StreamPrefetcher
         std::uint64_t lastUse = 0;
     };
 
+    /** Direct-mapped recently-prefetched filter (block addresses). */
+    static constexpr std::size_t kFilterSlots = 4096;
+    static constexpr Addr kNoBlock = ~Addr{0};
+
     StreamPrefetcherConfig cfg_;
     std::vector<Stream> streams_;
     std::uint64_t useClock_ = 0;
     std::uint64_t issued_ = 0;
+    bool tracking_ = false;
+    std::vector<Addr> filter_; //!< empty until enableTracking
+    std::uint64_t issuedAtEnable_ = 0;
+    std::uint64_t useful_ = 0;
+    std::uint64_t late_ = 0;
+    std::uint64_t demandMisses_ = 0;
 };
 
 } // namespace mrp::prefetch

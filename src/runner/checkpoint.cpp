@@ -12,6 +12,7 @@
 
 #include "runner/report.hpp"
 #include "util/crc32.hpp"
+#include "util/json_writer.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 
@@ -31,14 +32,14 @@ std::string
 journalJson(const RunResult& r)
 {
     std::string out = "{\"index\": " + std::to_string(r.index);
-    out += ", \"benchmark\": \"" + detail::jsonEscape(r.benchmark) +
+    out += ", \"benchmark\": \"" + json::escape(r.benchmark) +
            "\"";
-    out += ", \"policy\": \"" + detail::jsonEscape(r.policy) + "\"";
-    out += ", \"label\": \"" + detail::jsonEscape(r.label) + "\"";
+    out += ", \"policy\": \"" + json::escape(r.policy) + "\"";
+    out += ", \"label\": \"" + json::escape(r.label) + "\"";
     out += std::string(", \"mode\": ") +
            (r.multiCore ? "\"multi\"" : "\"single\"");
-    out += ", \"ipc\": " + detail::formatDouble(r.ipc);
-    out += ", \"mpki\": " + detail::formatDouble(r.mpki);
+    out += ", \"ipc\": " + json::formatDouble(r.ipc);
+    out += ", \"mpki\": " + json::formatDouble(r.mpki);
     out += ", \"instructions\": " + std::to_string(r.instructions);
     out += ", \"llcDemandAccesses\": " +
            std::to_string(r.llcDemandAccesses);
@@ -50,12 +51,12 @@ journalJson(const RunResult& r)
         for (std::size_t c = 0; c < r.coreIpc.size(); ++c) {
             if (c)
                 out += ", ";
-            out += detail::formatDouble(r.coreIpc[c]);
+            out += json::formatDouble(r.coreIpc[c]);
         }
         out += "]";
     }
     if (!r.ok()) {
-        out += ", \"error\": \"" + detail::jsonEscape(r.error) + "\"";
+        out += ", \"error\": \"" + json::escape(r.error) + "\"";
         out += std::string(", \"errorCode\": \"") +
                errorCodeName(r.errorCode) + "\"";
     }

@@ -128,6 +128,7 @@ executeInto(const RunRequest& req, RunResult& out)
         }
         out.llcDemandMisses = r.llcDemandMisses;
         out.mpki = r.mpki;
+        out.telemetry = r.telemetry;
         return;
     }
 
@@ -149,6 +150,7 @@ executeInto(const RunRequest& req, RunResult& out)
     out.llcDemandAccesses = r.llcDemandAccesses;
     out.llcDemandMisses = r.llcDemandMisses;
     out.llcBypasses = r.llcBypasses;
+    out.telemetry = r.telemetry;
 }
 
 /** Identity fields of a result, shared by success and failure paths. */

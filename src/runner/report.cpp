@@ -3,61 +3,14 @@
 #include <cstdio>
 #include <fstream>
 
+#include "telemetry/export.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::runner {
 
-namespace detail {
-
-/**
- * Shortest round-trip decimal form of a double ("%.17g" trimmed via
- * re-parse), so reports are compact yet bit-faithful — and therefore
- * byte-identical whenever the underlying doubles are.
- */
-std::string
-formatDouble(double v)
-{
-    char buf[64];
-    for (int prec = 6; prec <= 17; ++prec) {
-        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-        double back = 0.0;
-        std::sscanf(buf, "%lf", &back);
-        if (back == v)
-            break;
-    }
-    return buf;
-}
-
-std::string
-jsonEscape(const std::string& s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace detail
-
 namespace {
 
-using detail::formatDouble;
+using json::formatDouble;
 
 std::string
 escapeCsv(const std::string& s)
@@ -101,6 +54,9 @@ appendRunJson(std::string& out, const RunResult& r,
         }
         out += "]";
     }
+    if (r.telemetry)
+        out += ", \"metrics\": " +
+               telemetry::metricsJson(*r.telemetry, "    ");
     if (!r.ok()) {
         out += ", \"error\": \"" + detail::jsonEscape(r.error) + "\"";
         out += std::string(", \"errorCode\": \"") +
@@ -179,6 +135,62 @@ toCsv(const RunSet& set, const ReportOptions& opts)
         }
         out += "\n";
     }
+    bool any_telemetry = false;
+    for (const auto& r : set.results)
+        any_telemetry = any_telemetry || r.telemetry != nullptr;
+    if (any_telemetry) {
+        out += "\n# metrics\nindex,metric,value\n";
+        for (const auto& r : set.results) {
+            if (!r.telemetry)
+                continue;
+            for (const auto& row :
+                 telemetry::metricsCsvRows(*r.telemetry))
+                out += std::to_string(r.index) + "," + row + "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+toMetricsJson(const RunSet& set)
+{
+    std::string out = "{\n  \"runs\": [\n";
+    bool first = true;
+    for (const auto& r : set.results) {
+        if (!r.telemetry)
+            continue;
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "    {\"index\": " + std::to_string(r.index);
+        out += ", \"benchmark\": \"" + json::escape(r.benchmark) + "\"";
+        out += ", \"policy\": \"" + json::escape(r.policy) + "\"";
+        out += ", \"label\": \"" + json::escape(r.label) + "\"";
+        out += ", \"metrics\": " +
+               telemetry::metricsJson(*r.telemetry, "    ") + "}";
+    }
+    if (!first)
+        out += "\n";
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+toTraceJson(const RunSet& set)
+{
+    std::string out = "{\"traceEvents\": [\n";
+    bool first = true;
+    for (const auto& r : set.results) {
+        if (!r.telemetry)
+            continue;
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += telemetry::traceEvents(
+            *r.telemetry, static_cast<unsigned>(r.index),
+            r.benchmark + "/" + r.policy);
+    }
+    out += "\n], \"displayTimeUnit\": \"ms\"}\n";
     return out;
 }
 

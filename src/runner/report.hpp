@@ -18,6 +18,8 @@
  *         "llcDemandAccesses": N, "llcDemandMisses": N,
  *         "llcBypasses": N,
  *         "coreIpc": [X, ...],        // multi-core runs only
+ *         "metrics": { ... },         // telemetry-enabled runs only
+ *                                     // (see telemetry/export.hpp)
  *         "error": "...",             // failed runs only
  *         "errorCode": "...",         // failed runs only (see
  *                                     // mrp::errorCodeName)
@@ -31,6 +33,14 @@
  *   index,benchmark,policy,label,mode,ipc,mpki,instructions,
  *   llc_demand_accesses,llc_demand_misses,llc_bypasses,error,
  *   error_code[,wall_seconds,insts_per_second]†
+ * When at least one run carries telemetry, a second section follows
+ * the table, separated by a blank line:
+ *   # metrics
+ *   index,metric,value
+ *   <one flattened metric per row, in run-index then name order>
+ *
+ * Both the embedded "metrics" objects and the standalone exports below
+ * are deterministic, so the byte-identity guarantee is unchanged.
  */
 
 #ifndef MRP_RUNNER_REPORT_HPP
@@ -39,6 +49,7 @@
 #include <string>
 
 #include "runner/run_request.hpp"
+#include "util/json_writer.hpp"
 
 namespace mrp::runner {
 
@@ -54,20 +65,42 @@ std::string toJson(const RunSet& set, const ReportOptions& opts = {});
 /** Serialize @p set as CSV (header row, trailing newline). */
 std::string toCsv(const RunSet& set, const ReportOptions& opts = {});
 
+/**
+ * Standalone metrics document (--metrics): one entry per
+ * telemetry-enabled run, identified by index/benchmark/policy/label,
+ * with the same "metrics" object embedded in toJson.
+ */
+std::string toMetricsJson(const RunSet& set);
+
+/**
+ * Combined Chrome trace_event document (--trace-out) loadable in
+ * Perfetto / chrome://tracing: each telemetry-enabled run becomes one
+ * process (pid = run index, named "benchmark/policy"), each
+ * instrumented component one named thread, each epoch one complete
+ * event whose args carry per-epoch counter deltas.
+ */
+std::string toTraceJson(const RunSet& set);
+
 /** Write @p content to @p path; throws FatalError on I/O failure. */
 void writeFile(const std::string& path, const std::string& content);
 
 namespace detail {
 
-/**
- * Shortest round-trip decimal form of a double, so serialized values
- * re-parse to the exact same bits — the property that makes reports
- * (and checkpoint-journal round trips) byte-identical.
- */
-std::string formatDouble(double v);
+// Compatibility aliases: the emission helpers formerly defined here
+// moved to the shared util/json_writer.hpp so the checkpoint journal
+// and the telemetry exporters use the same byte-stable primitives.
 
-/** JSON string-body escaping (quotes, backslash, control chars). */
-std::string jsonEscape(const std::string& s);
+inline std::string
+formatDouble(double v)
+{
+    return json::formatDouble(v);
+}
+
+inline std::string
+jsonEscape(const std::string& s)
+{
+    return json::escape(s);
+}
 
 } // namespace detail
 

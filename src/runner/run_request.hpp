@@ -121,6 +121,13 @@ struct RunResult
     std::uint64_t llcDemandMisses = 0;
     std::uint64_t llcBypasses = 0;
     std::vector<double> coreIpc; //!< per-core IPCs (multi-core only)
+    /**
+     * Present iff the request's config enabled telemetry. Excluded
+     * from the checkpoint journal, so runs restored by --resume carry
+     * no metrics (like wallSeconds, telemetry is a per-execution
+     * artifact, not part of the simulated outcome).
+     */
+    std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 
     /** Wall-clock execution metrics; excluded from deterministic
      * reports (they vary run to run). */

@@ -13,6 +13,7 @@
 #define MRP_SIM_DRIVER_CONFIG_HPP
 
 #include "cache/hierarchy.hpp"
+#include "telemetry/config.hpp"
 #include "util/types.hpp"
 
 namespace mrp::sim {
@@ -42,6 +43,13 @@ struct DriverConfig
      * fills and the predictors reach steady state before measurement.
      */
     InstCount warmupInstructions = 1600000;
+
+    /**
+     * Opt-in telemetry. When enabled the driver attaches a metrics
+     * session at the start of the measurement window and the result
+     * carries a RunTelemetry. Disabled (the default) costs nothing.
+     */
+    telemetry::TelemetryConfig telemetry{};
 };
 
 } // namespace mrp::sim

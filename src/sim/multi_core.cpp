@@ -5,6 +5,7 @@
 
 #include "cpu/core_model.hpp"
 #include "policy/lru.hpp"
+#include "sim/telemetry_hooks.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::sim {
@@ -68,6 +69,16 @@ runMultiCore(const std::array<const trace::Trace*, 4>& mix,
         step_earliest();
 
     hier.resetStats();
+    // Attach telemetry at the start of the measurement window so every
+    // metric covers exactly what LevelStats covers.
+    std::unique_ptr<telemetry::Session> session;
+    std::unique_ptr<TelemetryObserver> tobs;
+    if (cfg.telemetry.enabled) {
+        session = std::make_unique<telemetry::Session>(cfg.telemetry);
+        hier.attachTelemetry(session->registry());
+        tobs = std::make_unique<TelemetryObserver>(*session);
+        hier.llc().setObserver(tobs.get());
+    }
     std::array<Cycle, 4> base_cycle{};
     std::array<InstCount, 4> base_insts{};
     std::array<InstCount, 4> end_insts{};
@@ -99,9 +110,19 @@ runMultiCore(const std::array<const trace::Trace*, 4>& mix,
                    static_cast<double>(cfg.measureCycles);
         measured_total += r.instructions[c];
     }
+    panicIf(!hier.llc().stats().consistent(),
+            "LLC statistics failed the self-consistency check");
+    for (unsigned c = 0; c < 4; ++c) {
+        panicIf(!hier.l1(c).stats().consistent(),
+                "L1 statistics failed the self-consistency check");
+        panicIf(!hier.l2(c).stats().consistent(),
+                "L2 statistics failed the self-consistency check");
+    }
     r.llcDemandMisses = hier.llc().stats().demandMisses;
     r.mpki = 1000.0 * static_cast<double>(r.llcDemandMisses) /
              static_cast<double>(measured_total);
+    if (session)
+        r.telemetry = session->finish();
     return r;
 }
 

@@ -12,6 +12,7 @@
 #define MRP_SIM_MULTI_CORE_HPP
 
 #include <array>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -19,6 +20,10 @@
 #include "sim/driver_config.hpp"
 #include "sim/policies.hpp"
 #include "trace/trace.hpp"
+
+namespace mrp::telemetry {
+struct RunTelemetry;
+}
 
 namespace mrp::sim {
 
@@ -44,6 +49,8 @@ struct MultiCoreResult
     std::array<InstCount, 4> instructions{};
     std::uint64_t llcDemandMisses = 0;
     double mpki = 0.0; //!< LLC demand misses per kilo (all cores)
+    /** Present iff cfg.telemetry.enabled; covers the measured window. */
+    std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 
     /**
      * Weighted speedup given per-benchmark standalone IPCs:

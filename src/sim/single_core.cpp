@@ -3,6 +3,7 @@
 #include "cpu/core_model.hpp"
 #include "policy/lru.hpp"
 #include "policy/min.hpp"
+#include "sim/telemetry_hooks.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::sim {
@@ -19,6 +20,10 @@ runWithPolicy(const trace::Trace& trace,
     hcfg.cores = 1;
     const std::string policy_name = policy->name();
     cache::Hierarchy hier(hcfg, std::move(policy));
+    fatalIf(cfg.telemetry.enabled && observer != nullptr,
+            ErrorCode::Config,
+            "telemetry cannot be combined with an external LLC "
+            "observer (both need the observer slot)");
     if (observer)
         hier.llc().setObserver(observer);
     cpu::CoreModel cpu(0, hier, trace, /*loop=*/false);
@@ -28,6 +33,16 @@ runWithPolicy(const trace::Trace& trace,
     while (!cpu.finished() && cpu.retired() < warm_insts)
         cpu.step();
     hier.resetStats();
+    // Attach telemetry at the start of the measurement window so every
+    // metric covers exactly what LevelStats covers.
+    std::unique_ptr<telemetry::Session> session;
+    std::unique_ptr<TelemetryObserver> tobs;
+    if (cfg.telemetry.enabled) {
+        session = std::make_unique<telemetry::Session>(cfg.telemetry);
+        hier.attachTelemetry(session->registry());
+        tobs = std::make_unique<TelemetryObserver>(*session);
+        hier.llc().setObserver(tobs.get());
+    }
     const InstCount base_insts = cpu.retired();
     const Cycle base_cycle = cpu.cycle();
 
@@ -45,11 +60,19 @@ runWithPolicy(const trace::Trace& trace,
     r.ipc = static_cast<double>(r.instructions) /
             static_cast<double>(r.cycles);
     const auto& llc = hier.llc().stats();
+    panicIf(!llc.consistent(),
+            "LLC statistics failed the self-consistency check");
+    panicIf(!hier.l1(0).stats().consistent(),
+            "L1 statistics failed the self-consistency check");
+    panicIf(!hier.l2(0).stats().consistent(),
+            "L2 statistics failed the self-consistency check");
     r.llcDemandAccesses = llc.demandAccesses;
     r.llcDemandMisses = llc.demandMisses;
     r.llcBypasses = llc.bypasses;
     r.mpki = 1000.0 * static_cast<double>(r.llcDemandMisses) /
              static_cast<double>(r.instructions);
+    if (session)
+        r.telemetry = session->finish();
     return r;
 }
 
@@ -80,10 +103,14 @@ runSingleCoreMin(const trace::Trace& trace, const SingleCoreConfig& cfg)
 {
     const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
                                     cfg.hierarchy.llcWays);
-    // Pass 1: record the (policy-invariant) LLC reference stream.
+    // Pass 1: record the (policy-invariant) LLC reference stream. The
+    // recorder needs the observer slot, so telemetry (if requested)
+    // only covers the measured MIN pass.
+    SingleCoreConfig pass1_cfg = cfg;
+    pass1_cfg.telemetry.enabled = false;
     policy::LlcAccessRecorder recorder;
-    runWithPolicy(trace, std::make_unique<policy::LruPolicy>(geom), cfg,
-                  &recorder);
+    runWithPolicy(trace, std::make_unique<policy::LruPolicy>(geom),
+                  pass1_cfg, &recorder);
     // Pass 2: replay under MIN.
     auto next_use = policy::computeNextUse(recorder.sequence());
     SingleCoreResult r = runWithPolicy(

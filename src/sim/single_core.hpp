@@ -8,12 +8,17 @@
 #ifndef MRP_SIM_SINGLE_CORE_HPP
 #define MRP_SIM_SINGLE_CORE_HPP
 
+#include <memory>
 #include <string>
 
 #include "cache/hierarchy.hpp"
 #include "sim/driver_config.hpp"
 #include "sim/policies.hpp"
 #include "trace/trace.hpp"
+
+namespace mrp::telemetry {
+struct RunTelemetry;
+}
 
 namespace mrp::sim {
 
@@ -38,6 +43,8 @@ struct SingleCoreResult
     std::uint64_t llcDemandMisses = 0;
     std::uint64_t llcBypasses = 0;
     double mpki = 0.0; //!< LLC demand misses per kilo-instruction
+    /** Present iff cfg.telemetry.enabled; covers the measured window. */
+    std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 };
 
 /** Run @p trace under the policy built by @p factory. */

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Glue between the simulation drivers and the telemetry subsystem.
+ *
+ * TelemetryObserver is the passive LLC observer the drivers attach
+ * when telemetry is enabled: it advances the session's epoch clock by
+ * one per LLC access and feeds the reuse-distance probe. Keeping it
+ * here (not in src/telemetry) leaves mrp_telemetry free of cache-layer
+ * dependencies, so the cache itself can link against it.
+ */
+
+#ifndef MRP_SIM_TELEMETRY_HOOKS_HPP
+#define MRP_SIM_TELEMETRY_HOOKS_HPP
+
+#include "cache/llc_policy.hpp"
+#include "telemetry/session.hpp"
+
+namespace mrp::sim {
+
+/** Drives a telemetry session from the LLC access stream. */
+class TelemetryObserver : public cache::LlcObserver
+{
+  public:
+    explicit TelemetryObserver(telemetry::Session& session)
+        : session_(session)
+    {
+    }
+
+    void
+    onAccess(const cache::AccessInfo& info, bool hit, std::uint32_t set,
+             int way) override
+    {
+        (void)hit;
+        (void)set;
+        (void)way;
+        session_.reuse().observe(blockAddr(info.addr));
+        session_.tick();
+    }
+
+  private:
+    telemetry::Session& session_;
+};
+
+} // namespace mrp::sim
+
+#endif // MRP_SIM_TELEMETRY_HOOKS_HPP

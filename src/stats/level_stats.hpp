@@ -44,6 +44,24 @@ struct LevelStats
     {
         return demandMisses + prefetchMisses + writebackMisses;
     }
+
+    /**
+     * Self-consistency: demand and writeback accesses split exactly
+     * into hits and misses, prefetch hits/misses never exceed prefetch
+     * accesses (the private levels count prefetch fills without a
+     * lookup, so their split can be empty), dirty evictions are a
+     * subset of evictions, and bypasses only ever happen on misses. A
+     * false return means a counting bug somewhere in the cache model,
+     * not a property of the workload.
+     */
+    bool
+    consistent() const
+    {
+        return demandAccesses == demandHits + demandMisses &&
+               prefetchHits + prefetchMisses <= prefetchAccesses &&
+               writebackAccesses == writebackHits + writebackMisses &&
+               dirtyEvictions <= evictions && bypasses <= totalMisses();
+    }
 };
 
 } // namespace mrp::stats

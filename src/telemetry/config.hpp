@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Telemetry opt-in knobs, kept dependency-free so DriverConfig (and
+ * through it every RunRequest) can embed them without pulling the
+ * rest of the telemetry library into each header.
+ */
+
+#ifndef MRP_TELEMETRY_CONFIG_HPP
+#define MRP_TELEMETRY_CONFIG_HPP
+
+#include <cstdint>
+
+namespace mrp::telemetry {
+
+/**
+ * Per-run telemetry opt-in. Disabled by default: the drivers then
+ * attach nothing, every instrumentation site reduces to one null
+ * check, and reports are byte-identical to a build without telemetry.
+ */
+struct TelemetryConfig
+{
+    bool enabled = false;
+    /** LLC accesses per epoch snapshot (time-series granularity). */
+    std::uint64_t epochAccesses = 100000;
+};
+
+} // namespace mrp::telemetry
+
+#endif // MRP_TELEMETRY_CONFIG_HPP

@@ -1,0 +1,60 @@
+#include "telemetry/session.hpp"
+
+#include "util/logging.hpp"
+
+namespace mrp::telemetry {
+
+ReuseDistanceTracker::ReuseDistanceTracker(MetricsRegistry& registry)
+    : distance_(&registry.histogram("llc.reuse_distance",
+                                    powerOfTwoBounds(20))),
+      cold_(&registry.counter("llc.reuse.cold_accesses"))
+{
+}
+
+void
+ReuseDistanceTracker::observe(std::uint64_t blockKey)
+{
+    ++clock_;
+    const auto [it, inserted] = lastAccess_.try_emplace(blockKey, clock_);
+    if (inserted) {
+        cold_->add();
+        return;
+    }
+    distance_->record(
+        static_cast<std::int64_t>(clock_ - it->second - 1));
+    it->second = clock_;
+}
+
+Session::Session(const TelemetryConfig& cfg)
+    : cfg_(cfg), reuse_(registry_)
+{
+    fatalIf(cfg_.epochAccesses == 0, ErrorCode::Config,
+            "telemetry epoch interval must be positive");
+}
+
+void
+Session::closeEpoch()
+{
+    EpochSample s;
+    s.index = epochs_.size();
+    s.accesses = accesses_;
+    s.snapshot = registry_.snapshot();
+    epochs_.push_back(std::move(s));
+}
+
+std::shared_ptr<const RunTelemetry>
+Session::finish()
+{
+    // Trailing partial epoch, so short runs still get a timeline.
+    if (accesses_ > epochs_.size() * cfg_.epochAccesses)
+        closeEpoch();
+
+    auto out = std::make_shared<RunTelemetry>();
+    out->epochAccesses = cfg_.epochAccesses;
+    out->accesses = accesses_;
+    out->finalSnapshot = registry_.snapshot();
+    out->epochs = std::move(epochs_);
+    return out;
+}
+
+} // namespace mrp::telemetry

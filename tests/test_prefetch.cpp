@@ -125,5 +125,96 @@ TEST(StreamPrefetcherTest, ResetDropsState)
     EXPECT_TRUE(out.empty()); // stream was forgotten
 }
 
+// ---------------------------------------------------------------- //
+// Accuracy/coverage tracking (telemetry)
+
+TEST(StreamTrackingTest, DisabledByDefaultAndCountsFromEnable)
+{
+    StreamPrefetcher pf;
+    EXPECT_FALSE(pf.trackingEnabled());
+    missSeq(pf, {100, 101, 102, 103}); // issues before tracking
+    const std::uint64_t pre = pf.issued();
+    ASSERT_GT(pre, 0u);
+    pf.enableTracking();
+    EXPECT_TRUE(pf.trackingEnabled());
+    EXPECT_EQ(pf.trackedIssued(), 0u); // pre-enable issues excluded
+    EXPECT_EQ(pf.accuracy(), 0.0);     // no tracked issues yet
+    EXPECT_EQ(pf.coverage(), 0.0);     // no hits or misses yet
+}
+
+TEST(StreamTrackingTest, DemandHitOnPrefetchedBlockIsUseful)
+{
+    StreamPrefetcher pf;
+    pf.enableTracking();
+    // Two learning misses confirm the stream and issue the runahead.
+    const auto out = missSeq(pf, {100, 101});
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(pf.trackedIssued(), out.size());
+    EXPECT_EQ(pf.demandMisses(), 2u);
+
+    pf.observeDemandHit(out.front());
+    EXPECT_EQ(pf.useful(), 1u);
+    // A hit consumes the filter entry: the same block is not counted
+    // as useful twice.
+    pf.observeDemandHit(out.front());
+    EXPECT_EQ(pf.useful(), 1u);
+    // Hits on never-prefetched blocks are ignored.
+    pf.observeDemandHit(999999 << kBlockShift);
+    EXPECT_EQ(pf.useful(), 1u);
+
+    EXPECT_EQ(pf.accuracy(),
+              1.0 / static_cast<double>(out.size()));
+    EXPECT_EQ(pf.coverage(), 1.0 / (1.0 + 2.0));
+}
+
+TEST(StreamTrackingTest, DemandMissOnPrefetchedBlockIsLate)
+{
+    StreamPrefetcher pf;
+    pf.enableTracking();
+    const auto out = missSeq(pf, {100, 101});
+    ASSERT_FALSE(out.empty());
+    // Demand-missing a prefetched block means the prefetch was late;
+    // the slot is consumed, so it cannot later count as useful too.
+    missSeq(pf, {blockAddr(out.front())});
+    EXPECT_EQ(pf.late(), 1u);
+    pf.observeDemandHit(out.front());
+    EXPECT_EQ(pf.useful(), 0u);
+}
+
+TEST(StreamTrackingTest, PerfectStreamReachesFullAccuracy)
+{
+    // In the hierarchy, prefetched blocks become L1 *hits*, so the
+    // prefetcher sees onL1Miss only for uncovered blocks. Model that:
+    // two learning misses, then every issued prefetch is demand-hit.
+    StreamPrefetcher pf;
+    pf.enableTracking();
+    const auto out = missSeq(pf, {100, 101});
+    ASSERT_FALSE(out.empty());
+    for (const Addr a : out)
+        pf.observeDemandHit(a);
+    EXPECT_EQ(pf.useful(), out.size());
+    EXPECT_EQ(pf.accuracy(), 1.0);
+    // Coverage counts the two learning misses against the hits.
+    const double u = static_cast<double>(out.size());
+    EXPECT_EQ(pf.coverage(), u / (u + 2.0));
+}
+
+TEST(StreamTrackingTest, ResetRestartsTheTrackedPeriod)
+{
+    StreamPrefetcher pf;
+    pf.enableTracking();
+    const auto out = missSeq(pf, {100, 101});
+    ASSERT_FALSE(out.empty());
+    pf.observeDemandHit(out.front());
+    EXPECT_EQ(pf.useful(), 1u);
+    pf.reset();
+    EXPECT_TRUE(pf.trackingEnabled()); // tracking survives a reset...
+    EXPECT_EQ(pf.trackedIssued(), 0u); // ...but the period restarts
+    EXPECT_EQ(pf.useful(), 0u);
+    EXPECT_EQ(pf.demandMisses(), 0u);
+    pf.observeDemandHit(out.front()); // filter was cleared
+    EXPECT_EQ(pf.useful(), 0u);
+}
+
 } // namespace
 } // namespace mrp::prefetch
