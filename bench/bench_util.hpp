@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/clock.hpp"
 #include "runner/experiment_runner.hpp"
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
@@ -91,9 +92,7 @@ reportBatch(const runner::RunSet& set)
                  "# batch: %zu runs, %u worker(s), %.2fs wall, "
                  "%.0f simulated insts/sec\n",
                  set.results.size(), set.jobs, set.wallSeconds,
-                 set.wallSeconds > 0.0
-                     ? static_cast<double>(insts) / set.wallSeconds
-                     : 0.0);
+                 prof::ratePerSecond(insts, set.wallSeconds));
 }
 
 /** Pre-generate the multi-core region traces of the whole suite. */

@@ -37,6 +37,19 @@
  * three enables telemetry for every run, which also embeds a
  * "metrics" object per run in --json and a metrics section in --csv.
  * Resumed runs carry no metrics (the journal stores outcomes only).
+ *
+ * Profiling (see README "Profiling & benchmarking"): --prof-out FILE
+ * attaches a phase-timer Profiler to every run and writes a
+ * BENCH_*.json document (schema "mrp-bench-v1") with the per-phase
+ * time tree, host resource usage, and throughput; it also enriches
+ * --timing reports with user/sys seconds and accesses/second, and
+ * adds the phase tree to --trace-out as a second process family.
+ * --progress prints a live one-line-per-event batch heartbeat to
+ * stderr; --progress-jsonl FILE appends the same events as JSON
+ * lines. Progress output is flushed but never fsync'd and is excluded
+ * from the deterministic reports. With --resume, restored runs are
+ * reported as "run_skipped" (they were not re-executed, so they have
+ * no timing and do not count toward the ETA).
  */
 
 #include <cstdio>
@@ -47,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/export.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/report.hpp"
 #include "trace/trace_io.hpp"
@@ -71,7 +85,9 @@ usage()
         "                   [--journal FILE] [--resume FILE]\n"
         "                   [--timeout SEC] [--retries N]\n"
         "                   [--metrics FILE] [--trace-out FILE]\n"
-        "                   [--epoch N] [--dump FILE]\n");
+        "                   [--epoch N] [--dump FILE]\n"
+        "                   [--prof-out FILE] [--progress]\n"
+        "                   [--progress-jsonl FILE]\n");
     return 2;
 }
 
@@ -135,6 +151,7 @@ run(int argc, char** argv)
     std::string csv_path;
     std::string metrics_path;
     std::string trace_out_path;
+    std::string prof_out_path;
     std::uint64_t epoch = 0; //!< 0 = library default
     runner::RunnerOptions ropts;
     std::string policy = "MPPPB";
@@ -200,6 +217,13 @@ run(int argc, char** argv)
         } else if (arg == "--epoch") {
             epoch = std::strtoull(next(), nullptr, 10);
             fatalIf(epoch == 0, "--epoch must be positive");
+        } else if (arg == "--prof-out") {
+            prof_out_path = next();
+            ropts.profile = true;
+        } else if (arg == "--progress") {
+            ropts.progressStderr = true;
+        } else if (arg == "--progress-jsonl") {
+            ropts.progressJsonlPath = next();
         } else {
             return usage();
         }
@@ -262,9 +286,11 @@ run(int argc, char** argv)
                             !ropts.resumePath.empty() ||
                             ropts.timeoutSeconds > 0.0 ||
                             ropts.maxRetries > 0;
+    const bool profiling = ropts.profile || ropts.progressStderr ||
+                           !ropts.progressJsonlPath.empty();
 
     if (policies.size() == 1 && json_path.empty() &&
-        csv_path.empty() && !resilience && !telemetry) {
+        csv_path.empty() && !resilience && !telemetry && !profiling) {
         // Single-run path: the detailed per-run report.
         const auto r =
             policy == "MIN"
@@ -335,6 +361,24 @@ run(int argc, char** argv)
     if (!trace_out_path.empty()) {
         runner::writeFile(trace_out_path, runner::toTraceJson(set));
         std::fprintf(stderr, "wrote %s\n", trace_out_path.c_str());
+    }
+    if (!prof_out_path.empty()) {
+        std::vector<prof::BenchRun> bruns;
+        for (const auto& r : set.results) {
+            if (!r.profile)
+                continue; // resumed runs carry no profile
+            prof::BenchRun br;
+            br.label = r.label + "/" + r.policy;
+            br.benchmark = r.benchmark;
+            br.policy = r.policy;
+            br.profile = *r.profile;
+            bruns.push_back(std::move(br));
+        }
+        runner::writeFile(
+            prof_out_path,
+            prof::benchJson(tr->name(), bruns, prof::machineInfo(),
+                            prof::gitSha()));
+        std::fprintf(stderr, "wrote %s\n", prof_out_path.c_str());
     }
     return failed ? 1 : 0;
 }

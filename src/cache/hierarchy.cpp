@@ -1,5 +1,6 @@
 #include "cache/hierarchy.hpp"
 
+#include "prof/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::cache {
@@ -95,6 +96,7 @@ Hierarchy::writebackToL2(CoreId core, Addr block_address)
 void
 Hierarchy::writebackToLlc(CoreId core, Addr block_address)
 {
+    MRP_PROF_SCOPE_HOT("llc.writeback");
     AccessInfo info;
     info.pc = kWritebackPc;
     info.addr = block_address;
@@ -111,6 +113,7 @@ Hierarchy::writebackToLlc(CoreId core, Addr block_address)
 void
 Hierarchy::issuePrefetches(CoreId core, const CoreContext* ctx)
 {
+    MRP_PROF_SCOPE_HOT("llc.prefetch.issue");
     // Iterate by index: the LLC writebacks triggered below never touch
     // pfBuf_, but keep the loop robust anyway.
     for (std::size_t i = 0; i < pfBuf_.size(); ++i) {

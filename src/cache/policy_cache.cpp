@@ -1,5 +1,6 @@
 #include "cache/policy_cache.hpp"
 
+#include "prof/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::cache {
@@ -51,6 +52,7 @@ PolicyCache::attachTelemetry(telemetry::MetricsRegistry& registry)
 LlcResult
 PolicyCache::access(const AccessInfo& info)
 {
+    MRP_PROF_SCOPE_HOT("llc.access");
     const std::uint32_t set = geom_.setIndex(info.addr);
     const std::uint64_t tag = geom_.tag(info.addr);
 

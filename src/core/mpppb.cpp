@@ -1,6 +1,7 @@
 #include "core/mpppb.hpp"
 
 #include "core/feature_sets.hpp"
+#include "prof/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::core {
@@ -152,6 +153,7 @@ void
 MpppbPolicy::onHit(const cache::AccessInfo& info, std::uint32_t set,
                    std::uint32_t way)
 {
+    MRP_PROF_SCOPE_HOT("llc.promote");
     if (info.type == cache::AccessType::Writeback)
         return;
     const int conf = predictor_.observe(info, set, true);
@@ -170,6 +172,7 @@ MpppbPolicy::onHit(const cache::AccessInfo& info, std::uint32_t set,
 void
 MpppbPolicy::onMiss(const cache::AccessInfo& info, std::uint32_t set)
 {
+    MRP_PROF_SCOPE_HOT("llc.predict");
     if (info.type == cache::AccessType::Writeback) {
         lastConfidence_ = 0;
         return;
@@ -215,6 +218,7 @@ MpppbPolicy::shouldBypass(const cache::AccessInfo& info, std::uint32_t set)
 std::uint32_t
 MpppbPolicy::victimWay(const cache::AccessInfo& info, std::uint32_t set)
 {
+    MRP_PROF_SCOPE_HOT("llc.victim");
     return mdpp_ ? mdpp_->victimWay(info, set)
                  : srrip_->victimWay(info, set);
 }
@@ -223,6 +227,7 @@ void
 MpppbPolicy::onFill(const cache::AccessInfo& info, std::uint32_t set,
                     std::uint32_t way)
 {
+    MRP_PROF_SCOPE_HOT("llc.place");
     if (info.type == cache::AccessType::Writeback) {
         // Dirty data evicted from above is installed at a distant but
         // not immediate-victim position.

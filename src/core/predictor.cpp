@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::core {
@@ -142,6 +143,7 @@ MultiperspectivePredictor::samplerAccess(const cache::AccessInfo& info,
                                          const IndexVec& idx,
                                          int confidence)
 {
+    MRP_PROF_SCOPE_HOT("llc.sampler");
     auto& sset = samplerSets_[sampling_.samplerSetOf(set)];
     const std::uint16_t tag = policy::SetSampling::partialTag(info.addr);
     const int theta = cfg_.trainingThreshold;
@@ -161,24 +163,29 @@ MultiperspectivePredictor::samplerAccess(const cache::AccessInfo& info,
         // Train "live" only in tables whose associativity would still
         // have held the block (p < A); gate on the stored prediction
         // per the perceptron rule.
-        if (entry.confidence > -theta) {
-            for (std::size_t f = 0; f < nfeat; ++f)
-                if (pos < cfg_.features[f].assoc)
-                    bump(static_cast<unsigned>(f), entry.indices[f],
-                         /*dead=*/false);
-        }
-        ++trainingEvents_;
-        // The promotion demotes positions 0..pos-1 by one; a block
-        // arriving exactly at a feature's A is dead for that feature.
-        for (std::size_t q = 0; q < pos; ++q) {
-            const SamplerEntry& demoted = sset[q];
-            if (!demoted.valid || demoted.confidence >= theta)
-                continue;
-            const std::size_t newpos = q + 1;
-            for (std::size_t f = 0; f < nfeat; ++f)
-                if (newpos == cfg_.features[f].assoc)
-                    bump(static_cast<unsigned>(f), demoted.indices[f],
-                         /*dead=*/true);
+        {
+            MRP_PROF_SCOPE_HOT("llc.train");
+            if (entry.confidence > -theta) {
+                for (std::size_t f = 0; f < nfeat; ++f)
+                    if (pos < cfg_.features[f].assoc)
+                        bump(static_cast<unsigned>(f), entry.indices[f],
+                             /*dead=*/false);
+            }
+            ++trainingEvents_;
+            // The promotion demotes positions 0..pos-1 by one; a block
+            // arriving exactly at a feature's A is dead for that
+            // feature.
+            for (std::size_t q = 0; q < pos; ++q) {
+                const SamplerEntry& demoted = sset[q];
+                if (!demoted.valid || demoted.confidence >= theta)
+                    continue;
+                const std::size_t newpos = q + 1;
+                for (std::size_t f = 0; f < nfeat; ++f)
+                    if (newpos == cfg_.features[f].assoc)
+                        bump(static_cast<unsigned>(f),
+                             demoted.indices[f],
+                             /*dead=*/true);
+            }
         }
         // Refresh the entry and move it to MRU.
         entry.confidence = static_cast<std::int16_t>(confidence);
@@ -190,17 +197,21 @@ MultiperspectivePredictor::samplerAccess(const cache::AccessInfo& info,
         std::size_t valid_count = 0;
         while (valid_count < sset.size() && sset[valid_count].valid)
             ++valid_count;
-        for (std::size_t q = 0; q < valid_count; ++q) {
-            const SamplerEntry& demoted = sset[q];
-            if (demoted.confidence >= theta)
-                continue;
-            const std::size_t newpos = q + 1;
-            for (std::size_t f = 0; f < nfeat; ++f)
-                if (newpos == cfg_.features[f].assoc)
-                    bump(static_cast<unsigned>(f), demoted.indices[f],
-                         /*dead=*/true);
+        {
+            MRP_PROF_SCOPE_HOT("llc.train");
+            for (std::size_t q = 0; q < valid_count; ++q) {
+                const SamplerEntry& demoted = sset[q];
+                if (demoted.confidence >= theta)
+                    continue;
+                const std::size_t newpos = q + 1;
+                for (std::size_t f = 0; f < nfeat; ++f)
+                    if (newpos == cfg_.features[f].assoc)
+                        bump(static_cast<unsigned>(f),
+                             demoted.indices[f],
+                             /*dead=*/true);
+            }
+            ++trainingEvents_;
         }
-        ++trainingEvents_;
         if (valid_count == sset.size())
             sset.pop_back(); // true eviction of the LRU entry
         SamplerEntry entry;

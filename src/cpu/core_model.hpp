@@ -55,7 +55,10 @@ class CoreModel
               const CoreModelConfig& cfg = CoreModelConfig{});
 
     /** True when a non-looping trace is exhausted. */
-    bool finished() const;
+    bool finished() const
+    {
+        return !loop_ && recordIdx_ >= trace_.records().size();
+    }
 
     /**
      * Cycle at which the next instruction would enter the window
@@ -99,6 +102,7 @@ class CoreModel
     cache::CoreContext ctx_;
 
     std::vector<Cycle> retireRing_; //!< retire times of last W instrs
+    std::size_t ringIdx_ = 0;       //!< == retired_ % retireRing_.size()
     InstCount retired_ = 0;
 
     Cycle lastEnter_ = 0;
@@ -107,7 +111,7 @@ class CoreModel
     unsigned retiresThisCycle_ = 0;
     Cycle lastLoadCompletion_ = 0;
     std::vector<Cycle> mshrRing_; //!< completion times of DRAM misses
-    std::uint64_t dramMissCount_ = 0;
+    std::size_t mshrIdx_ = 0;     //!< next MSHR slot, round-robin
 
     Cycle loadLatencyTotal_ = 0;
     InstCount loadCount_ = 0;

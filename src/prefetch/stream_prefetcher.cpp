@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "prof/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::prefetch {
@@ -68,6 +69,7 @@ StreamPrefetcher::coverage() const
 void
 StreamPrefetcher::onL1Miss(Addr addr, std::vector<Addr>& out)
 {
+    MRP_PROF_SCOPE_HOT("prefetch.train");
     const Addr blk = blockAddr(addr);
     ++useClock_;
 

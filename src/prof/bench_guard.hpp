@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Performance-regression guard over BENCH_*.json documents.
+ *
+ * compare() diffs a freshly produced candidate document against a
+ * committed baseline: runs are matched by label, phases by their path
+ * in the tree, and a phase whose inclusive time grew beyond the
+ * tolerance — or a throughput rate that shrank beyond it — is a
+ * regression. The logic lives here (not in the CLI) so the unit tests
+ * can drive it on fixture JSON; tools/bench_guard is a thin main.
+ */
+
+#ifndef MRP_PROF_BENCH_GUARD_HPP
+#define MRP_PROF_BENCH_GUARD_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/json_reader.hpp"
+
+namespace mrp::prof {
+
+struct GuardOptions
+{
+    /** Relative slack: candidate > baseline * (1 + tolerance) is a
+     * regression. Generous by default — phase timers on a shared CI
+     * box are noisy. */
+    double tolerance = 0.15;
+
+    /** Phases faster than this in the baseline are skipped — their
+     * relative noise swamps any signal. */
+    double minSeconds = 0.01;
+
+    /** Also guard instsPerSecond / accessesPerSecond (shrinking
+     * beyond tolerance regresses). */
+    bool checkThroughput = true;
+};
+
+struct Finding
+{
+    enum class Kind {
+        Regression,  //!< beyond tolerance in the bad direction
+        Improvement, //!< beyond tolerance in the good direction (FYI)
+        Missing,     //!< run or phase present in baseline, absent now
+    };
+
+    Kind kind = Kind::Regression;
+    std::string run;    //!< run label
+    std::string metric; //!< phase path ("run/measure/llc.access") or rate name
+    double baseline = 0.0;
+    double candidate = 0.0;
+};
+
+struct GuardResult
+{
+    std::vector<Finding> findings;
+    int runsCompared = 0;
+    int metricsCompared = 0;
+
+    bool
+    ok() const
+    {
+        for (const Finding& f : findings)
+            if (f.kind != Finding::Kind::Improvement)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Diff @p candidate against @p baseline. Both must be parsed
+ * "mrp-bench-v1" documents; throws FatalError(CorruptInput) on schema
+ * mismatch or malformed structure.
+ */
+GuardResult compare(const json::Value& baseline,
+                    const json::Value& candidate,
+                    const GuardOptions& opts);
+
+/** Human-readable one-line-per-finding rendering plus a verdict. */
+std::string formatFindings(const GuardResult& result,
+                           const GuardOptions& opts);
+
+} // namespace mrp::prof
+
+#endif // MRP_PROF_BENCH_GUARD_HPP

@@ -1,6 +1,7 @@
 #include "runner/experiment_runner.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -10,9 +11,11 @@
 #include <thread>
 #include <utility>
 
+#include "prof/profiler.hpp"
 #include "runner/checkpoint.hpp"
 #include "sim/policies.hpp"
 #include "util/fault_injection.hpp"
+#include "util/json_writer.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::runner {
@@ -63,13 +66,215 @@ class StealQueue
     std::deque<std::size_t> tasks_;
 };
 
-double
-secondsSince(std::chrono::steady_clock::time_point start)
+/**
+ * Serialized emitter of live progress events (see the RunnerOptions
+ * field docs). Every event is rendered into one complete line and
+ * written with a single fwrite under the mutex, so lines from
+ * concurrent workers never interleave; streams are flushed per line
+ * but never fsync'd.
+ */
+class ProgressSink
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
+  public:
+    ProgressSink(bool to_stderr, const std::string& jsonl_path)
+        : stderr_(to_stderr)
+    {
+        if (!jsonl_path.empty()) {
+            file_ = std::fopen(jsonl_path.c_str(), "w");
+            fatalIf(file_ == nullptr, ErrorCode::Io,
+                    "cannot open progress file for writing: " +
+                        jsonl_path);
+        }
+    }
+
+    ~ProgressSink()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    ProgressSink(const ProgressSink&) = delete;
+    ProgressSink& operator=(const ProgressSink&) = delete;
+
+    void
+    batchStart(std::size_t total, std::size_t skipped)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        total_ = total;
+        emitJson("{\"event\": \"batch_start\", \"total\": " +
+                 std::to_string(total) +
+                 ", \"skipped\": " + std::to_string(skipped) + "}");
+        if (skipped > 0)
+            emitHuman("[0/" + std::to_string(total) + "] resumed, " +
+                      std::to_string(skipped) + " run(s) skipped");
+    }
+
+    void
+    runSkipped(std::size_t index, const std::string& label)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        emitJson("{\"event\": \"run_skipped\", \"index\": " +
+                 std::to_string(index) +
+                 ", \"label\": " + json::str(label) + "}");
+    }
+
+    void
+    runStart(std::size_t index, const std::string& label)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++running_;
+        emitJson("{\"event\": \"run_start\", \"index\": " +
+                 std::to_string(index) +
+                 ", \"label\": " + json::str(label) + "}");
+        emitHuman(position() + " start " + label + status());
+    }
+
+    void
+    runRetry(std::size_t index, const std::string& label,
+             unsigned next_attempt, ErrorCode code)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        emitJson("{\"event\": \"run_retry\", \"index\": " +
+                 std::to_string(index) +
+                 ", \"label\": " + json::str(label) +
+                 ", \"attempt\": " + std::to_string(next_attempt) +
+                 ", \"errorCode\": " +
+                 json::str(errorCodeName(code)) + "}");
+        emitHuman(position() + " retry #" +
+                  std::to_string(next_attempt) + " " + label + " (" +
+                  errorCodeName(code) + ")");
+    }
+
+    void
+    runEnd(const RunResult& r)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (running_ > 0)
+            --running_;
+        r.ok() ? ++completed_ : ++failed_;
+        const char* status = r.ok() ? "ok" : "failed";
+        std::string line =
+            "{\"event\": \"run_end\", \"index\": " +
+            std::to_string(r.index) +
+            ", \"label\": " + json::str(r.label) +
+            ", \"status\": \"" + status + "\"";
+        if (!r.ok())
+            line += ", \"errorCode\": " +
+                    json::str(errorCodeName(r.errorCode));
+        line += ", \"wallSeconds\": " +
+                json::formatDouble(r.wallSeconds) +
+                ", \"attempts\": " + std::to_string(r.attempts) +
+                ", \"completed\": " + std::to_string(completed_) +
+                ", \"failed\": " + std::to_string(failed_) +
+                ", \"running\": " + std::to_string(running_) +
+                ", \"total\": " + std::to_string(total_);
+        const double eta = etaSeconds();
+        if (eta >= 0.0)
+            line += ", \"etaSeconds\": " + json::formatDouble(eta);
+        line += "}";
+        emitJson(line);
+
+        std::string human = position() + " " + status + " " + r.label;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " (%.1fs", r.wallSeconds);
+        human += buf;
+        if (r.attempts > 1)
+            human += ", " + std::to_string(r.attempts) + " attempts";
+        if (eta >= 0.0) {
+            std::snprintf(buf, sizeof(buf), ", eta %.0fs", eta);
+            human += buf;
+        }
+        human += ")" + status2();
+        emitHuman(human);
+    }
+
+    void
+    batchEnd(double wall_seconds)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        emitJson("{\"event\": \"batch_end\", \"completed\": " +
+                 std::to_string(completed_) +
+                 ", \"failed\": " + std::to_string(failed_) +
+                 ", \"total\": " + std::to_string(total_) +
+                 ", \"wallSeconds\": " +
+                 json::formatDouble(wall_seconds) + "}");
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " done in %.1fs",
+                      wall_seconds);
+        emitHuman("[" + std::to_string(completed_ + failed_) + "/" +
+                  std::to_string(total_) + "]" + buf +
+                  (failed_ > 0
+                       ? ", " + std::to_string(failed_) + " failed"
+                       : ""));
+    }
+
+  private:
+    // All helpers assume mutex_ is held.
+
+    std::string
+    position() const
+    {
+        return "[" + std::to_string(completed_ + failed_) + "/" +
+               std::to_string(total_) + "]";
+    }
+
+    std::string
+    status() const
+    {
+        return running_ > 1
+                   ? " (+" + std::to_string(running_ - 1) + " running)"
+                   : "";
+    }
+
+    std::string
+    status2() const
+    {
+        return running_ > 0
+                   ? ", " + std::to_string(running_) + " running"
+                   : "";
+    }
+
+    /** Elapsed/completed extrapolation; negative = not estimable. */
+    double
+    etaSeconds() const
+    {
+        const std::size_t done = completed_ + failed_;
+        if (done == 0 || total_ <= done)
+            return total_ <= done ? 0.0 : -1.0;
+        const double elapsed = since_.seconds();
+        return elapsed / static_cast<double>(done) *
+               static_cast<double>(total_ - done);
+    }
+
+    void
+    emitJson(const std::string& line)
+    {
+        if (!file_)
+            return;
+        const std::string full = line + "\n";
+        std::fwrite(full.data(), 1, full.size(), file_);
+        std::fflush(file_); // flushed, never fsync'd
+    }
+
+    void
+    emitHuman(const std::string& line)
+    {
+        if (!stderr_)
+            return;
+        const std::string full = "mrp: " + line + "\n";
+        std::fwrite(full.data(), 1, full.size(), stderr);
+        std::fflush(stderr);
+    }
+
+    std::mutex mutex_;
+    bool stderr_ = false;
+    std::FILE* file_ = nullptr;
+    std::size_t total_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t running_ = 0;
+    prof::Stopwatch since_;
+};
 
 void
 validate(const RunRequest& req, std::size_t idx)
@@ -166,64 +371,67 @@ stampIdentity(const RunRequest& req, std::size_t index, RunResult& out)
 
 /** One attempt, all failures captured as typed error data. */
 RunResult
-attemptOne(const RunRequest& request, std::size_t index)
+attemptOne(const RunRequest& request, std::size_t index, bool profile)
 {
     RunResult out;
     stampIdentity(request, index, out);
-    const auto start = std::chrono::steady_clock::now();
-    try {
-        executeInto(request, out);
-    } catch (const PanicError& e) {
-        out = RunResult{};
-        stampIdentity(request, index, out);
-        out.error = e.what();
-        out.errorCode = ErrorCode::Internal;
-    } catch (const FatalError& e) {
-        out = RunResult{};
-        stampIdentity(request, index, out);
-        out.error = e.what();
-        out.errorCode = e.code();
-    } catch (const std::bad_alloc&) {
-        out = RunResult{};
-        stampIdentity(request, index, out);
-        out.error = "out of memory executing request";
-        out.errorCode = ErrorCode::Resource;
-    } catch (const std::exception& e) {
-        out = RunResult{};
-        stampIdentity(request, index, out);
-        out.error = e.what();
-        out.errorCode = ErrorCode::Internal;
+    const prof::Stopwatch watch;
+
+    // One profiler per attempt, attached to this worker thread only —
+    // the runner parallelizes across runs, so per-thread attachment is
+    // exactly per-run attribution.
+    std::unique_ptr<prof::Profiler> profiler;
+    if (profile)
+        profiler = std::make_unique<prof::Profiler>();
+    {
+        std::optional<prof::Attach> attach;
+        if (profiler)
+            attach.emplace(*profiler);
+        try {
+            executeInto(request, out);
+        } catch (const PanicError& e) {
+            out = RunResult{};
+            stampIdentity(request, index, out);
+            out.error = e.what();
+            out.errorCode = ErrorCode::Internal;
+        } catch (const FatalError& e) {
+            out = RunResult{};
+            stampIdentity(request, index, out);
+            out.error = e.what();
+            out.errorCode = e.code();
+        } catch (const std::bad_alloc&) {
+            out = RunResult{};
+            stampIdentity(request, index, out);
+            out.error = "out of memory executing request";
+            out.errorCode = ErrorCode::Resource;
+        } catch (const std::exception& e) {
+            out = RunResult{};
+            stampIdentity(request, index, out);
+            out.error = e.what();
+            out.errorCode = ErrorCode::Internal;
+        }
     }
-    out.wallSeconds = secondsSince(start);
+    if (profiler) {
+        auto report = std::make_shared<prof::ProfileReport>(
+            profiler->finish());
+        report->setThroughput(out.instructions, out.llcDemandAccesses);
+        out.profile = std::move(report);
+    }
+    out.wallSeconds = watch.seconds();
     if (out.wallSeconds > 0.0 && out.instructions > 0)
         out.instsPerSecond =
             static_cast<double>(out.instructions) / out.wallSeconds;
     return out;
 }
 
-} // namespace
-
-ExperimentRunner::ExperimentRunner(unsigned jobs) : jobs_(jobs)
-{
-    if (jobs_ == 0)
-        jobs_ = std::max(1u, std::thread::hardware_concurrency());
-}
-
+/** runOne with retry/watchdog plus optional progress reporting. */
 RunResult
-ExperimentRunner::runOne(const RunRequest& request, std::size_t index)
+runOneImpl(const RunRequest& request, std::size_t index,
+           const RunnerOptions& options, ProgressSink* sink)
 {
-    validate(request, index);
-    return attemptOne(request, index);
-}
-
-RunResult
-ExperimentRunner::runOne(const RunRequest& request, std::size_t index,
-                         const RunnerOptions& options)
-{
-    validate(request, index);
     RunResult out;
     for (unsigned attempt = 0;; ++attempt) {
-        out = attemptOne(request, index);
+        out = attemptOne(request, index, options.profile);
         out.attempts = attempt + 1;
         if (out.ok() && options.timeoutSeconds > 0.0 &&
             out.wallSeconds > options.timeoutSeconds) {
@@ -245,6 +453,9 @@ ExperimentRunner::runOne(const RunRequest& request, std::size_t index,
         if (out.ok() || !isRetryable(out.errorCode) ||
             attempt >= options.maxRetries)
             return out;
+        if (sink)
+            sink->runRetry(index, out.label, attempt + 2,
+                           out.errorCode);
         // Deterministic exponential backoff: base * 2^attempt.
         const double delay =
             options.retryBackoffSeconds *
@@ -253,6 +464,29 @@ ExperimentRunner::runOne(const RunRequest& request, std::size_t index,
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(delay));
     }
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(unsigned jobs) : jobs_(jobs)
+{
+    if (jobs_ == 0)
+        jobs_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+RunResult
+ExperimentRunner::runOne(const RunRequest& request, std::size_t index)
+{
+    validate(request, index);
+    return attemptOne(request, index, /*profile=*/false);
+}
+
+RunResult
+ExperimentRunner::runOne(const RunRequest& request, std::size_t index,
+                         const RunnerOptions& options)
+{
+    validate(request, index);
+    return runOneImpl(request, index, options, /*sink=*/nullptr);
 }
 
 RunSet
@@ -271,6 +505,11 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch,
     RunSet set;
     set.results.resize(batch.size());
     std::vector<char> completed(batch.size(), 0);
+
+    std::unique_ptr<ProgressSink> sink;
+    if (options.progressStderr || !options.progressJsonlPath.empty())
+        sink = std::make_unique<ProgressSink>(
+            options.progressStderr, options.progressJsonlPath);
 
     // Resume: restore journaled results and skip their indices.
     if (!options.resumePath.empty()) {
@@ -314,10 +553,17 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch,
         if (!completed[i])
             pending.push_back(i);
 
+    if (sink) {
+        sink->batchStart(batch.size(), batch.size() - pending.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            if (completed[i])
+                sink->runSkipped(i, set.results[i].label);
+    }
+
     const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
         jobs_, std::max<std::size_t>(1, pending.size())));
     set.jobs = workers;
-    const auto start = std::chrono::steady_clock::now();
+    const prof::Stopwatch batch_watch;
 
     // A journal-append failure must not escape a worker thread (that
     // would terminate the process); record the first one and raise it
@@ -337,18 +583,32 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch,
                 }
             }
         }
+        if (sink)
+            sink->runEnd(r);
         set.results[idx] = std::move(r);
     };
 
+    const auto execute = [&](std::size_t idx) {
+        if (sink) {
+            const auto& req = batch[idx];
+            sink->runStart(idx, req.label.empty()
+                                    ? mixName(req.traces)
+                                    : req.label);
+        }
+        return runOneImpl(batch[idx], idx, options, sink.get());
+    };
+
     const auto finish = [&]() {
-        set.wallSeconds = secondsSince(start);
+        set.wallSeconds = batch_watch.seconds();
+        if (sink)
+            sink->batchEnd(set.wallSeconds);
         fatalIf(!journal_err.empty(), journal_err_code,
                 "checkpoint journaling failed: " + journal_err);
     };
 
     if (workers <= 1 || pending.size() <= 1) {
         for (const std::size_t i : pending)
-            complete(i, runOne(batch[i], i, options));
+            complete(i, execute(i));
         finish();
         return set;
     }
@@ -365,7 +625,7 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch,
                 task = queues[(me + off) % workers].stealBack();
             if (!task)
                 return;
-            complete(*task, runOne(batch[*task], *task, options));
+            complete(*task, execute(*task));
         }
     };
 

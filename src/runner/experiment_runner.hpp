@@ -58,6 +58,32 @@ struct RunnerOptions
     /** Base of the deterministic exponential retry backoff: attempt k
      * sleeps backoff * 2^k seconds before re-executing. */
     double retryBackoffSeconds = 0.01;
+
+    /**
+     * Attach a per-run Profiler (prof/profiler.hpp) to each worker for
+     * the duration of each run and store the resulting ProfileReport
+     * in RunResult::profile. Off by default: detached runs produce
+     * reports byte-identical to a build without profiling.
+     */
+    bool profile = false;
+
+    /**
+     * Live batch progress. Opt-in and deliberately excluded from the
+     * deterministic report surface: progress output is wall-clock
+     * flavored (ETA, retry state) and varies run to run.
+     * `progressStderr` emits one human-readable line per event to
+     * stderr; `progressJsonlPath` appends one JSON object per event
+     * ("batch_start", "run_start", "run_retry", "run_end",
+     * "run_skipped", "batch_end") to the given file. Lines are written
+     * with a single fwrite under a lock (never interleaved) and
+     * flushed but NOT fsync'd — progress is a liveness signal, not a
+     * durability record (that is the checkpoint journal's job).
+     * Runs restored from RunnerOptions::resumePath are reported as
+     * "run_skipped": they were not executed, so they have no timing
+     * and do not count toward the ETA estimate.
+     */
+    bool progressStderr = false;
+    std::string progressJsonlPath;
 };
 
 class ExperimentRunner

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "prof/export.hpp"
 #include "telemetry/export.hpp"
 #include "util/logging.hpp"
 
@@ -66,6 +67,19 @@ appendRunJson(std::string& out, const RunResult& r,
         out += ", \"wallSeconds\": " + formatDouble(r.wallSeconds);
         out += ", \"instsPerSecond\": " +
                formatDouble(r.instsPerSecond);
+        // Host-resource split from the profiler when one was attached
+        // (RunnerOptions::profile); absent otherwise so timing-off and
+        // profile-off reports stay byte-stable across PRs.
+        if (r.profile) {
+            out += ", \"userSeconds\": " +
+                   formatDouble(r.profile->userSeconds);
+            out += ", \"sysSeconds\": " +
+                   formatDouble(r.profile->sysSeconds);
+            out += ", \"maxRssKb\": " +
+                   std::to_string(r.profile->maxRssKb);
+            out += ", \"accessesPerSecond\": " +
+                   formatDouble(r.profile->accessesPerSecond);
+        }
     }
     out += "}";
 }
@@ -111,8 +125,14 @@ toCsv(const RunSet& set, const ReportOptions& opts)
         "index,benchmark,policy,label,mode,ipc,mpki,instructions,"
         "llc_demand_accesses,llc_demand_misses,llc_bypasses,error,"
         "error_code";
-    if (opts.timing)
+    bool any_profile = false;
+    for (const auto& r : set.results)
+        any_profile = any_profile || r.profile != nullptr;
+    if (opts.timing) {
         out += ",wall_seconds,insts_per_second";
+        if (any_profile)
+            out += ",user_seconds,sys_seconds,accesses_per_second";
+    }
     out += "\n";
     for (const auto& r : set.results) {
         out += std::to_string(r.index);
@@ -132,6 +152,16 @@ toCsv(const RunSet& set, const ReportOptions& opts)
         if (opts.timing) {
             out += "," + formatDouble(r.wallSeconds);
             out += "," + formatDouble(r.instsPerSecond);
+            if (any_profile) {
+                if (r.profile) {
+                    out += "," + formatDouble(r.profile->userSeconds);
+                    out += "," + formatDouble(r.profile->sysSeconds);
+                    out += "," +
+                           formatDouble(r.profile->accessesPerSecond);
+                } else {
+                    out += ",,,";
+                }
+            }
         }
         out += "\n";
     }
@@ -189,6 +219,27 @@ toTraceJson(const RunSet& set)
         out += telemetry::traceEvents(
             *r.telemetry, static_cast<unsigned>(r.index),
             r.benchmark + "/" + r.policy);
+    }
+    // Profiled runs contribute their phase tree as a second process
+    // family (pid 10000+index) so the host-time flame sits next to the
+    // simulated-time telemetry in the same viewer document.
+    for (const auto& r : set.results) {
+        if (!r.profile)
+            continue;
+        prof::BenchRun br;
+        br.label = r.label;
+        br.benchmark = r.benchmark;
+        br.policy = r.policy;
+        br.profile = *r.profile;
+        std::vector<std::string> events;
+        prof::appendTraceEvents(
+            br, static_cast<int>(10000 + r.index), &events);
+        for (const auto& e : events) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += e;
+        }
     }
     out += "\n], \"displayTimeUnit\": \"ms\"}\n";
     return out;

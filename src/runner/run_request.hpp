@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -25,6 +26,10 @@
 #include "trace/trace.hpp"
 #include "util/logging.hpp"
 #include "util/types.hpp"
+
+namespace mrp::prof {
+struct ProfileReport;
+}
 
 namespace mrp::runner {
 
@@ -128,6 +133,13 @@ struct RunResult
      * artifact, not part of the simulated outcome).
      */
     std::shared_ptr<const telemetry::RunTelemetry> telemetry;
+    /**
+     * Present iff RunnerOptions::profile was set: the run's phase tree
+     * and host-resource capture (see prof/profiler.hpp). Like
+     * telemetry, a per-execution artifact — excluded from the
+     * checkpoint journal and from deterministic reports.
+     */
+    std::shared_ptr<const prof::ProfileReport> profile;
 
     /** Wall-clock execution metrics; excluded from deterministic
      * reports (they vary run to run). */

@@ -5,6 +5,7 @@
 
 #include "cpu/core_model.hpp"
 #include "policy/lru.hpp"
+#include "prof/profiler.hpp"
 #include "sim/telemetry_hooks.hpp"
 #include "util/logging.hpp"
 
@@ -65,8 +66,11 @@ runMultiCore(const std::array<const trace::Trace*, 4>& mix,
             n += c->retired();
         return n;
     };
-    while (total_retired() < cfg.warmupInstructions)
-        step_earliest();
+    {
+        MRP_PROF_SCOPE("warmup");
+        while (total_retired() < cfg.warmupInstructions)
+            step_earliest();
+    }
 
     hier.resetStats();
     // Attach telemetry at the start of the measurement window so every
@@ -88,14 +92,18 @@ runMultiCore(const std::array<const trace::Trace*, 4>& mix,
         base_insts[c] = cores[c]->retired();
     }
 
-    unsigned remaining = 4;
-    while (remaining > 0) {
-        const unsigned c = step_earliest();
-        if (!done[c] &&
-            cores[c]->cycle() >= base_cycle[c] + cfg.measureCycles) {
-            done[c] = true;
-            end_insts[c] = cores[c]->retired();
-            --remaining;
+    {
+        MRP_PROF_SCOPE("measure");
+        unsigned remaining = 4;
+        while (remaining > 0) {
+            const unsigned c = step_earliest();
+            if (!done[c] &&
+                cores[c]->cycle() >=
+                    base_cycle[c] + cfg.measureCycles) {
+                done[c] = true;
+                end_insts[c] = cores[c]->retired();
+                --remaining;
+            }
         }
     }
 

@@ -3,6 +3,7 @@
 #include "cpu/core_model.hpp"
 #include "policy/lru.hpp"
 #include "policy/min.hpp"
+#include "prof/profiler.hpp"
 #include "sim/telemetry_hooks.hpp"
 #include "util/logging.hpp"
 
@@ -30,8 +31,11 @@ runWithPolicy(const trace::Trace& trace,
 
     const auto warm_insts = static_cast<InstCount>(
         static_cast<double>(trace.instructions()) * cfg.warmupFraction);
-    while (!cpu.finished() && cpu.retired() < warm_insts)
-        cpu.step();
+    {
+        MRP_PROF_SCOPE("warmup");
+        while (!cpu.finished() && cpu.retired() < warm_insts)
+            cpu.step();
+    }
     hier.resetStats();
     // Attach telemetry at the start of the measurement window so every
     // metric covers exactly what LevelStats covers.
@@ -46,8 +50,11 @@ runWithPolicy(const trace::Trace& trace,
     const InstCount base_insts = cpu.retired();
     const Cycle base_cycle = cpu.cycle();
 
-    while (!cpu.finished())
-        cpu.step();
+    {
+        MRP_PROF_SCOPE("measure");
+        while (!cpu.finished())
+            cpu.step();
+    }
 
     SingleCoreResult r;
     r.benchmark = trace.name();
@@ -109,9 +116,13 @@ runSingleCoreMin(const trace::Trace& trace, const SingleCoreConfig& cfg)
     SingleCoreConfig pass1_cfg = cfg;
     pass1_cfg.telemetry.enabled = false;
     policy::LlcAccessRecorder recorder;
-    runWithPolicy(trace, std::make_unique<policy::LruPolicy>(geom),
-                  pass1_cfg, &recorder);
+    {
+        MRP_PROF_SCOPE("min.record");
+        runWithPolicy(trace, std::make_unique<policy::LruPolicy>(geom),
+                      pass1_cfg, &recorder);
+    }
     // Pass 2: replay under MIN.
+    MRP_PROF_SCOPE("min.replay");
     auto next_use = policy::computeNextUse(recorder.sequence());
     SingleCoreResult r = runWithPolicy(
         trace,

@@ -6,6 +6,7 @@
 #include <new>
 #include <vector>
 
+#include "prof/profiler.hpp"
 #include "util/crc32.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
@@ -225,6 +226,7 @@ readTrace(std::istream& is)
 Trace
 loadTrace(const std::string& path)
 {
+    MRP_PROF_SCOPE("trace.decode");
     fault::checkIo("trace_io.load.open", "opening " + path);
     std::ifstream is(path, std::ios::binary);
     fatalIf(!is, ErrorCode::Io, "cannot open for reading: " + path);

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "prof/profiler.hpp"
 #include "trace/generators.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
@@ -223,6 +224,7 @@ suiteNames()
 Trace
 makeSuiteTrace(unsigned idx, InstCount instructions)
 {
+    MRP_PROF_SCOPE("trace.generate");
     fatalIf(idx >= suiteSize(), "suite index out of range");
     const auto& d = suiteDefs()[idx];
     return d.gen(paramsFor(d.name, idx, instructions, false));
@@ -231,6 +233,7 @@ makeSuiteTrace(unsigned idx, InstCount instructions)
 Trace
 makeHeldOutTrace(unsigned idx, InstCount instructions)
 {
+    MRP_PROF_SCOPE("trace.generate");
     fatalIf(idx >= heldOutSize(), "held-out index out of range");
     const auto& d = heldOutDefs()[idx];
     return d.gen(paramsFor(d.name, idx, instructions, true));

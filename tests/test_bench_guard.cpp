@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the BENCH regression guard: pass/fail around the
+ * tolerance, missing phases and runs, throughput direction, the
+ * min-seconds noise floor, and schema rejection — all on fixture JSON
+ * documents, the same surface tools/bench_guard drives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "prof/bench_guard.hpp"
+#include "util/json_reader.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::prof {
+namespace {
+
+/** A minimal schema-valid BENCH document with one run. The run has a
+ * measure phase (inclusive @p measure s) with one llc.access child
+ * (@p access s), and the given throughput. */
+std::string
+fixture(double measure, double access, double rate)
+{
+    const auto num = [](double v) { return std::to_string(v); };
+    return std::string("{\"schema\":\"mrp-bench-v1\",") +
+           "\"name\":\"fix\",\"gitSha\":\"0\"," +
+           "\"machine\":{\"os\":\"Linux\"}," + "\"runs\":[{" +
+           "\"label\":\"mix/MPPPB\",\"benchmark\":\"mix\"," +
+           "\"policy\":\"MPPPB\"," +
+           "\"instsPerSecond\":" + num(rate) + "," +
+           "\"accessesPerSecond\":" + num(rate / 4.0) + "," +
+           "\"phases\":{\"label\":\"run\",\"count\":1," +
+           "\"inclusiveSeconds\":" + num(measure + 0.5) + "," +
+           "\"exclusiveSeconds\":0.5,\"children\":[" +
+           "{\"label\":\"measure\",\"count\":1," +
+           "\"inclusiveSeconds\":" + num(measure) + "," +
+           "\"exclusiveSeconds\":" + num(measure - access) + "," +
+           "\"children\":[{\"label\":\"llc.access\",\"count\":100," +
+           "\"inclusiveSeconds\":" + num(access) + "," +
+           "\"exclusiveSeconds\":" + num(access) + "," +
+           "\"children\":[]}]}]}}]}";
+}
+
+json::Value
+parse(const std::string& text)
+{
+    return json::parseJson(text, "fixture");
+}
+
+TEST(BenchGuardTest, IdenticalDocumentsPass)
+{
+    const auto doc = parse(fixture(1.0, 0.8, 1e6));
+    const GuardResult r = compare(doc, doc, GuardOptions{});
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.runsCompared, 1);
+    EXPECT_GT(r.metricsCompared, 0);
+}
+
+TEST(BenchGuardTest, GrowthBeyondToleranceRegresses)
+{
+    const auto base = parse(fixture(1.0, 0.8, 1e6));
+    const auto cand = parse(fixture(2.0, 1.6, 1e6));
+    const GuardResult r = compare(base, cand, GuardOptions{});
+    EXPECT_FALSE(r.ok());
+    bool saw_path = false;
+    for (const Finding& f : r.findings)
+        if (f.kind == Finding::Kind::Regression &&
+            f.metric == "run/measure/llc.access")
+            saw_path = true;
+    EXPECT_TRUE(saw_path);
+}
+
+TEST(BenchGuardTest, ToleranceBoundsTheVerdict)
+{
+    const auto base = parse(fixture(1.0, 0.8, 1e6));
+    const auto cand = parse(fixture(1.1, 0.88, 1e6)); // +10%
+
+    GuardOptions loose;
+    loose.tolerance = 0.15;
+    EXPECT_TRUE(compare(base, cand, loose).ok());
+
+    GuardOptions tight;
+    tight.tolerance = 0.05;
+    EXPECT_FALSE(compare(base, cand, tight).ok());
+}
+
+TEST(BenchGuardTest, ImprovementIsReportedButPasses)
+{
+    const auto base = parse(fixture(1.0, 0.8, 1e6));
+    const auto cand = parse(fixture(0.5, 0.4, 2e6));
+    const GuardResult r = compare(base, cand, GuardOptions{});
+    EXPECT_TRUE(r.ok());
+    bool saw_improvement = false;
+    for (const Finding& f : r.findings)
+        saw_improvement |= f.kind == Finding::Kind::Improvement;
+    EXPECT_TRUE(saw_improvement);
+}
+
+TEST(BenchGuardTest, MissingPhaseIsARegression)
+{
+    const auto base = parse(fixture(1.0, 0.8, 1e6));
+    // Candidate with the llc.access child renamed away.
+    std::string text = fixture(1.0, 0.8, 1e6);
+    const auto pos = text.find("llc.access");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 10, "llc.rename");
+    const GuardResult r = compare(base, parse(text), GuardOptions{});
+    EXPECT_FALSE(r.ok());
+    bool saw_missing = false;
+    for (const Finding& f : r.findings)
+        if (f.kind == Finding::Kind::Missing &&
+            f.metric == "run/measure/llc.access")
+            saw_missing = true;
+    EXPECT_TRUE(saw_missing);
+}
+
+TEST(BenchGuardTest, MissingRunIsARegression)
+{
+    const auto base = parse(fixture(1.0, 0.8, 1e6));
+    const auto cand = parse(
+        "{\"schema\":\"mrp-bench-v1\",\"runs\":[]}");
+    const GuardResult r = compare(base, cand, GuardOptions{});
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, Finding::Kind::Missing);
+    EXPECT_EQ(r.findings[0].run, "mix/MPPPB");
+    EXPECT_EQ(r.runsCompared, 0);
+}
+
+TEST(BenchGuardTest, ThroughputShrinkRegressesGrowthDoesNot)
+{
+    const auto base = parse(fixture(1.0, 0.8, 1e6));
+    const auto slower = parse(fixture(1.0, 0.8, 5e5));
+    EXPECT_FALSE(compare(base, slower, GuardOptions{}).ok());
+
+    GuardOptions no_tp;
+    no_tp.checkThroughput = false;
+    EXPECT_TRUE(compare(base, slower, no_tp).ok());
+
+    const auto faster = parse(fixture(1.0, 0.8, 2e6));
+    EXPECT_TRUE(compare(base, faster, GuardOptions{}).ok());
+}
+
+TEST(BenchGuardTest, MinSecondsSkipsNoisePhases)
+{
+    // Every phase below the floor: a 10x swing must not fire.
+    const auto base = parse(fixture(0.004, 0.002, 0.0));
+    const auto cand = parse(fixture(0.04, 0.02, 0.0));
+    GuardOptions opts;
+    opts.minSeconds = 1.0; // above every phase, including root "run"
+    opts.checkThroughput = false;
+    const GuardResult r = compare(base, cand, opts);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.metricsCompared, 0);
+}
+
+TEST(BenchGuardTest, UnsupportedSchemaIsRejected)
+{
+    const auto good = parse(fixture(1.0, 0.8, 1e6));
+    const auto bad =
+        parse("{\"schema\":\"mrp-bench-v0\",\"runs\":[]}");
+    EXPECT_THROW(compare(bad, good, GuardOptions{}), FatalError);
+    EXPECT_THROW(compare(good, bad, GuardOptions{}), FatalError);
+}
+
+TEST(BenchGuardTest, FormatFindingsRendersVerdict)
+{
+    const auto base = parse(fixture(1.0, 0.8, 1e6));
+    const auto cand = parse(fixture(2.0, 1.6, 5e5));
+    const GuardOptions opts;
+    const GuardResult r = compare(base, cand, opts);
+    const std::string text = formatFindings(r, opts);
+    EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+    EXPECT_NE(text.find("run/measure"), std::string::npos);
+
+    const GuardResult clean = compare(base, base, opts);
+    EXPECT_NE(formatFindings(clean, opts).find("OK"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mrp::prof
