@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Configuration-search driver: optimize MPPPB predictor configurations
+ * over the synthetic training corpus with any of the sweep strategies
+ * (genetic, random, grid, successive halving), producing the
+ * deterministic study report.
+ *
+ * Usage:
+ *   mrp_sweep_cli [--strategy genetic|random|halving|grid]
+ *                 [--generations N] [--population N]
+ *                 [--budget-insts N] [--workloads I,J,...]
+ *                 [--llc-kb N]
+ *                 [--slots N] [--search-thresholds] [--search-sampler]
+ *                 [--objective geomean|mean] [--seed N] [--jobs N]
+ *                 [--journal FILE] [--resume] [--out FILE]
+ *                 [--prof-out FILE]
+ *   genetic:  [--tournament N] [--crossover R] [--mutation R]
+ *             [--elites N]
+ *   halving:  [--initial N] [--eta N] [--rungs N]
+ *   grid:     --grid GENE:V1,V2,...   (repeatable, one axis each)
+ *
+ * The report (stdout, or --out FILE) is a pure function of the search
+ * space, strategy, seed, and objective — no wall-clock fields, no
+ * dependence on --jobs. --journal makes the study crash-safe: every
+ * evaluated candidate is appended to an fsync'd checkpoint journal and
+ * the in-flight generation's raw runs stream into FILE.runs, so a
+ * killed sweep rerun with --resume replays journaled fitnesses
+ * (completed work costs zero simulations) and emits a byte-identical
+ * report. A fitness cache keyed by canonical genome guarantees
+ * duplicate candidates never re-simulate. --seed drives the strategy's
+ * RNG and is stamped into every run and the report, so a study is
+ * replayable from its report alone.
+ *
+ * --prof-out FILE wraps the study in a phase-timer Profiler and writes
+ * a BENCH_*.json document (schema "mrp-bench-v1") with the
+ * sweep.generation / sweep.ask / sweep.simulate / sweep.tell phase
+ * tree and total simulated throughput.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prof/export.hpp"
+#include "runner/report.hpp"
+#include "sweep/study.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace mrp;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mrp_sweep_cli [--strategy genetic|random|halving|"
+        "grid]\n"
+        "                     [--generations N] [--population N]\n"
+        "                     [--budget-insts N] "
+        "[--workloads I,J,...]\n"
+        "                     [--llc-kb N]\n"
+        "                     [--slots N] [--search-thresholds]\n"
+        "                     [--search-sampler]\n"
+        "                     [--objective geomean|mean] [--seed N]\n"
+        "                     [--jobs N] [--journal FILE] [--resume]\n"
+        "                     [--out FILE] [--prof-out FILE]\n"
+        "       genetic: [--tournament N] [--crossover R]\n"
+        "                [--mutation R] [--elites N]\n"
+        "       halving: [--initial N] [--eta N] [--rungs N]\n"
+        "       grid:    --grid GENE:V1,V2,...  (one axis each)\n");
+    return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const auto comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+int run(int argc, char** argv);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "mrp_sweep_cli: %s [%s]\n", e.what(),
+                     errorCodeName(e.code()));
+        return 2;
+    }
+}
+
+namespace {
+
+int
+run(int argc, char** argv)
+{
+    std::string strategy_name = "genetic";
+    std::string objective_name = "geomean";
+    std::string journal_path;
+    std::string out_path;
+    std::string prof_out_path;
+    bool resume = false;
+    unsigned generations = 5;
+    unsigned population = 16;
+    InstCount budget_insts = 400000;
+    std::vector<unsigned> workloads = {2,  7,  9,  12, 14,
+                                       16, 18, 21, 25, 30};
+    Addr llc_kb = 2048;
+    unsigned slots = 16;
+    bool search_thresholds = false;
+    bool search_sampler = false;
+    std::uint64_t seed = 1;
+    unsigned jobs = 0;
+    // genetic knobs
+    unsigned tournament = 3;
+    double crossover = 0.9;
+    double mutation = 0.08;
+    unsigned elites = 2;
+    // halving knobs
+    unsigned initial = 16;
+    unsigned eta = 2;
+    unsigned rungs = 3;
+    std::vector<sweep::GridAxis> grid_axes;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            fatalIf(i + 1 >= argc, "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--strategy") {
+            strategy_name = next();
+        } else if (arg == "--objective") {
+            objective_name = next();
+        } else if (arg == "--generations") {
+            generations = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--population") {
+            population = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--budget-insts") {
+            budget_insts = std::strtoull(next(), nullptr, 10);
+            fatalIf(budget_insts == 0,
+                    "--budget-insts must be positive");
+        } else if (arg == "--workloads") {
+            workloads.clear();
+            for (const auto& w : splitCommas(next()))
+                workloads.push_back(static_cast<unsigned>(
+                    std::strtoul(w.c_str(), nullptr, 10)));
+        } else if (arg == "--llc-kb") {
+            llc_kb = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--slots") {
+            slots = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--search-thresholds") {
+            search_thresholds = true;
+        } else if (arg == "--search-sampler") {
+            search_sampler = true;
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--journal") {
+            journal_path = next();
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--prof-out") {
+            prof_out_path = next();
+        } else if (arg == "--tournament") {
+            tournament = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--crossover") {
+            crossover = std::atof(next());
+        } else if (arg == "--mutation") {
+            mutation = std::atof(next());
+        } else if (arg == "--elites") {
+            elites = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--initial") {
+            initial = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--eta") {
+            eta = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--rungs") {
+            rungs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--grid") {
+            // GENE:V1,V2,... — one axis of the cross product.
+            const std::string spec = next();
+            const auto colon = spec.find(':');
+            fatalIf(colon == std::string::npos,
+                    "--grid expects GENE:V1,V2,...");
+            sweep::GridAxis axis;
+            axis.gene = std::strtoul(spec.c_str(), nullptr, 10);
+            for (const auto& v :
+                 splitCommas(spec.substr(colon + 1)))
+                axis.values.push_back(
+                    std::atoi(v.c_str()));
+            grid_axes.push_back(std::move(axis));
+        } else {
+            return usage();
+        }
+    }
+    fatalIf(workloads.empty(), "--workloads list is empty");
+
+    sweep::SearchSpace space;
+    space.featureSlots = slots;
+    space.searchThresholds = search_thresholds;
+    space.searchSampler = search_sampler;
+
+    sweep::CorpusConfig corpus;
+    corpus.workloads = workloads;
+    corpus.fullInstructions = budget_insts;
+    corpus.sim.hierarchy.llcBytes = llc_kb * 1024;
+    corpus.jobs = jobs;
+    const auto evaluator =
+        std::make_shared<sweep::CorpusEvaluator>(corpus);
+    sweep::CorpusMpkiObjective objective(
+        evaluator, objective_name == "mean"
+                       ? sweep::CorpusMpkiObjective::Aggregate::Mean
+                       : sweep::CorpusMpkiObjective::Aggregate::Geomean);
+    if (objective_name != "mean" && objective_name != "geomean")
+        return usage();
+
+    std::unique_ptr<sweep::Strategy> strategy;
+    if (strategy_name == "genetic") {
+        sweep::GeneticStrategy::Config gc;
+        gc.generations = generations;
+        gc.population = population;
+        gc.tournament = tournament;
+        gc.crossoverRate = crossover;
+        gc.mutationRate = mutation;
+        gc.elites = elites;
+        // Start from the paper-default configuration so the search
+        // can only improve on it (elitism keeps the incumbent alive).
+        // A space with fewer slots than the paper's 16 features can't
+        // hold the incumbent; those searches start purely random.
+        if (space.base.predictor.features.size() <= space.featureSlots)
+            gc.seeds.push_back(space.encode(space.base));
+        strategy =
+            std::make_unique<sweep::GeneticStrategy>(space, gc, seed);
+    } else if (strategy_name == "random") {
+        strategy = std::make_unique<sweep::RandomStrategy>(
+            space, generations, population, seed);
+    } else if (strategy_name == "halving") {
+        sweep::HalvingStrategy::Config hc;
+        hc.initial = initial;
+        hc.eta = eta;
+        hc.rungs = rungs;
+        hc.fullInstructions = budget_insts;
+        strategy =
+            std::make_unique<sweep::HalvingStrategy>(space, hc, seed);
+    } else if (strategy_name == "grid") {
+        fatalIf(grid_axes.empty(),
+                "--strategy grid needs at least one --grid axis");
+        strategy = std::make_unique<sweep::GridStrategy>(
+            space, space.encode(space.base), std::move(grid_axes));
+    } else {
+        return usage();
+    }
+
+    sweep::StudyConfig scfg;
+    scfg.name = "mrp_sweep_cli";
+    scfg.seed = seed;
+    scfg.jobs = jobs;
+    scfg.journalPath = journal_path;
+    if (resume) {
+        fatalIf(journal_path.empty(), "--resume requires --journal");
+        std::ifstream probe(journal_path);
+        if (!probe)
+            std::fprintf(stderr,
+                         "note: journal %s not found; starting cold\n",
+                         journal_path.c_str());
+        scfg.resume = true;
+    }
+    sweep::Study study(space, *strategy, objective, scfg);
+
+    sweep::StudyResult result;
+    if (!prof_out_path.empty()) {
+        prof::Profiler profiler;
+        {
+            const prof::Attach attach(profiler);
+            result = study.run();
+        }
+        auto profile = profiler.finish();
+        std::uint64_t insts = 0, accesses = 0;
+        for (const auto& o : result.candidates) {
+            if (o.cached)
+                continue;
+            insts += o.instructions;
+            accesses += o.llcDemandAccesses;
+        }
+        profile.setThroughput(insts, accesses);
+        prof::BenchRun br;
+        br.label = "study/" + strategy_name;
+        br.benchmark = scfg.name;
+        br.policy = strategy->name();
+        br.profile = std::move(profile);
+        runner::writeFile(prof_out_path,
+                          prof::benchJson("sweep", {br},
+                                          prof::machineInfo(),
+                                          prof::gitSha()));
+        std::fprintf(stderr, "wrote %s\n", prof_out_path.c_str());
+    } else {
+        result = study.run();
+    }
+
+    const std::string report = study.reportJson(result);
+    if (out_path.empty()) {
+        std::fputs(report.c_str(), stdout);
+    } else {
+        runner::writeFile(out_path, report);
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+
+    // Human summary on stderr so stdout stays machine-readable.
+    for (const auto& g : result.generations)
+        std::fprintf(stderr,
+                     "gen %u: %zu candidates (%zu simulated, %zu "
+                     "cached), best fitness %.4f, mean %.4f\n",
+                     g.generation, g.evaluations, g.simulations,
+                     g.cacheHits, g.bestFitness, g.meanFitness);
+    if (result.hasBest) {
+        const auto& b = result.candidates[result.bestId];
+        std::fprintf(stderr,
+                     "best: candidate %zu, corpus MPKI %.4f, %llu "
+                     "predictor bits\n",
+                     b.id, b.mpki,
+                     static_cast<unsigned long long>(b.predictorBits));
+        return 0;
+    }
+    std::fprintf(stderr, "no successful candidate\n");
+    return 1;
+}
+
+} // namespace

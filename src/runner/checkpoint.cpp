@@ -46,6 +46,8 @@ journalJson(const RunResult& r)
     out += ", \"llcDemandMisses\": " +
            std::to_string(r.llcDemandMisses);
     out += ", \"llcBypasses\": " + std::to_string(r.llcBypasses);
+    if (r.seed != 0)
+        out += ", \"seed\": " + std::to_string(r.seed);
     if (r.multiCore) {
         out += ", \"coreIpc\": [";
         for (std::size_t c = 0; c < r.coreIpc.size(); ++c) {
@@ -292,6 +294,8 @@ class JsonParser
             return parseU64(&out.llcDemandMisses);
         if (key == "llcBypasses")
             return parseU64(&out.llcBypasses);
+        if (key == "seed")
+            return parseU64(&out.seed);
         if (key == "coreIpc")
             return parseDoubleArray(&out.coreIpc);
         // Unknown key: tolerate forward-compatible additions if the

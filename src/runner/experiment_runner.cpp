@@ -367,6 +367,8 @@ stampIdentity(const RunRequest& req, std::size_t index, RunResult& out)
     out.policy = req.policy.name;
     out.label = req.label.empty() ? out.benchmark : req.label;
     out.multiCore = req.isMultiCore();
+    out.seed = std::visit(
+        [](const auto& cfg) { return cfg.seed; }, req.config);
 }
 
 /** One attempt, all failures captured as typed error data. */

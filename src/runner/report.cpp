@@ -46,6 +46,10 @@ appendRunJson(std::string& out, const RunResult& r,
     out += ", \"llcDemandMisses\": " +
            std::to_string(r.llcDemandMisses);
     out += ", \"llcBypasses\": " + std::to_string(r.llcBypasses);
+    // Seed provenance: emitted only when a non-default seed was set,
+    // so pre-seed reports stay byte-identical.
+    if (r.seed != 0)
+        out += ", \"seed\": " + std::to_string(r.seed);
     if (r.multiCore) {
         out += ", \"coreIpc\": [";
         for (std::size_t c = 0; c < r.coreIpc.size(); ++c) {
@@ -126,8 +130,15 @@ toCsv(const RunSet& set, const ReportOptions& opts)
         "llc_demand_accesses,llc_demand_misses,llc_bypasses,error,"
         "error_code";
     bool any_profile = false;
-    for (const auto& r : set.results)
+    bool any_seed = false;
+    for (const auto& r : set.results) {
         any_profile = any_profile || r.profile != nullptr;
+        any_seed = any_seed || r.seed != 0;
+    }
+    // The seed column appears only when some run was re-seeded, so
+    // default-seeded CSV output is byte-identical to pre-seed output.
+    if (any_seed)
+        out += ",seed";
     if (opts.timing) {
         out += ",wall_seconds,insts_per_second";
         if (any_profile)
@@ -149,6 +160,8 @@ toCsv(const RunSet& set, const ReportOptions& opts)
         out += "," + escapeCsv(r.error);
         out += std::string(",") +
                (r.ok() ? "" : errorCodeName(r.errorCode));
+        if (any_seed)
+            out += "," + std::to_string(r.seed);
         if (opts.timing) {
             out += "," + formatDouble(r.wallSeconds);
             out += "," + formatDouble(r.instsPerSecond);

@@ -17,6 +17,8 @@
  *         "ipc": X, "mpki": X, "instructions": N,
  *         "llcDemandAccesses": N, "llcDemandMisses": N,
  *         "llcBypasses": N,
+ *         "seed": N,                  // re-seeded runs only (see
+ *                                     // DriverConfig::seed)
  *         "coreIpc": [X, ...],        // multi-core runs only
  *         "metrics": { ... },         // telemetry-enabled runs only
  *                                     // (see telemetry/export.hpp)
@@ -32,7 +34,9 @@
  * CSV columns:
  *   index,benchmark,policy,label,mode,ipc,mpki,instructions,
  *   llc_demand_accesses,llc_demand_misses,llc_bypasses,error,
- *   error_code[,wall_seconds,insts_per_second]†
+ *   error_code[,seed][,wall_seconds,insts_per_second]†
+ * (the seed column appears only when at least one run carries a
+ * non-default DriverConfig::seed)
  * When at least one run carries telemetry, a second section follows
  * the table, separated by a blank line:
  *   # metrics

@@ -118,6 +118,11 @@ struct RunResult
     /** Classification of `error`; None on success. */
     ErrorCode errorCode = ErrorCode::None;
     bool multiCore = false;
+    /** Experiment seed copied from the request's DriverConfig;
+     * recorded in reports and the checkpoint journal when nonzero
+     * (0 = default seeding, omitted for byte-compat with pre-seed
+     * artifacts). */
+    std::uint64_t seed = 0;
 
     double ipc = 0.0;
     double mpki = 0.0;

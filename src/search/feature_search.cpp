@@ -1,6 +1,5 @@
 #include "search/feature_search.hpp"
 
-#include "trace/workloads.hpp"
 #include "util/logging.hpp"
 #include "util/math_util.hpp"
 
@@ -10,9 +9,11 @@ FeatureSetEvaluator::FeatureSetEvaluator(const SearchConfig& cfg)
     : cfg_(cfg)
 {
     fatalIf(cfg.workloads.empty(), "search needs training workloads");
-    for (const unsigned w : cfg.workloads)
-        traces_.push_back(
-            trace::makeSuiteTrace(w, cfg.traceInstructions));
+    sweep::CorpusConfig corpus;
+    corpus.workloads = cfg.workloads;
+    corpus.fullInstructions = cfg.traceInstructions;
+    corpus.sim = cfg.sim;
+    corpus_ = std::make_shared<sweep::CorpusEvaluator>(corpus);
 }
 
 double
@@ -21,31 +22,25 @@ FeatureSetEvaluator::averageMpki(
 {
     core::MpppbConfig mcfg = cfg_.baseConfig;
     mcfg.predictor.features = features;
-    const auto factory = sim::makeMpppbFactory(mcfg);
-    std::vector<double> mpkis;
-    mpkis.reserve(traces_.size());
-    for (const auto& t : traces_)
-        mpkis.push_back(sim::runSingleCore(t, factory, cfg_.sim).mpki);
-    return mean(mpkis);
+    return mean(corpus_->mpppbMpkis(mcfg));
 }
 
 double
 FeatureSetEvaluator::lruMpki()
 {
-    const auto factory = sim::makePolicyFactory("LRU");
-    std::vector<double> mpkis;
-    for (const auto& t : traces_)
-        mpkis.push_back(sim::runSingleCore(t, factory, cfg_.sim).mpki);
-    return mean(mpkis);
+    return mean(corpus_->policyMpkis("LRU"));
 }
 
 double
 FeatureSetEvaluator::minMpki()
 {
-    std::vector<double> mpkis;
-    for (const auto& t : traces_)
-        mpkis.push_back(sim::runSingleCoreMin(t, cfg_.sim).mpki);
-    return mean(mpkis);
+    return mean(corpus_->policyMpkis("MIN"));
+}
+
+std::size_t
+FeatureSetEvaluator::workloadCount() const
+{
+    return corpus_->workloadCount();
 }
 
 std::vector<Candidate>

@@ -10,10 +10,12 @@
 #ifndef MRP_SEARCH_FEATURE_SEARCH_HPP
 #define MRP_SEARCH_FEATURE_SEARCH_HPP
 
+#include <memory>
 #include <vector>
 
 #include "core/mpppb.hpp"
 #include "sim/single_core.hpp"
+#include "sweep/objective.hpp"
 #include "trace/trace.hpp"
 
 namespace mrp::search {
@@ -37,7 +39,10 @@ struct Candidate
 
 /**
  * Evaluates feature sets by average MPKI over a fixed training
- * workload list; traces are generated once and reused.
+ * workload list. A thin shim over sweep::CorpusEvaluator — the sweep
+ * subsystem's shared evaluation path — kept so existing callers and
+ * the greedy searches below compile unchanged; traces are generated
+ * once and reused, and candidates fan out on the ExperimentRunner.
  */
 class FeatureSetEvaluator
 {
@@ -53,11 +58,17 @@ class FeatureSetEvaluator
     /** Average MPKI of MIN (lower reference line of Fig. 3). */
     double minMpki();
 
-    std::size_t workloadCount() const { return traces_.size(); }
+    std::size_t workloadCount() const;
+
+    /** The underlying corpus evaluator (shared with sweep studies). */
+    const std::shared_ptr<sweep::CorpusEvaluator>& corpus() const
+    {
+        return corpus_;
+    }
 
   private:
     SearchConfig cfg_;
-    std::vector<trace::Trace> traces_;
+    std::shared_ptr<sweep::CorpusEvaluator> corpus_;
 };
 
 /**

@@ -50,6 +50,17 @@ struct DriverConfig
      * carries a RunTelemetry. Disabled (the default) costs nothing.
      */
     telemetry::TelemetryConfig telemetry{};
+
+    /**
+     * Experiment RNG seed. The simulation itself is deterministic, so
+     * the drivers do not draw from it; its job is provenance: the
+     * runner stamps it into every RunResult and the reports/journal
+     * record it (when nonzero), so a study can be replayed from its
+     * report alone. Callers that re-seed their inputs (trace
+     * generation salt, sweep strategies) should thread the same value
+     * here. 0 = the paper-default seeding, omitted from reports.
+     */
+    std::uint64_t seed = 0;
 };
 
 } // namespace mrp::sim

@@ -1,0 +1,118 @@
+#include "sweep/objective.hpp"
+
+#include <algorithm>
+
+#include "trace/workloads.hpp"
+#include "util/logging.hpp"
+#include "util/math_util.hpp"
+
+namespace mrp::sweep {
+
+CorpusEvaluator::CorpusEvaluator(const CorpusConfig& cfg)
+    : cfg_(cfg), pool_(cfg.jobs)
+{
+    fatalIf(cfg_.workloads.empty(),
+            "corpus evaluator needs training workloads");
+    fatalIf(cfg_.fullInstructions == 0,
+            "corpus evaluator needs a trace length");
+}
+
+const std::vector<trace::Trace>&
+CorpusEvaluator::traces(InstCount budget_insts)
+{
+    const InstCount insts =
+        budget_insts == 0 ? cfg_.fullInstructions : budget_insts;
+    auto it = traceCache_.find(insts);
+    if (it == traceCache_.end()) {
+        std::vector<trace::Trace> ts;
+        ts.reserve(cfg_.workloads.size());
+        for (const unsigned w : cfg_.workloads)
+            ts.push_back(trace::makeSuiteTrace(w, insts));
+        it = traceCache_.emplace(insts, std::move(ts)).first;
+    }
+    return it->second;
+}
+
+std::vector<double>
+CorpusEvaluator::run(const runner::PolicySpec& spec,
+                     InstCount budget_insts)
+{
+    const auto& ts = traces(budget_insts);
+    std::vector<runner::RunRequest> batch;
+    batch.reserve(ts.size());
+    for (const auto& t : ts)
+        batch.push_back(
+            runner::RunRequest::singleCore(t, spec, cfg_.sim));
+    const auto set = pool_.run(batch);
+    std::vector<double> out;
+    out.reserve(set.results.size());
+    for (const auto& r : set.results) {
+        fatalIf(!r.ok(), r.errorCode, "corpus run failed: " + r.error);
+        out.push_back(r.mpki);
+    }
+    return out;
+}
+
+std::vector<double>
+CorpusEvaluator::mpppbMpkis(const core::MpppbConfig& cfg,
+                            InstCount budget_insts)
+{
+    return run(runner::PolicySpec::custom("MPPPB",
+                                          sim::makeMpppbFactory(cfg)),
+               budget_insts);
+}
+
+std::vector<double>
+CorpusEvaluator::policyMpkis(const std::string& name,
+                             InstCount budget_insts)
+{
+    return run(runner::PolicySpec::byName(name), budget_insts);
+}
+
+CorpusMpkiObjective::CorpusMpkiObjective(
+    std::shared_ptr<CorpusEvaluator> evaluator, Aggregate aggregate)
+    : evaluator_(std::move(evaluator)), aggregate_(aggregate)
+{
+    fatalIf(!evaluator_, "CorpusMpkiObjective needs an evaluator");
+}
+
+std::string
+CorpusMpkiObjective::name() const
+{
+    return aggregate_ == Aggregate::Geomean ? "corpus-mpki-geomean"
+                                            : "corpus-mpki-mean";
+}
+
+std::vector<runner::RunRequest>
+CorpusMpkiObjective::requests(const core::MpppbConfig& cfg,
+                              InstCount budget_insts)
+{
+    const auto& ts = evaluator_->traces(budget_insts);
+    const auto factory = sim::makeMpppbFactory(cfg);
+    std::vector<runner::RunRequest> out;
+    out.reserve(ts.size());
+    for (const auto& t : ts)
+        out.push_back(runner::RunRequest::singleCore(
+            t, runner::PolicySpec::custom("MPPPB", factory),
+            evaluator_->config().sim));
+    return out;
+}
+
+Score
+CorpusMpkiObjective::score(
+    const std::vector<const runner::RunResult*>& results)
+{
+    fatalIf(results.empty(), "scoring an empty result set");
+    std::vector<double> mpkis;
+    mpkis.reserve(results.size());
+    for (const auto* r : results)
+        mpkis.push_back(aggregate_ == Aggregate::Geomean
+                            ? std::max(r->mpki, kGeomeanMpkiFloor)
+                            : r->mpki);
+    const double agg = aggregate_ == Aggregate::Geomean
+                           ? geomean(mpkis)
+                           : mean(mpkis);
+    return {-agg, agg};
+}
+
+} // namespace mrp::sweep

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Declarative search space over MPPPB configurations (paper §5).
+ *
+ * A SearchSpace names every tunable of the predictor — per-feature
+ * enable/kind/associativity/bit-range/depth/xor, optionally the five
+ * placement/bypass thresholds and the sampler density — and gives each
+ * a bounded integer gene. A configuration is then a flat Genome
+ * (std::vector<int>) that every search strategy can draw, cross over,
+ * and mutate without knowing what the genes mean.
+ *
+ * Genomes are *canonical*: clamp() maps any integer vector into the
+ * space (bounds, begin<=end, don't-care parameters zeroed for kinds
+ * that ignore them, thresholds sorted descending, at least one feature
+ * enabled), and two genomes are equal iff they decode to the same
+ * configuration. That makes genomeKey() a sound fitness-cache key: a
+ * duplicate candidate can never re-simulate under a different name.
+ */
+
+#ifndef MRP_SWEEP_SEARCH_SPACE_HPP
+#define MRP_SWEEP_SEARCH_SPACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mpppb.hpp"
+#include "util/json_reader.hpp"
+#include "util/rng.hpp"
+
+namespace mrp::sweep {
+
+/** Flat integer genome; gene meaning is defined by the SearchSpace. */
+using Genome = std::vector<int>;
+
+/** Name and inclusive bounds of one gene. */
+struct GeneSpec
+{
+    std::string name;
+    int min = 0;
+    int max = 0;
+};
+
+/** Genes per feature slot: enabled, kind, assoc, begin, end, depth,
+ * xorPc. */
+inline constexpr std::size_t kGenesPerSlot = 7;
+
+struct SearchSpace
+{
+    /** Feature slots in the genome; the paper settles on 16 (§5). */
+    unsigned featureSlots = 16;
+    /** Also search τ0/τ1/τ2/τ3/τ4 (placement/bypass thresholds). */
+    bool searchThresholds = false;
+    /** Also search the sampler density (sampledSetsPerCore). */
+    bool searchSampler = false;
+    /** Candidate sampler densities when searchSampler is set. */
+    std::vector<std::uint32_t> samplerSets = {16, 32, 64, 128};
+    /** Template for everything the genome does not cover (substrate,
+     * weight bits, un-searched thresholds, placement positions). */
+    core::MpppbConfig base = core::singleThreadMpppbConfig();
+
+    /** Gene descriptors, in genome order. */
+    std::vector<GeneSpec> genes() const;
+
+    std::size_t genomeSize() const;
+
+    /** Map any integer vector (of genomeSize()) into the space; every
+     * decodable genome is a fixed point. Throws on size mismatch. */
+    Genome clamp(Genome g) const;
+
+    /** Canonical genome of @p cfg; throws FatalError if @p cfg is not
+     * representable in this space (validated round-trip). */
+    Genome encode(const core::MpppbConfig& cfg) const;
+
+    /** Like encode(), but parameters outside the space are clamped to
+     * the nearest representable configuration instead of rejected —
+     * for seeding a study with externally-drawn configurations (e.g.
+     * the paper's §5.1 random feature sets). */
+    Genome encodeClamped(const core::MpppbConfig& cfg) const;
+
+    /** Configuration named by canonical genome @p g. */
+    core::MpppbConfig decode(const Genome& g) const;
+
+    /** Uniform random canonical genome. */
+    Genome randomGenome(Rng& rng) const;
+
+    /** Predictor weight-storage cost of @p g in bits (Σ enabled
+     * feature tableSize × weightBits); the hardware-budget axis of
+     * the study's Pareto front. */
+    std::uint64_t predictorBits(const Genome& g) const;
+
+    /** Stable text key of @p g (gene values comma-joined); the
+     * fitness-cache / journal identity of a candidate. */
+    std::string genomeKey(const Genome& g) const;
+
+    /** @p g as a JSON array. */
+    std::string genomeJson(const Genome& g) const;
+
+    /** Parse a genomeJson() array back (validated size + clamp). */
+    Genome genomeFromJson(const json::Value& v) const;
+
+    /** One-line JSON description of the space itself (report header /
+     * study fingerprint). */
+    std::string spaceJson() const;
+};
+
+} // namespace mrp::sweep
+
+#endif // MRP_SWEEP_SEARCH_SPACE_HPP

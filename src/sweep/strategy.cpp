@@ -1,0 +1,263 @@
+#include "sweep/strategy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace mrp::sweep {
+
+namespace {
+
+/** Indices of @p results sorted by fitness descending, ties by ask
+ * order (stable), so selection is identical on every replay. */
+std::vector<std::size_t>
+rankByFitness(const std::vector<Evaluated>& results)
+{
+    std::vector<std::size_t> order(results.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return results[a].fitness >
+                                results[b].fitness;
+                     });
+    return order;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- list
+
+ListStrategy::ListStrategy(std::vector<Candidate> candidates)
+    : candidates_(std::move(candidates))
+{
+    fatalIf(candidates_.empty(), "ListStrategy with no candidates");
+}
+
+std::vector<Candidate>
+ListStrategy::ask()
+{
+    if (asked_)
+        return {};
+    asked_ = true;
+    return candidates_;
+}
+
+void
+ListStrategy::tell(const std::vector<Evaluated>& results)
+{
+    (void)results;
+}
+
+// ---------------------------------------------------------------- grid
+
+GridStrategy::GridStrategy(const SearchSpace& space, Genome base,
+                           std::vector<GridAxis> axes)
+{
+    base = space.clamp(std::move(base));
+    fatalIf(axes.empty(), "GridStrategy with no axes");
+    for (const auto& a : axes) {
+        fatalIf(a.gene >= space.genomeSize(),
+                "grid axis gene index out of range");
+        fatalIf(a.values.empty(), "grid axis with no values");
+    }
+    // Odometer enumeration of the cross product, first axis fastest.
+    std::vector<std::size_t> pos(axes.size(), 0);
+    while (true) {
+        Genome g = base;
+        for (std::size_t a = 0; a < axes.size(); ++a)
+            g[axes[a].gene] = axes[a].values[pos[a]];
+        candidates_.push_back({space.clamp(std::move(g)), 0});
+        std::size_t a = 0;
+        for (; a < axes.size(); ++a) {
+            if (++pos[a] < axes[a].values.size())
+                break;
+            pos[a] = 0;
+        }
+        if (a == axes.size())
+            break;
+    }
+}
+
+std::vector<Candidate>
+GridStrategy::ask()
+{
+    if (asked_)
+        return {};
+    asked_ = true;
+    return candidates_;
+}
+
+void
+GridStrategy::tell(const std::vector<Evaluated>& results)
+{
+    (void)results;
+}
+
+// -------------------------------------------------------------- random
+
+RandomStrategy::RandomStrategy(const SearchSpace& space,
+                               unsigned generations,
+                               unsigned population, std::uint64_t seed)
+    : space_(space), generations_(generations),
+      population_(population), rng_(seed)
+{
+    fatalIf(generations_ == 0 || population_ == 0,
+            "RandomStrategy needs generations and population > 0");
+}
+
+std::vector<Candidate>
+RandomStrategy::ask()
+{
+    if (generation_ >= generations_)
+        return {};
+    ++generation_;
+    std::vector<Candidate> out;
+    out.reserve(population_);
+    for (unsigned i = 0; i < population_; ++i)
+        out.push_back({space_.randomGenome(rng_), 0});
+    return out;
+}
+
+void
+RandomStrategy::tell(const std::vector<Evaluated>& results)
+{
+    (void)results;
+}
+
+// ------------------------------------------------------------- halving
+
+HalvingStrategy::HalvingStrategy(const SearchSpace& space,
+                                 const Config& cfg, std::uint64_t seed)
+    : space_(space), cfg_(cfg), rng_(seed)
+{
+    fatalIf(cfg_.initial == 0, "HalvingStrategy needs candidates");
+    fatalIf(cfg_.eta < 2, "HalvingStrategy eta must be >= 2");
+    fatalIf(cfg_.rungs == 0, "HalvingStrategy needs rungs");
+    fatalIf(cfg_.rungs > 1 && cfg_.fullInstructions == 0,
+            "HalvingStrategy needs fullInstructions to derive the "
+            "short-rung budgets");
+}
+
+InstCount
+HalvingStrategy::budgetForRung(unsigned rung) const
+{
+    if (rung + 1 >= cfg_.rungs)
+        return 0; // final rung: the objective's full trace length
+    InstCount divisor = 1;
+    for (unsigned i = rung + 1; i < cfg_.rungs; ++i)
+        divisor *= cfg_.eta;
+    return std::max<InstCount>(cfg_.fullInstructions / divisor, 1);
+}
+
+std::vector<Candidate>
+HalvingStrategy::ask()
+{
+    if (rung_ >= cfg_.rungs)
+        return {};
+    std::vector<Candidate> out;
+    if (rung_ == 0) {
+        out.reserve(cfg_.initial);
+        for (unsigned i = 0; i < cfg_.initial; ++i)
+            out.push_back({space_.randomGenome(rng_),
+                           budgetForRung(0)});
+    } else {
+        out.reserve(survivors_.size());
+        for (const auto& g : survivors_)
+            out.push_back({g, budgetForRung(rung_)});
+    }
+    return out;
+}
+
+void
+HalvingStrategy::tell(const std::vector<Evaluated>& results)
+{
+    const auto order = rankByFitness(results);
+    const std::size_t keep = std::max<std::size_t>(
+        1, (results.size() + cfg_.eta - 1) / cfg_.eta);
+    survivors_.clear();
+    for (std::size_t i = 0; i < std::min(keep, order.size()); ++i)
+        survivors_.push_back(results[order[i]].candidate.genome);
+    ++rung_;
+}
+
+// ------------------------------------------------------------- genetic
+
+GeneticStrategy::GeneticStrategy(const SearchSpace& space,
+                                 const Config& cfg, std::uint64_t seed)
+    : space_(space), cfg_(cfg), rng_(seed)
+{
+    fatalIf(cfg_.generations == 0 || cfg_.population == 0,
+            "GeneticStrategy needs generations and population > 0");
+    fatalIf(cfg_.tournament == 0, "tournament size must be > 0");
+    fatalIf(cfg_.elites >= cfg_.population,
+            "elites must leave room for offspring");
+}
+
+std::size_t
+GeneticStrategy::tournamentPick()
+{
+    std::size_t best = rng_.below(parents_.size());
+    for (unsigned i = 1; i < cfg_.tournament; ++i) {
+        const std::size_t c = rng_.below(parents_.size());
+        if (parents_[c].fitness > parents_[best].fitness)
+            best = c;
+    }
+    return best;
+}
+
+Genome
+GeneticStrategy::breed()
+{
+    const Genome& a = parents_[tournamentPick()].candidate.genome;
+    const Genome& b = parents_[tournamentPick()].candidate.genome;
+    Genome child = a;
+    if (rng_.chance(cfg_.crossoverRate)) {
+        for (std::size_t i = 0; i < child.size(); ++i)
+            if (rng_.chance(0.5))
+                child[i] = b[i];
+    }
+    const auto specs = space_.genes();
+    for (std::size_t i = 0; i < child.size(); ++i)
+        if (rng_.chance(cfg_.mutationRate))
+            child[i] = static_cast<int>(
+                specs[i].min +
+                static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+                    specs[i].max - specs[i].min + 1))));
+    return space_.clamp(std::move(child));
+}
+
+std::vector<Candidate>
+GeneticStrategy::ask()
+{
+    if (generation_ >= cfg_.generations)
+        return {};
+    std::vector<Candidate> out;
+    out.reserve(cfg_.population);
+    if (generation_ == 0) {
+        for (const auto& s : cfg_.seeds) {
+            if (out.size() >= cfg_.population)
+                break;
+            out.push_back({space_.clamp(s), 0});
+        }
+        while (out.size() < cfg_.population)
+            out.push_back({space_.randomGenome(rng_), 0});
+    } else {
+        const auto order = rankByFitness(parents_);
+        for (unsigned e = 0;
+             e < cfg_.elites && e < order.size(); ++e)
+            out.push_back(parents_[order[e]].candidate);
+        while (out.size() < cfg_.population)
+            out.push_back({breed(), 0});
+    }
+    ++generation_;
+    return out;
+}
+
+void
+GeneticStrategy::tell(const std::vector<Evaluated>& results)
+{
+    parents_ = results;
+}
+
+} // namespace mrp::sweep

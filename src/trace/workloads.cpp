@@ -157,12 +157,16 @@ heldOutDefs()
 
 GenParams
 paramsFor(const char* name, unsigned idx, InstCount instructions,
-          bool held_out)
+          bool held_out, std::uint64_t seed_salt)
 {
     GenParams p;
     p.name = name;
     p.instructions = instructions;
-    p.seed = mix64(std::hash<std::string>{}(p.name) ^ 0x5eedULL);
+    // Salt 0 reproduces the canonical seeding; any other value draws
+    // an independent instance of the same workload family (variability
+    // studies re-generate the suite under several salts).
+    p.seed = mix64(std::hash<std::string>{}(p.name) ^ 0x5eedULL ^
+                   seed_salt);
     // Give every benchmark a private 1GB-aligned data region and a
     // private code region; held-out workloads live in a disjoint part
     // of the address space.
@@ -222,21 +226,23 @@ suiteNames()
 }
 
 Trace
-makeSuiteTrace(unsigned idx, InstCount instructions)
+makeSuiteTrace(unsigned idx, InstCount instructions,
+               std::uint64_t seed_salt)
 {
     MRP_PROF_SCOPE("trace.generate");
     fatalIf(idx >= suiteSize(), "suite index out of range");
     const auto& d = suiteDefs()[idx];
-    return d.gen(paramsFor(d.name, idx, instructions, false));
+    return d.gen(paramsFor(d.name, idx, instructions, false, seed_salt));
 }
 
 Trace
-makeHeldOutTrace(unsigned idx, InstCount instructions)
+makeHeldOutTrace(unsigned idx, InstCount instructions,
+                 std::uint64_t seed_salt)
 {
     MRP_PROF_SCOPE("trace.generate");
     fatalIf(idx >= heldOutSize(), "held-out index out of range");
     const auto& d = heldOutDefs()[idx];
-    return d.gen(paramsFor(d.name, idx, instructions, true));
+    return d.gen(paramsFor(d.name, idx, instructions, true, seed_salt));
 }
 
 } // namespace mrp::trace

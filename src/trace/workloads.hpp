@@ -38,12 +38,19 @@ std::vector<std::string> suiteNames();
 
 /**
  * Generate main-suite benchmark @p idx with approximately
- * @p instructions instructions.
+ * @p instructions instructions. @p seed_salt re-seeds the generator:
+ * 0 (the default) is the canonical, paper-default instance; any other
+ * value draws an independent instance of the same workload family
+ * (reuse-predictor variability studies, cross-validation of searched
+ * configurations). Record the salt as DriverConfig::seed so reports
+ * stay replayable.
  */
-Trace makeSuiteTrace(unsigned idx, InstCount instructions);
+Trace makeSuiteTrace(unsigned idx, InstCount instructions,
+                     std::uint64_t seed_salt = 0);
 
-/** Generate held-out workload @p idx. */
-Trace makeHeldOutTrace(unsigned idx, InstCount instructions);
+/** Generate held-out workload @p idx (salt as makeSuiteTrace). */
+Trace makeHeldOutTrace(unsigned idx, InstCount instructions,
+                       std::uint64_t seed_salt = 0);
 
 } // namespace mrp::trace
 
