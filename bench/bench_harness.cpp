@@ -146,7 +146,8 @@ runHarness(int argc, char** argv)
     for (const auto& t : traces) {
         for (const auto& p : splitCommas(policies)) {
             const auto req = runner::RunRequest::singleCore(
-                t, runner::PolicySpec::byName(p));
+                trace::TraceSpec::borrowed(t),
+                runner::PolicySpec::byName(p));
             const auto r =
                 runner::ExperimentRunner::runOne(req, index++, ropts);
             const std::string label = t.name() + "/" + p;

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
 #include "trace/mix.hpp"
+#include "trace/spec.hpp"
 #include "trace/workloads.hpp"
 #include "util/math_util.hpp"
 
@@ -106,15 +108,44 @@ makeSuiteRegions(InstCount insts)
     return out;
 }
 
-/** Trace pointers of one mix. */
-inline std::array<const trace::Trace*, 4>
-mixTraces(const std::vector<trace::Trace>& suite, const trace::Mix& mix)
+/** Borrowed TraceSpecs of one mix (for RunRequest::multiCore). */
+inline std::array<trace::TraceSpec, 4>
+mixSpecs(const std::vector<trace::Trace>& suite, const trace::Mix& mix)
 {
-    std::array<const trace::Trace*, 4> out{};
-    for (unsigned c = 0; c < 4; ++c)
-        out[c] = &suite[mix.benchmarks[c]];
-    return out;
+    return {trace::TraceSpec::borrowed(suite[mix.benchmarks[0]]),
+            trace::TraceSpec::borrowed(suite[mix.benchmarks[1]]),
+            trace::TraceSpec::borrowed(suite[mix.benchmarks[2]]),
+            trace::TraceSpec::borrowed(suite[mix.benchmarks[3]])};
 }
+
+/**
+ * Fresh sources over one mix's traces. Sources are single-consumer,
+ * so each sim::runMultiCore call opens its own set — even when the
+ * same benchmark appears in several slots of the mix.
+ */
+class MixSources
+{
+  public:
+    MixSources(const std::vector<trace::Trace>& suite,
+               const trace::Mix& mix)
+    {
+        for (unsigned c = 0; c < 4; ++c)
+            owned_[c] =
+                std::make_unique<trace::MaterializedTraceSource>(
+                    suite[mix.benchmarks[c]]);
+    }
+
+    std::array<trace::TraceSource*, 4>
+    ptrs() const
+    {
+        return {owned_[0].get(), owned_[1].get(), owned_[2].get(),
+                owned_[3].get()};
+    }
+
+  private:
+    std::array<std::unique_ptr<trace::MaterializedTraceSource>, 4>
+        owned_;
+};
 
 /**
  * Standalone LRU IPC for every benchmark of the suite (SingleIPC_i of
@@ -126,8 +157,10 @@ standaloneIpcTable(const std::vector<trace::Trace>& suite,
 {
     std::vector<double> out;
     out.reserve(suite.size());
-    for (const auto& t : suite)
-        out.push_back(sim::standaloneIpc(t, cfg));
+    for (const auto& t : suite) {
+        trace::MaterializedTraceSource src(t);
+        out.push_back(sim::standaloneIpc(src, cfg));
+    }
     return out;
 }
 

@@ -53,7 +53,7 @@ class AblationObjective : public sweep::Objective
         out.reserve(mixes_.size());
         for (const auto& mix : mixes_)
             out.push_back(runner::RunRequest::multiCore(
-                bench::mixTraces(suite_, mix),
+                bench::mixSpecs(suite_, mix),
                 runner::PolicySpec::custom("MPPPB", factory), cfg_));
         return out;
     }
@@ -103,12 +103,13 @@ main(int argc, char** argv)
 
     std::vector<double> lru_ws;
     for (const auto& mix : split.test) {
-        const auto traces = bench::mixTraces(suite, mix);
+        const bench::MixSources sources(suite, mix);
         std::array<double, 4> single{};
         for (unsigned c = 0; c < 4; ++c)
             single[c] = single_ipc[mix.benchmarks[c]];
         lru_ws.push_back(
-            sim::runMultiCore(traces, sim::makePolicyFactory("LRU"), cfg)
+            sim::runMultiCore(sources.ptrs(),
+                              sim::makePolicyFactory("LRU"), cfg)
                 .weightedSpeedup(single));
     }
 

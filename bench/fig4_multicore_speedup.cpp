@@ -31,16 +31,18 @@ main()
     std::vector<std::vector<double>> ws(policies.size());
 
     for (const auto& mix : split.test) {
-        const auto traces = bench::mixTraces(suite, mix);
+        const bench::MixSources sources(suite, mix);
         std::array<double, 4> single{};
         for (unsigned c = 0; c < 4; ++c)
             single[c] = single_ipc[mix.benchmarks[c]];
         const double lru_ws =
-            sim::runMultiCore(traces, sim::makePolicyFactory("LRU"), cfg)
+            sim::runMultiCore(sources.ptrs(),
+                              sim::makePolicyFactory("LRU"), cfg)
                 .weightedSpeedup(single);
         for (std::size_t p = 0; p < policies.size(); ++p) {
             const auto r = sim::runMultiCore(
-                traces, sim::makePolicyFactory(policies[p]), cfg);
+                sources.ptrs(), sim::makePolicyFactory(policies[p]),
+                cfg);
             ws[p].push_back(r.weightedSpeedup(single) / lru_ws);
         }
         std::fprintf(stderr, "# done %s\n", mix.name().c_str());

@@ -24,10 +24,11 @@ main()
     std::vector<std::vector<double>> mpki(policies.size());
 
     for (const auto& mix : split.test) {
-        const auto traces = bench::mixTraces(suite, mix);
+        const bench::MixSources sources(suite, mix);
         for (std::size_t p = 0; p < policies.size(); ++p) {
             const auto r = sim::runMultiCore(
-                traces, sim::makePolicyFactory(policies[p]), cfg);
+                sources.ptrs(), sim::makePolicyFactory(policies[p]),
+                cfg);
             mpki[p].push_back(r.mpki);
         }
         std::fprintf(stderr, "# done %s\n", mix.name().c_str());

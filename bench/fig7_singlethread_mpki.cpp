@@ -26,7 +26,8 @@ main(int argc, char** argv)
     for (const auto& tr : suite)
         for (const auto& p : policies)
             batch.push_back(runner::RunRequest::singleCore(
-                tr, runner::PolicySpec::byName(p)));
+                trace::TraceSpec::borrowed(tr),
+                runner::PolicySpec::byName(p)));
 
     const runner::ExperimentRunner pool(bench::jobsFromArgs(argc, argv));
     const auto set = pool.run(batch);

@@ -22,6 +22,7 @@
 #include "policy/sdbp.hpp"
 #include "sim/roc_probe.hpp"
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 namespace {
@@ -66,7 +67,8 @@ main()
     const auto lru = sim::makePolicyFactory("LRU");
     for (unsigned b = 0; b < trace::suiteSize(); ++b) {
         const auto tr = trace::makeSuiteTrace(b, insts);
-        sim::runSingleCoreObserved(tr, lru, scfg, probe.get());
+        trace::MaterializedTraceSource src(tr);
+        sim::runSingleCoreObserved(src, lru, scfg, probe.get());
         std::fprintf(stderr, "# measured %s\n", tr.name().c_str());
     }
 

@@ -27,24 +27,25 @@ main()
     // Precompute per-mix LRU weighted speedups.
     std::vector<double> lru_ws;
     for (const auto& mix : split.test) {
-        const auto traces = bench::mixTraces(suite, mix);
+        const bench::MixSources sources(suite, mix);
         std::array<double, 4> single{};
         for (unsigned c = 0; c < 4; ++c)
             single[c] = single_ipc[mix.benchmarks[c]];
         lru_ws.push_back(
-            sim::runMultiCore(traces, sim::makePolicyFactory("LRU"), cfg)
+            sim::runMultiCore(sources.ptrs(),
+                              sim::makePolicyFactory("LRU"), cfg)
                 .weightedSpeedup(single));
     }
 
     auto evaluate = [&](const core::MpppbConfig& mcfg) {
         std::vector<double> ws;
         for (std::size_t m = 0; m < split.test.size(); ++m) {
-            const auto traces = bench::mixTraces(suite, split.test[m]);
+            const bench::MixSources sources(suite, split.test[m]);
             std::array<double, 4> single{};
             for (unsigned c = 0; c < 4; ++c)
                 single[c] = single_ipc[split.test[m].benchmarks[c]];
             const auto r = sim::runMultiCore(
-                traces, sim::makeMpppbFactory(mcfg), cfg);
+                sources.ptrs(), sim::makeMpppbFactory(mcfg), cfg);
             ws.push_back(r.weightedSpeedup(single) / lru_ws[m]);
         }
         return geomean(ws);

@@ -120,7 +120,8 @@ minUserSeconds(const trace::Trace& t, unsigned reps, bool profiled)
     runner::RunnerOptions ropts;
     ropts.profile = profiled;
     const auto req = runner::RunRequest::singleCore(
-        t, runner::PolicySpec::byName("MPPPB"));
+        trace::TraceSpec::borrowed(t),
+        runner::PolicySpec::byName("MPPPB"));
     double best = 0.0;
     for (unsigned i = 0; i < reps; ++i) {
         const double before = processUserSeconds();

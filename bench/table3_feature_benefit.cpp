@@ -52,13 +52,15 @@ main(int argc, char** argv)
     batch.reserve(held_out.size() * (features.size() + 1));
     for (const auto& tr : held_out) {
         batch.push_back(runner::RunRequest::singleCore(
-            tr, runner::PolicySpec::custom(
-                    "MPPPB-1B", sim::makeMpppbFactory(base_cfg))));
+            trace::TraceSpec::borrowed(tr),
+            runner::PolicySpec::custom(
+                "MPPPB-1B", sim::makeMpppbFactory(base_cfg))));
         for (std::size_t f = 0; f < features.size(); ++f)
             batch.push_back(runner::RunRequest::singleCore(
-                tr, runner::PolicySpec::custom(
-                        "MPPPB-1B-w/o-" + features[f].toString(),
-                        sim::makeMpppbFactory(ablated(f)))));
+                trace::TraceSpec::borrowed(tr),
+                runner::PolicySpec::custom(
+                    "MPPPB-1B-w/o-" + features[f].toString(),
+                    sim::makeMpppbFactory(ablated(f)))));
     }
 
     const runner::ExperimentRunner pool(bench::jobsFromArgs(argc, argv));

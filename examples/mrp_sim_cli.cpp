@@ -15,7 +15,27 @@
  *               [--retries N]
  *               [--metrics FILE] [--trace-out FILE] [--epoch N]
  *   mrp_sim_cli --trace file.mrpt [--policy Hawkeye] ...
+ *               [--stream materialize|buffered|mmap] [--decode-ahead]
+ *               [--chunk-records N]
  *   mrp_sim_cli --benchmark scan.a --dump file.mrpt   (export trace)
+ *
+ * Streaming (see README "Streaming traces"): traces are pulled chunk
+ * by chunk through the TraceSource API, so a trace file is never fully
+ * resident. --stream picks the file delivery mode — buffered reads
+ * (default), mmap with sequential madvise, or materialize (load the
+ * whole trace up front, the pre-streaming behavior); --decode-ahead
+ * overlaps decoding with simulation on a background thread; and
+ * --chunk-records sets the pull granularity. All of these change only
+ * how bytes arrive: reports are byte-identical across every
+ * combination. --dump streams as well (constant memory) and writes
+ * the chunked v3 format atomically.
+ *
+ * Besides the suite/held-out names, --benchmark accepts the streaming
+ * generator families, which synthesize records on the fly (no trace
+ * ever exists in memory): "zipf" (Zipfian key popularity, optionally
+ * "zipf:THETA"), "blkio" (block-I/O / storage-cache accesses), and
+ * "phase" (a phase-shifting zipf/blkio alternation). --insts scales
+ * them and --seed re-salts them like any synthetic workload.
  *
  * Policy "MIN" runs the two-pass Belady oracle. A multi-policy batch
  * runs through the parallel ExperimentRunner; --jobs 0 (default)
@@ -69,6 +89,8 @@
 #include "prof/export.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/report.hpp"
+#include "trace/spec.hpp"
+#include "trace/stream_reader.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/workloads.hpp"
 #include "util/logging.hpp"
@@ -93,7 +115,10 @@ usage()
         "                   [--metrics FILE] [--trace-out FILE]\n"
         "                   [--epoch N] [--dump FILE]\n"
         "                   [--prof-out FILE] [--progress]\n"
-        "                   [--progress-jsonl FILE] [--seed N]\n");
+        "                   [--progress-jsonl FILE] [--seed N]\n"
+        "                   [--stream materialize|buffered|mmap]\n"
+        "                   [--decode-ahead] [--chunk-records N]\n"
+        "streaming benchmarks: zipf[:THETA], blkio, phase\n");
     return 2;
 }
 
@@ -124,6 +149,48 @@ splitCommas(const std::string& s)
         pos = comma + 1;
     }
     return out;
+}
+
+/** Streaming generator families addressable by --benchmark name. */
+std::optional<trace::TraceSpec>
+streamFamilySpec(const std::string& name, InstCount insts,
+                 std::uint64_t seed)
+{
+    if (name == "zipf" || name.rfind("zipf:", 0) == 0) {
+        trace::ZipfParams p;
+        p.instructions = insts;
+        if (seed != 0)
+            p.seed = seed;
+        if (name.size() > 5) {
+            p.theta = std::atof(name.c_str() + 5);
+            p.name = name;
+        }
+        return trace::TraceSpec::zipf(p);
+    }
+    if (name == "blkio") {
+        trace::BlockIoParams p;
+        p.instructions = insts;
+        if (seed != 0)
+            p.seed = seed;
+        return trace::TraceSpec::blockIo(p);
+    }
+    if (name == "phase") {
+        trace::ZipfParams zp;
+        zp.instructions = insts;
+        trace::BlockIoParams bp;
+        bp.instructions = insts;
+        if (seed != 0) {
+            zp.seed = seed;
+            bp.seed = seed + 1;
+        }
+        std::vector<trace::TraceSpec> kids;
+        kids.push_back(trace::TraceSpec::zipf(zp));
+        kids.push_back(trace::TraceSpec::blockIo(bp));
+        return trace::TraceSpec::phaseMix(
+            "phase", insts, std::max<InstCount>(insts / 8, 1),
+            std::move(kids));
+    }
+    return std::nullopt;
 }
 
 int run(int argc, char** argv);
@@ -168,6 +235,8 @@ run(int argc, char** argv)
     double warmup = 0.25;
     unsigned jobs = 0;
     std::uint64_t seed = 0;
+    std::string stream_mode = "buffered";
+    trace::TraceSpec::OpenOptions oopts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -233,6 +302,22 @@ run(int argc, char** argv)
             ropts.progressJsonlPath = next();
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--stream") {
+            stream_mode = next();
+            if (stream_mode == "mmap") {
+                oopts.fileMode = trace::FileMode::Mmap;
+            } else if (stream_mode != "buffered" &&
+                       stream_mode != "materialize") {
+                fatal(ErrorCode::Config,
+                      "--stream wants materialize, buffered, or "
+                      "mmap (got '" + stream_mode + "')");
+            }
+        } else if (arg == "--decode-ahead") {
+            oopts.decodeAhead = true;
+        } else if (arg == "--chunk-records") {
+            oopts.chunkRecords = std::strtoull(next(), nullptr, 10);
+            fatalIf(oopts.chunkRecords == 0,
+                    "--chunk-records must be positive");
         } else {
             return usage();
         }
@@ -240,9 +325,11 @@ run(int argc, char** argv)
     if (benchmark.empty() == trace_path.empty())
         return usage(); // exactly one source required
 
-    std::optional<trace::Trace> tr;
+    std::optional<trace::TraceSpec> spec;
     if (!trace_path.empty()) {
-        tr.emplace(trace::loadTrace(trace_path));
+        spec.emplace(trace::TraceSpec::file(trace_path));
+    } else if (auto fam = streamFamilySpec(benchmark, insts, seed)) {
+        spec = std::move(fam);
     } else {
         const auto idx = benchmarkIndex(benchmark);
         if (!idx) {
@@ -250,17 +337,33 @@ run(int argc, char** argv)
                          benchmark.c_str());
             return 2;
         }
-        tr.emplace(
-            *idx >= 1000
-                ? trace::makeHeldOutTrace(*idx - 1000, insts, seed)
-                : trace::makeSuiteTrace(*idx, insts, seed));
+        spec.emplace(*idx >= 1000
+                         ? trace::TraceSpec::heldOut(*idx - 1000,
+                                                     insts, seed)
+                         : trace::TraceSpec::suite(*idx, insts, seed));
     }
 
     if (!dump_path.empty()) {
-        trace::saveTrace(dump_path, *tr);
+        // Stream straight to the chunked v3 format: constant memory
+        // for any trace length, atomic tmp+fsync+rename on disk.
+        trace::ChunkedTraceWriter writer(dump_path,
+                                         spec->displayName());
+        const auto src = spec->open(oopts);
+        writer.appendAll(*src);
+        writer.finish();
         std::printf("wrote %s (%llu instructions)\n", dump_path.c_str(),
-                    static_cast<unsigned long long>(tr->instructions()));
+                    static_cast<unsigned long long>(
+                        writer.instructions()));
         return 0;
+    }
+
+    // --stream materialize: load the whole record sequence up front
+    // (the pre-streaming behavior) and run from memory. Identical
+    // reports, maximal RSS — useful mainly as the equivalence anchor.
+    std::optional<trace::Trace> held;
+    if (stream_mode == "materialize") {
+        held.emplace(trace::materialize(*spec->open(oopts)));
+        spec.emplace(trace::TraceSpec::borrowed(*held));
     }
 
     sim::SingleCoreConfig cfg;
@@ -303,11 +406,12 @@ run(int argc, char** argv)
     if (policies.size() == 1 && json_path.empty() &&
         csv_path.empty() && !resilience && !telemetry && !profiling) {
         // Single-run path: the detailed per-run report.
+        const auto src = spec->open(oopts);
         const auto r =
             policy == "MIN"
-                ? sim::runSingleCoreMin(*tr, cfg)
+                ? sim::runSingleCoreMin(*src, cfg)
                 : sim::runSingleCore(
-                      *tr, sim::makePolicyFactory(policy), cfg);
+                      *src, sim::makePolicyFactory(policy), cfg);
         std::printf("benchmark : %s\n", r.benchmark.c_str());
         std::printf("policy    : %s\n", r.policy.c_str());
         std::printf("insts     : %llu\n",
@@ -326,19 +430,22 @@ run(int argc, char** argv)
         return 0;
     }
 
-    // Batch path: one request per policy, run in parallel.
+    // Batch path: one request per policy, run in parallel. Every
+    // worker opens its own stream over the shared spec.
     std::vector<runner::RunRequest> batch;
     batch.reserve(policies.size());
-    for (const auto& p : policies)
+    for (const auto& p : policies) {
         batch.push_back(runner::RunRequest::singleCore(
-            *tr, runner::PolicySpec::byName(p), cfg));
+            *spec, runner::PolicySpec::byName(p), cfg));
+        batch.back().openOptions = oopts;
+    }
 
     const runner::ExperimentRunner pool(jobs);
     const auto set = pool.run(batch, ropts);
 
     std::printf("# %s: %zu policies, %u worker(s), %.2fs wall\n",
-                tr->name().c_str(), set.results.size(), set.jobs,
-                set.wallSeconds);
+                spec->displayName().c_str(), set.results.size(),
+                set.jobs, set.wallSeconds);
     std::printf("%-12s %10s %10s %14s %10s\n", "policy", "IPC",
                 "MPKI", "insts", "misses");
     bool failed = false;
@@ -387,7 +494,8 @@ run(int argc, char** argv)
         }
         runner::writeFile(
             prof_out_path,
-            prof::benchJson(tr->name(), bruns, prof::machineInfo(),
+            prof::benchJson(spec->displayName(), bruns,
+                            prof::machineInfo(),
                             prof::gitSha()));
         std::fprintf(stderr, "wrote %s\n", prof_out_path.c_str());
     }

@@ -9,6 +9,7 @@
  *   mrp_sweep_cli [--strategy genetic|random|halving|grid]
  *                 [--generations N] [--population N]
  *                 [--budget-insts N] [--workloads I,J,...]
+ *                 [--corpus FAM[,FAM...]] [--decode-ahead]
  *                 [--llc-kb N]
  *                 [--slots N] [--search-thresholds] [--search-sampler]
  *                 [--objective geomean|mean] [--seed N] [--jobs N]
@@ -18,6 +19,15 @@
  *             [--elites N]
  *   halving:  [--initial N] [--eta N] [--rungs N]
  *   grid:     --grid GENE:V1,V2,...   (repeatable, one axis each)
+ *
+ * --corpus replaces the suite-index training corpus with streaming
+ * generator families ("zipf", "zipf:THETA", "blkio", "phase"): every
+ * candidate evaluation streams its workloads chunk by chunk instead of
+ * materializing them, so corpus length is bounded by disk-free math
+ * only, and successive-halving budget rungs regenerate each family at
+ * the rung length (TraceSpec::withInstructions). --decode-ahead
+ * overlaps generation/decoding with simulation; like every delivery
+ * knob it cannot change the report.
  *
  * The report (stdout, or --out FILE) is a pure function of the search
  * space, strategy, seed, and objective — no wall-clock fields, no
@@ -48,6 +58,7 @@
 #include "prof/export.hpp"
 #include "runner/report.hpp"
 #include "sweep/study.hpp"
+#include "trace/spec.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -64,6 +75,8 @@ usage()
         "                     [--generations N] [--population N]\n"
         "                     [--budget-insts N] "
         "[--workloads I,J,...]\n"
+        "                     [--corpus FAM[,FAM...]] "
+        "[--decode-ahead]\n"
         "                     [--llc-kb N]\n"
         "                     [--slots N] [--search-thresholds]\n"
         "                     [--search-sampler]\n"
@@ -92,6 +105,47 @@ splitCommas(const std::string& s)
         pos = comma + 1;
     }
     return out;
+}
+
+/** One streaming-family corpus member ("zipf[:THETA]", "blkio",
+ * "phase") at the full corpus length. */
+trace::TraceSpec
+corpusFamilySpec(const std::string& name, InstCount insts,
+                 std::uint64_t seed)
+{
+    if (name == "zipf" || name.rfind("zipf:", 0) == 0) {
+        trace::ZipfParams p;
+        p.instructions = insts;
+        p.seed = seed;
+        if (name.size() > 5) {
+            p.theta = std::atof(name.c_str() + 5);
+            p.name = name;
+        }
+        return trace::TraceSpec::zipf(p);
+    }
+    if (name == "blkio") {
+        trace::BlockIoParams p;
+        p.instructions = insts;
+        p.seed = seed;
+        return trace::TraceSpec::blockIo(p);
+    }
+    if (name == "phase") {
+        trace::ZipfParams zp;
+        zp.instructions = insts;
+        zp.seed = seed;
+        trace::BlockIoParams bp;
+        bp.instructions = insts;
+        bp.seed = seed + 1;
+        std::vector<trace::TraceSpec> kids;
+        kids.push_back(trace::TraceSpec::zipf(zp));
+        kids.push_back(trace::TraceSpec::blockIo(bp));
+        return trace::TraceSpec::phaseMix(
+            "phase", insts, std::max<InstCount>(insts / 8, 1),
+            std::move(kids));
+    }
+    fatal(ErrorCode::Config,
+          "unknown --corpus family '" + name +
+              "' (want zipf[:THETA], blkio, or phase)");
 }
 
 int run(int argc, char** argv);
@@ -126,6 +180,8 @@ run(int argc, char** argv)
     InstCount budget_insts = 400000;
     std::vector<unsigned> workloads = {2,  7,  9,  12, 14,
                                        16, 18, 21, 25, 30};
+    std::vector<std::string> corpus_families;
+    bool decode_ahead = false;
     Addr llc_kb = 2048;
     unsigned slots = 16;
     bool search_thresholds = false;
@@ -168,6 +224,10 @@ run(int argc, char** argv)
             for (const auto& w : splitCommas(next()))
                 workloads.push_back(static_cast<unsigned>(
                     std::strtoul(w.c_str(), nullptr, 10)));
+        } else if (arg == "--corpus") {
+            corpus_families = splitCommas(next());
+        } else if (arg == "--decode-ahead") {
+            decode_ahead = true;
         } else if (arg == "--llc-kb") {
             llc_kb = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--slots") {
@@ -235,9 +295,13 @@ run(int argc, char** argv)
 
     sweep::CorpusConfig corpus;
     corpus.workloads = workloads;
+    for (std::size_t f = 0; f < corpus_families.size(); ++f)
+        corpus.corpus.push_back(corpusFamilySpec(
+            corpus_families[f], budget_insts, seed + f));
     corpus.fullInstructions = budget_insts;
     corpus.sim.hierarchy.llcBytes = llc_kb * 1024;
     corpus.jobs = jobs;
+    corpus.openOptions.decodeAhead = decode_ahead;
     const auto evaluator =
         std::make_shared<sweep::CorpusEvaluator>(corpus);
     sweep::CorpusMpkiObjective objective(

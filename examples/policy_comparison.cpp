@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runner/experiment_runner.hpp"
+#include "trace/spec.hpp"
 #include "trace/workloads.hpp"
 #include "util/math_util.hpp"
 
@@ -67,17 +68,20 @@ main(int argc, char** argv)
     }
     policies.push_back("MIN");
 
-    std::vector<trace::Trace> traces;
-    traces.reserve(benches.size());
+    // Specs, not traces: each worker generates its own copy of the
+    // workload when the run executes, so nothing is held in memory
+    // across the whole batch.
+    std::vector<trace::TraceSpec> specs;
+    specs.reserve(benches.size());
     for (const unsigned b : benches)
-        traces.push_back(trace::makeSuiteTrace(b, insts));
+        specs.push_back(trace::TraceSpec::suite(b, insts));
 
     std::vector<runner::RunRequest> batch;
-    batch.reserve(traces.size() * policies.size());
-    for (const auto& tr : traces)
+    batch.reserve(specs.size() * policies.size());
+    for (const auto& spec : specs)
         for (const auto& p : policies)
             batch.push_back(runner::RunRequest::singleCore(
-                tr, runner::PolicySpec::byName(p)));
+                spec, runner::PolicySpec::byName(p)));
 
     const runner::ExperimentRunner pool(jobs);
     const auto set = pool.run(batch);
@@ -92,8 +96,8 @@ main(int argc, char** argv)
     const std::size_t stride = policies.size();
     std::vector<std::vector<double>> speedups(policies.size());
     std::vector<std::vector<double>> mpkis(policies.size());
-    for (std::size_t b = 0; b < traces.size(); ++b) {
-        std::printf("%-16s", traces[b].name().c_str());
+    for (std::size_t b = 0; b < specs.size(); ++b) {
+        std::printf("%-16s", specs[b].displayName().c_str());
         for (std::size_t p = 0; p < policies.size(); ++p) {
             const std::size_t idx = b * stride + p;
             const double speedup = set.speedupOver(idx, "LRU");

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 int
@@ -29,22 +30,23 @@ main()
     // 2. Run it under the LRU baseline. The default SingleCoreConfig
     //    is the paper's single-thread machine: 4-wide OoO core,
     //    32KB L1D, 256KB L2, 2MB LLC, stream prefetcher.
+    trace::MaterializedTraceSource source(workload);
     const auto lru =
-        sim::runSingleCore(workload, sim::makePolicyFactory("LRU"), {});
+        sim::runSingleCore(source, sim::makePolicyFactory("LRU"), {});
     std::printf("LRU   : IPC %.3f, LLC demand MPKI %.2f\n", lru.ipc,
                 lru.mpki);
 
     // 3. Run it under MPPPB: the multiperspective reuse predictor
     //    driving bypass, placement, and promotion over static MDPP.
     const auto mpppb = sim::runSingleCore(
-        workload, sim::makePolicyFactory("MPPPB"), {});
+        source, sim::makePolicyFactory("MPPPB"), {});
     std::printf("MPPPB : IPC %.3f, LLC demand MPKI %.2f, %llu fills "
                 "bypassed\n",
                 mpppb.ipc, mpppb.mpki,
                 static_cast<unsigned long long>(mpppb.llcBypasses));
 
     // 4. And under Belady's MIN with optimal bypass, the upper bound.
-    const auto min = sim::runSingleCoreMin(workload, {});
+    const auto min = sim::runSingleCoreMin(source, {});
     std::printf("MIN   : IPC %.3f, LLC demand MPKI %.2f\n", min.ipc,
                 min.mpki);
 

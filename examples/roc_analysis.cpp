@@ -19,6 +19,7 @@
 #include "policy/sdbp.hpp"
 #include "sim/roc_probe.hpp"
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 int
@@ -58,7 +59,8 @@ main(int argc, char** argv)
     const auto lru = sim::makePolicyFactory("LRU");
     for (const unsigned b : benches) {
         const auto tr = trace::makeSuiteTrace(b, insts);
-        sim::runSingleCoreObserved(tr, lru, cfg, &probe);
+        trace::MaterializedTraceSource src(tr);
+        sim::runSingleCoreObserved(src, lru, cfg, &probe);
         std::printf("measured %s\n", tr.name().c_str());
     }
 

@@ -17,6 +17,7 @@
 
 #include "core/mpppb.hpp"
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 #include "util/math_util.hpp"
 #include "util/rng.hpp"
@@ -40,9 +41,11 @@ evaluate(const std::vector<trace::Trace>& traces,
 {
     const auto factory = sim::makeMpppbFactory(cfg);
     std::vector<double> speedups;
-    for (std::size_t i = 0; i < traces.size(); ++i)
-        speedups.push_back(
-            sim::runSingleCore(traces[i], factory, {}).ipc / lru_ipc[i]);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        trace::MaterializedTraceSource src(traces[i]);
+        speedups.push_back(sim::runSingleCore(src, factory, {}).ipc /
+                           lru_ipc[i]);
+    }
     return -geomean(speedups);
 }
 
@@ -65,9 +68,12 @@ main(int argc, char** argv)
                                   : core::singleThreadMpppbConfig();
 
     std::vector<double> lru_ipc;
-    for (const auto& t : traces)
+    for (const auto& t : traces) {
+        trace::MaterializedTraceSource src(t);
         lru_ipc.push_back(
-            sim::runSingleCore(t, sim::makePolicyFactory("LRU"), {}).ipc);
+            sim::runSingleCore(src, sim::makePolicyFactory("LRU"), {})
+                .ipc);
+    }
 
     // --- Stage 1: exhaustive sweep of the bypass threshold. ---
     double best_mpki = 1e30;

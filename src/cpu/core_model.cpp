@@ -8,16 +8,51 @@
 namespace mrp::cpu {
 
 CoreModel::CoreModel(CoreId core, cache::Hierarchy& hierarchy,
+                     trace::TraceSource& source, bool loop,
+                     const CoreModelConfig& cfg)
+    : core_(core), hier_(hierarchy), source_(&source), loop_(loop),
+      cfg_(cfg), retireRing_(cfg.windowSize, 0), mshrRing_(cfg.mshrs, 0)
+{
+    fatalIf(cfg.mshrs == 0, "need at least one MSHR");
+    fatalIf(cfg.windowSize == 0, "window size must be positive");
+    fatalIf(cfg.fetchWidth == 0 || cfg.retireWidth == 0,
+            "core width must be positive");
+    chunk_ = source_->nextChunk();
+    fatalIf(chunk_.empty(), "cannot execute an empty trace");
+}
+
+CoreModel::CoreModel(CoreId core, cache::Hierarchy& hierarchy,
                      const trace::Trace& trace, bool loop,
                      const CoreModelConfig& cfg)
-    : core_(core), hier_(hierarchy), trace_(trace), loop_(loop), cfg_(cfg),
+    : core_(core), hier_(hierarchy),
+      ownedSource_(
+          std::make_unique<trace::MaterializedTraceSource>(trace)),
+      source_(ownedSource_.get()), loop_(loop), cfg_(cfg),
       retireRing_(cfg.windowSize, 0), mshrRing_(cfg.mshrs, 0)
 {
     fatalIf(cfg.mshrs == 0, "need at least one MSHR");
     fatalIf(cfg.windowSize == 0, "window size must be positive");
     fatalIf(cfg.fetchWidth == 0 || cfg.retireWidth == 0,
             "core width must be positive");
-    fatalIf(trace.records().empty(), "cannot execute an empty trace");
+    chunk_ = source_->nextChunk();
+    fatalIf(chunk_.empty(), "cannot execute an empty trace");
+}
+
+void
+CoreModel::advanceChunk()
+{
+    chunkIdx_ = 0;
+    chunk_ = source_->nextChunk();
+    if (!chunk_.empty())
+        return;
+    if (!loop_) {
+        exhausted_ = true;
+        return;
+    }
+    source_->reset();
+    chunk_ = source_->nextChunk();
+    panicIf(chunk_.empty(),
+            "trace source became empty on looped replay");
 }
 
 Cycle
@@ -77,11 +112,11 @@ void
 CoreModel::step()
 {
     panicIf(finished(), "step() on a finished core");
-    const auto& records = trace_.records();
-    const trace::Record& rec = records[recordIdx_];
-    ++recordIdx_;
-    if (loop_ && recordIdx_ >= records.size())
-        recordIdx_ = 0;
+    // Copy by value before advancing: fetching the next chunk
+    // invalidates the span this record lives in.
+    const trace::Record rec = chunk_[chunkIdx_];
+    if (++chunkIdx_ >= chunk_.size())
+        advanceChunk();
 
     if (!rec.isMem()) {
         // A run of single-cycle instructions — the simulator's hottest

@@ -19,9 +19,12 @@
 #ifndef MRP_CPU_CORE_MODEL_HPP
 #define MRP_CPU_CORE_MODEL_HPP
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
 
@@ -47,18 +50,27 @@ class CoreModel
 {
   public:
     /**
+     * Execute @p source, pulling records chunk by chunk — the core
+     * never needs the whole trace in memory. The source must outlive
+     * the model and is consumed exclusively by it (reset on looping).
+     *
      * @param loop restart the trace at its end (FIESTA-style region
      *        replay); when false, finished() becomes true at the end
+     */
+    CoreModel(CoreId core, cache::Hierarchy& hierarchy,
+              trace::TraceSource& source, bool loop,
+              const CoreModelConfig& cfg = CoreModelConfig{});
+
+    /**
+     * Compatibility shim (deprecated, one PR): adapts an in-memory
+     * trace through a MaterializedTraceSource owned by the model.
      */
     CoreModel(CoreId core, cache::Hierarchy& hierarchy,
               const trace::Trace& trace, bool loop,
               const CoreModelConfig& cfg = CoreModelConfig{});
 
     /** True when a non-looping trace is exhausted. */
-    bool finished() const
-    {
-        return !loop_ && recordIdx_ >= trace_.records().size();
-    }
+    bool finished() const { return exhausted_; }
 
     /**
      * Cycle at which the next instruction would enter the window
@@ -92,13 +104,21 @@ class CoreModel
     /** Consume fetch bandwidth and return the actual enter cycle. */
     Cycle takeEnterSlot();
 
+    /** Pull the next chunk (looping or exhausting at end of stream);
+     * called eagerly so finished() stays accurate between steps. */
+    void advanceChunk();
+
     CoreId core_;
     cache::Hierarchy& hier_;
-    const trace::Trace& trace_;
+    std::unique_ptr<trace::MaterializedTraceSource>
+        ownedSource_; //!< set only via the Trace& shim
+    trace::TraceSource* source_;
     bool loop_;
     CoreModelConfig cfg_;
 
-    std::size_t recordIdx_ = 0;
+    std::span<const trace::Record> chunk_;
+    std::size_t chunkIdx_ = 0;
+    bool exhausted_ = false;
     cache::CoreContext ctx_;
 
     std::vector<Cycle> retireRing_; //!< retire times of last W instrs

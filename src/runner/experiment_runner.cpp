@@ -280,26 +280,24 @@ void
 validate(const RunRequest& req, std::size_t idx)
 {
     const std::size_t expect = req.isMultiCore() ? 4 : 1;
-    fatalIf(req.traces.size() != expect,
+    fatalIf(req.sources.size() != expect,
             "request " + std::to_string(idx) + ": " +
-                std::to_string(req.traces.size()) + " trace(s) for a " +
+                std::to_string(req.sources.size()) +
+                " source(s) for a " +
                 (req.isMultiCore() ? "multi-core" : "single-core") +
                 " config (need " + std::to_string(expect) + ")");
-    for (const auto* t : req.traces)
-        fatalIf(t == nullptr,
-                "request " + std::to_string(idx) + ": null trace");
     fatalIf(req.policy.name.empty(),
             "request " + std::to_string(idx) + ": empty policy name");
 }
 
 std::string
-mixName(const std::vector<const trace::Trace*>& traces)
+mixName(const std::vector<trace::TraceSpec>& sources)
 {
     std::string out;
-    for (const auto* t : traces) {
+    for (const auto& s : sources) {
         if (!out.empty())
             out += "+";
-        out += t->name();
+        out += s.displayName();
     }
     return out;
 }
@@ -312,6 +310,9 @@ executeInto(const RunRequest& req, RunResult& out)
     fault::checkStall("runner.execute.stall");
     fault::checkIo("runner.execute", "executing request");
 
+    // Open one fresh source per spec per attempt: workers never share
+    // stream cursors, so any --jobs value replays the same per-run
+    // record sequences and the batch outcome stays bit-identical.
     if (req.isMultiCore()) {
         const auto& cfg = std::get<sim::MultiCoreConfig>(req.config);
         fatalIf(req.policy.name == "MIN" && !req.policy.factory,
@@ -320,8 +321,12 @@ executeInto(const RunRequest& req, RunResult& out)
             req.policy.factory
                 ? req.policy.factory
                 : sim::PolicyRegistry::make(req.policy.name);
-        const std::array<const trace::Trace*, 4> mix = {
-            req.traces[0], req.traces[1], req.traces[2], req.traces[3]};
+        std::array<std::unique_ptr<trace::TraceSource>, 4> opened;
+        std::array<trace::TraceSource*, 4> mix{};
+        for (unsigned c = 0; c < 4; ++c) {
+            opened[c] = req.sources[c].open(req.openOptions);
+            mix[c] = opened[c].get();
+        }
         const auto r = sim::runMultiCore(mix, factory, cfg);
         out.policy = req.policy.name;
         out.ipc = 0.0;
@@ -338,15 +343,16 @@ executeInto(const RunRequest& req, RunResult& out)
     }
 
     const auto& cfg = std::get<sim::SingleCoreConfig>(req.config);
+    const auto source = req.sources[0].open(req.openOptions);
     sim::SingleCoreResult r;
     if (req.policy.name == "MIN" && !req.policy.factory) {
-        r = sim::runSingleCoreMin(*req.traces[0], cfg);
+        r = sim::runSingleCoreMin(*source, cfg);
     } else {
         const auto factory =
             req.policy.factory
                 ? req.policy.factory
                 : sim::PolicyRegistry::make(req.policy.name);
-        r = sim::runSingleCore(*req.traces[0], factory, cfg);
+        r = sim::runSingleCore(*source, factory, cfg);
     }
     out.policy = r.policy;
     out.ipc = r.ipc;
@@ -363,7 +369,7 @@ void
 stampIdentity(const RunRequest& req, std::size_t index, RunResult& out)
 {
     out.index = index;
-    out.benchmark = mixName(req.traces);
+    out.benchmark = mixName(req.sources);
     out.policy = req.policy.name;
     out.label = req.label.empty() ? out.benchmark : req.label;
     out.multiCore = req.isMultiCore();
@@ -523,7 +529,7 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch,
                         " is out of range for this batch of " +
                         std::to_string(batch.size()));
             const auto& req = batch[r.index];
-            const std::string bench = mixName(req.traces);
+            const std::string bench = mixName(req.sources);
             const std::string label =
                 req.label.empty() ? bench : req.label;
             fatalIf(r.benchmark != bench ||
@@ -594,7 +600,7 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch,
         if (sink) {
             const auto& req = batch[idx];
             sink->runStart(idx, req.label.empty()
-                                    ? mixName(req.traces)
+                                    ? mixName(req.sources)
                                     : req.label);
         }
         return runOneImpl(batch[idx], idx, options, sink.get());

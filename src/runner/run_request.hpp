@@ -23,6 +23,7 @@
 
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
+#include "trace/spec.hpp"
 #include "trace/trace.hpp"
 #include "util/logging.hpp"
 #include "util/types.hpp"
@@ -59,37 +60,74 @@ struct PolicySpec
 };
 
 /**
- * One experiment cell. Traces are borrowed: the caller owns them and
- * must keep them alive until the batch completes (pre-generate the
- * suite once; the runner never copies a trace).
+ * One experiment cell. Workloads are named by TraceSpec values, so a
+ * request never holds trace bytes: each execution attempt opens its
+ * own fresh TraceSource (worker threads share nothing), and the
+ * checkpoint/report identity of a run — benchmark name, instruction
+ * count — comes from the spec, independent of how the records are
+ * delivered. Borrowed specs alone reference caller-owned traces, which
+ * must outlive the batch.
  */
 struct RunRequest
 {
-    /** 1 trace => single-core run; 4 traces => multi-core mix run. */
-    std::vector<const trace::Trace*> traces;
+    /** 1 spec => single-core run; 4 specs => multi-core mix run. */
+    std::vector<trace::TraceSpec> sources;
     PolicySpec policy;
-    /** Driver configuration matching the trace count. */
+    /** Driver configuration matching the source count. */
     std::variant<sim::SingleCoreConfig, sim::MultiCoreConfig> config;
     /** Optional report label; defaults to the benchmark/mix name. */
     std::string label;
+    /**
+     * Delivery knobs forwarded to every TraceSpec::open() of this
+     * request (file read mode, decode-ahead, chunk size). Purely an
+     * execution concern: results are byte-identical under every
+     * setting.
+     */
+    trace::TraceSpec::OpenOptions openOptions;
 
     static RunRequest
-    singleCore(const trace::Trace& trace, PolicySpec policy,
+    singleCore(trace::TraceSpec spec, PolicySpec policy,
                sim::SingleCoreConfig cfg = {})
     {
         RunRequest r;
-        r.traces = {&trace};
+        r.sources.push_back(std::move(spec));
         r.policy = std::move(policy);
         r.config = cfg;
         return r;
     }
 
+    /** Compatibility shim (deprecated, one PR): borrows @p trace. */
+    static RunRequest
+    singleCore(const trace::Trace& trace, PolicySpec policy,
+               sim::SingleCoreConfig cfg = {})
+    {
+        return singleCore(trace::TraceSpec::borrowed(trace),
+                          std::move(policy), cfg);
+    }
+
+    static RunRequest
+    multiCore(std::array<trace::TraceSpec, 4> mix, PolicySpec policy,
+              sim::MultiCoreConfig cfg = {})
+    {
+        RunRequest r;
+        r.sources.assign(std::make_move_iterator(mix.begin()),
+                         std::make_move_iterator(mix.end()));
+        r.policy = std::move(policy);
+        r.config = std::move(cfg);
+        return r;
+    }
+
+    /** Compatibility shim (deprecated, one PR): borrows the traces. */
     static RunRequest
     multiCore(const std::array<const trace::Trace*, 4>& mix,
               PolicySpec policy, sim::MultiCoreConfig cfg = {})
     {
         RunRequest r;
-        r.traces.assign(mix.begin(), mix.end());
+        for (const auto* t : mix) {
+            fatalIf(t == nullptr, ErrorCode::Config,
+                    "null trace in mix");
+            r.sources.push_back(trace::TraceSpec::borrowed(*t));
+        }
         r.policy = std::move(policy);
         r.config = std::move(cfg);
         return r;

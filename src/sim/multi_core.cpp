@@ -27,7 +27,7 @@ MultiCoreResult::weightedSpeedup(
 }
 
 MultiCoreResult
-runMultiCore(const std::array<const trace::Trace*, 4>& mix,
+runMultiCore(const std::array<trace::TraceSource*, 4>& mix,
              const PolicyFactory& factory, const MultiCoreConfig& cfg)
 {
     cache::HierarchyConfig hcfg = cfg.hierarchy;
@@ -40,7 +40,8 @@ runMultiCore(const std::array<const trace::Trace*, 4>& mix,
     std::vector<std::unique_ptr<cpu::CoreModel>> cores;
     for (unsigned c = 0; c < 4; ++c) {
         fatalIf(mix[c] == nullptr, ErrorCode::Config,
-                "null trace in mix");
+                "null trace source in mix");
+        mix[c]->reset(); // allow sequential reuse of one source
         cores.push_back(std::make_unique<cpu::CoreModel>(
             c, hier, *mix[c], /*loop=*/true));
     }
@@ -135,14 +136,15 @@ runMultiCore(const std::array<const trace::Trace*, 4>& mix,
 }
 
 double
-standaloneIpc(const trace::Trace& trace, const MultiCoreConfig& cfg)
+standaloneIpc(trace::TraceSource& source, const MultiCoreConfig& cfg)
 {
     cache::HierarchyConfig hcfg = cfg.hierarchy;
     hcfg.cores = 1;
     const cache::CacheGeometry geom(hcfg.llcBytes, hcfg.llcWays);
     cache::Hierarchy hier(hcfg,
                           std::make_unique<policy::LruPolicy>(geom));
-    cpu::CoreModel cpu(0, hier, trace, /*loop=*/true);
+    source.reset(); // allow sequential reuse of one source
+    cpu::CoreModel cpu(0, hier, source, /*loop=*/true);
 
     // Same per-thread warmup share as a mixed run.
     while (cpu.retired() < cfg.warmupInstructions / 4)
@@ -153,6 +155,29 @@ standaloneIpc(const trace::Trace& trace, const MultiCoreConfig& cfg)
         cpu.step();
     return static_cast<double>(cpu.retired() - base_insts) /
            static_cast<double>(cfg.measureCycles);
+}
+
+MultiCoreResult
+runMultiCore(const std::array<const trace::Trace*, 4>& mix,
+             const PolicyFactory& factory, const MultiCoreConfig& cfg)
+{
+    std::array<std::unique_ptr<trace::MaterializedTraceSource>, 4> owned;
+    std::array<trace::TraceSource*, 4> sources{};
+    for (unsigned c = 0; c < 4; ++c) {
+        fatalIf(mix[c] == nullptr, ErrorCode::Config,
+                "null trace in mix");
+        owned[c] =
+            std::make_unique<trace::MaterializedTraceSource>(*mix[c]);
+        sources[c] = owned[c].get();
+    }
+    return runMultiCore(sources, factory, cfg);
+}
+
+double
+standaloneIpc(const trace::Trace& trace, const MultiCoreConfig& cfg)
+{
+    trace::MaterializedTraceSource source(trace);
+    return standaloneIpc(source, cfg);
 }
 
 } // namespace mrp::sim

@@ -19,6 +19,7 @@
 #include "cache/hierarchy.hpp"
 #include "sim/driver_config.hpp"
 #include "sim/policies.hpp"
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 
 namespace mrp::telemetry {
@@ -68,7 +69,19 @@ struct MultiCoreResult
     }
 };
 
-/** Run a 4-trace mix under the policy built by @p factory. */
+/**
+ * Run a 4-source mix under the policy built by @p factory. Each core
+ * owns one source exclusively for the whole run (the drivers loop the
+ * sources via reset(), so each must be independently resettable — the
+ * TraceSpec factory hands out exactly such sources). Results are
+ * byte-identical for any chunking or delivery mode of the same four
+ * record sequences.
+ */
+MultiCoreResult runMultiCore(const std::array<trace::TraceSource*, 4>& mix,
+                             const PolicyFactory& factory,
+                             const MultiCoreConfig& cfg = {});
+
+/** Compatibility shim (deprecated, one PR): in-memory traces. */
 MultiCoreResult runMultiCore(const std::array<const trace::Trace*, 4>& mix,
                              const PolicyFactory& factory,
                              const MultiCoreConfig& cfg = {});
@@ -78,6 +91,10 @@ MultiCoreResult runMultiCore(const std::array<const trace::Trace*, 4>& mix,
  * LRU LLC (the SingleIPC_i of §4.5), using the same loop-and-measure
  * scheme as the mixed run.
  */
+double standaloneIpc(trace::TraceSource& source,
+                     const MultiCoreConfig& cfg = {});
+
+/** Compatibility shim (deprecated, one PR): in-memory trace. */
 double standaloneIpc(const trace::Trace& trace,
                      const MultiCoreConfig& cfg = {});
 

@@ -5,6 +5,7 @@
 #include "policy/min.hpp"
 #include "prof/profiler.hpp"
 #include "sim/telemetry_hooks.hpp"
+#include "trace/stream_reader.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::sim {
@@ -12,7 +13,7 @@ namespace mrp::sim {
 namespace {
 
 SingleCoreResult
-runWithPolicy(const trace::Trace& trace,
+runWithPolicy(trace::TraceSource& source,
               std::unique_ptr<cache::LlcPolicy> policy,
               const SingleCoreConfig& cfg,
               cache::LlcObserver* observer)
@@ -27,10 +28,18 @@ runWithPolicy(const trace::Trace& trace,
             "observer (both need the observer slot)");
     if (observer)
         hier.llc().setObserver(observer);
-    cpu::CoreModel cpu(0, hier, trace, /*loop=*/false);
+    // Rewind so one source can serve several sequential runs (bench
+    // loops reuse a source across policies); replay is identical by
+    // the TraceSource contract.
+    source.reset();
+    cpu::CoreModel cpu(0, hier, source, /*loop=*/false);
 
+    // instructions() is known up front for every source (file headers
+    // carry it, generators hit their target exactly), so the warmup
+    // window never depends on materializing the stream.
     const auto warm_insts = static_cast<InstCount>(
-        static_cast<double>(trace.instructions()) * cfg.warmupFraction);
+        static_cast<double>(source.instructions()) *
+        cfg.warmupFraction);
     {
         MRP_PROF_SCOPE("warmup");
         while (!cpu.finished() && cpu.retired() < warm_insts)
@@ -46,6 +55,16 @@ runWithPolicy(const trace::Trace& trace,
         hier.attachTelemetry(session->registry());
         tobs = std::make_unique<TelemetryObserver>(*session);
         hier.llc().setObserver(tobs.get());
+        // Delivery introspection (an execution artifact, never part
+        // of deterministic reports — telemetry is opt-in).
+        if (auto* da =
+                dynamic_cast<trace::DecodeAheadSource*>(&source)) {
+            session->registry().gaugeFn(
+                "trace.decode_ahead.queue_depth_max", [da] {
+                    return static_cast<double>(
+                        da->stats().maxQueueDepth);
+                });
+        }
     }
     const InstCount base_insts = cpu.retired();
     const Cycle base_cycle = cpu.cycle();
@@ -57,7 +76,7 @@ runWithPolicy(const trace::Trace& trace,
     }
 
     SingleCoreResult r;
-    r.benchmark = trace.name();
+    r.benchmark = source.name();
     r.policy = policy_name;
     r.instructions = cpu.retired() - base_insts;
     r.cycles = cpu.cycle() - base_cycle;
@@ -86,12 +105,31 @@ runWithPolicy(const trace::Trace& trace,
 } // namespace
 
 SingleCoreResult
-runSingleCore(const trace::Trace& trace, const PolicyFactory& factory,
+runSingleCore(trace::TraceSource& source, const PolicyFactory& factory,
               const SingleCoreConfig& cfg)
 {
     const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
                                     cfg.hierarchy.llcWays);
-    return runWithPolicy(trace, factory(geom, 1), cfg, nullptr);
+    return runWithPolicy(source, factory(geom, 1), cfg, nullptr);
+}
+
+SingleCoreResult
+runSingleCore(const trace::Trace& trace, const PolicyFactory& factory,
+              const SingleCoreConfig& cfg)
+{
+    trace::MaterializedTraceSource source(trace);
+    return runSingleCore(source, factory, cfg);
+}
+
+SingleCoreResult
+runSingleCoreObserved(trace::TraceSource& source,
+                      const PolicyFactory& factory,
+                      const SingleCoreConfig& cfg,
+                      cache::LlcObserver* observer)
+{
+    const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
+                                    cfg.hierarchy.llcWays);
+    return runWithPolicy(source, factory(geom, 1), cfg, observer);
 }
 
 SingleCoreResult
@@ -100,13 +138,13 @@ runSingleCoreObserved(const trace::Trace& trace,
                       const SingleCoreConfig& cfg,
                       cache::LlcObserver* observer)
 {
-    const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
-                                    cfg.hierarchy.llcWays);
-    return runWithPolicy(trace, factory(geom, 1), cfg, observer);
+    trace::MaterializedTraceSource source(trace);
+    return runSingleCoreObserved(source, factory, cfg, observer);
 }
 
 SingleCoreResult
-runSingleCoreMin(const trace::Trace& trace, const SingleCoreConfig& cfg)
+runSingleCoreMin(trace::TraceSource& source,
+                 const SingleCoreConfig& cfg)
 {
     const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
                                     cfg.hierarchy.llcWays);
@@ -118,18 +156,27 @@ runSingleCoreMin(const trace::Trace& trace, const SingleCoreConfig& cfg)
     policy::LlcAccessRecorder recorder;
     {
         MRP_PROF_SCOPE("min.record");
-        runWithPolicy(trace, std::make_unique<policy::LruPolicy>(geom),
+        runWithPolicy(source, std::make_unique<policy::LruPolicy>(geom),
                       pass1_cfg, &recorder);
     }
-    // Pass 2: replay under MIN.
+    // Pass 2: replay under MIN over the identical record sequence
+    // (the TraceSource contract guarantees reset() replays exactly).
+    source.reset();
     MRP_PROF_SCOPE("min.replay");
     auto next_use = policy::computeNextUse(recorder.sequence());
     SingleCoreResult r = runWithPolicy(
-        trace,
+        source,
         std::make_unique<policy::MinPolicy>(geom, std::move(next_use)),
         cfg, nullptr);
     r.policy = "MIN";
     return r;
+}
+
+SingleCoreResult
+runSingleCoreMin(const trace::Trace& trace, const SingleCoreConfig& cfg)
+{
+    trace::MaterializedTraceSource source(trace);
+    return runSingleCoreMin(source, cfg);
 }
 
 } // namespace mrp::sim

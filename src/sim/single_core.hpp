@@ -14,6 +14,7 @@
 #include "cache/hierarchy.hpp"
 #include "sim/driver_config.hpp"
 #include "sim/policies.hpp"
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 
 namespace mrp::telemetry {
@@ -47,7 +48,17 @@ struct SingleCoreResult
     std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 };
 
-/** Run @p trace under the policy built by @p factory. */
+/**
+ * Stream @p source under the policy built by @p factory. The source
+ * is consumed from its current position (pass a fresh or reset one)
+ * and left exhausted. Results are byte-identical for any chunking or
+ * delivery mode of the same record sequence.
+ */
+SingleCoreResult runSingleCore(trace::TraceSource& source,
+                               const PolicyFactory& factory,
+                               const SingleCoreConfig& cfg = {});
+
+/** Compatibility shim (deprecated, one PR): in-memory trace. */
 SingleCoreResult runSingleCore(const trace::Trace& trace,
                                const PolicyFactory& factory,
                                const SingleCoreConfig& cfg = {});
@@ -56,17 +67,29 @@ SingleCoreResult runSingleCore(const trace::Trace& trace,
  * As runSingleCore, with a passive LLC observer attached (ROC probes,
  * access recorders). The observer sees the whole run, warmup included.
  */
+SingleCoreResult runSingleCoreObserved(trace::TraceSource& source,
+                                       const PolicyFactory& factory,
+                                       const SingleCoreConfig& cfg,
+                                       cache::LlcObserver* observer);
+
+/** Compatibility shim (deprecated, one PR): in-memory trace. */
 SingleCoreResult runSingleCoreObserved(const trace::Trace& trace,
                                        const PolicyFactory& factory,
                                        const SingleCoreConfig& cfg,
                                        cache::LlcObserver* observer);
 
 /**
- * Run @p trace under Belady's MIN with optimal bypass: a recording
+ * Run @p source under Belady's MIN with optimal bypass: a recording
  * pre-pass (under LRU) captures the policy-invariant LLC reference
  * stream, next-use distances are computed, and the measured pass runs
- * MinPolicy (paper §4.3).
+ * MinPolicy (paper §4.3). The source is reset() between the passes —
+ * only the (much smaller) LLC reference stream is ever held in
+ * memory, so MIN works on streamed traces too.
  */
+SingleCoreResult runSingleCoreMin(trace::TraceSource& source,
+                                  const SingleCoreConfig& cfg = {});
+
+/** Compatibility shim (deprecated, one PR): in-memory trace. */
 SingleCoreResult runSingleCoreMin(const trace::Trace& trace,
                                   const SingleCoreConfig& cfg = {});
 

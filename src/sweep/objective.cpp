@@ -11,24 +11,38 @@ namespace mrp::sweep {
 CorpusEvaluator::CorpusEvaluator(const CorpusConfig& cfg)
     : cfg_(cfg), pool_(cfg.jobs)
 {
-    fatalIf(cfg_.workloads.empty(),
+    fatalIf(cfg_.workloads.empty() && cfg_.corpus.empty(),
             "corpus evaluator needs training workloads");
     fatalIf(cfg_.fullInstructions == 0,
             "corpus evaluator needs a trace length");
+    if (!cfg_.corpus.empty()) {
+        fullCorpus_ = cfg_.corpus;
+    } else {
+        fullCorpus_.reserve(cfg_.workloads.size());
+        for (const unsigned w : cfg_.workloads)
+            fullCorpus_.push_back(
+                trace::TraceSpec::suite(w, cfg_.fullInstructions));
+    }
 }
 
-const std::vector<trace::Trace>&
-CorpusEvaluator::traces(InstCount budget_insts)
+const std::vector<trace::TraceSpec>&
+CorpusEvaluator::specs(InstCount budget_insts)
 {
     const InstCount insts =
         budget_insts == 0 ? cfg_.fullInstructions : budget_insts;
-    auto it = traceCache_.find(insts);
-    if (it == traceCache_.end()) {
-        std::vector<trace::Trace> ts;
-        ts.reserve(cfg_.workloads.size());
-        for (const unsigned w : cfg_.workloads)
-            ts.push_back(trace::makeSuiteTrace(w, insts));
-        it = traceCache_.emplace(insts, std::move(ts)).first;
+    auto it = specCache_.find(insts);
+    if (it == specCache_.end()) {
+        // Budget rungs regenerate each workload at the shorter length
+        // (withInstructions), matching how generators define identity;
+        // a prefix cut of the full-length stream would measure a
+        // different workload.
+        std::vector<trace::TraceSpec> ts;
+        ts.reserve(fullCorpus_.size());
+        for (const auto& spec : fullCorpus_)
+            ts.push_back(spec.instructions() == insts
+                             ? spec
+                             : spec.withInstructions(insts));
+        it = specCache_.emplace(insts, std::move(ts)).first;
     }
     return it->second;
 }
@@ -37,12 +51,14 @@ std::vector<double>
 CorpusEvaluator::run(const runner::PolicySpec& spec,
                      InstCount budget_insts)
 {
-    const auto& ts = traces(budget_insts);
+    const auto& ts = specs(budget_insts);
     std::vector<runner::RunRequest> batch;
     batch.reserve(ts.size());
-    for (const auto& t : ts)
+    for (const auto& t : ts) {
         batch.push_back(
             runner::RunRequest::singleCore(t, spec, cfg_.sim));
+        batch.back().openOptions = cfg_.openOptions;
+    }
     const auto set = pool_.run(batch);
     std::vector<double> out;
     out.reserve(set.results.size());
@@ -87,14 +103,16 @@ std::vector<runner::RunRequest>
 CorpusMpkiObjective::requests(const core::MpppbConfig& cfg,
                               InstCount budget_insts)
 {
-    const auto& ts = evaluator_->traces(budget_insts);
+    const auto& ts = evaluator_->specs(budget_insts);
     const auto factory = sim::makeMpppbFactory(cfg);
     std::vector<runner::RunRequest> out;
     out.reserve(ts.size());
-    for (const auto& t : ts)
+    for (const auto& t : ts) {
         out.push_back(runner::RunRequest::singleCore(
             t, runner::PolicySpec::custom("MPPPB", factory),
             evaluator_->config().sim));
+        out.back().openOptions = evaluator_->config().openOptions;
+    }
     return out;
 }
 

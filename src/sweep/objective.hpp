@@ -6,10 +6,12 @@
  * measure it (the Study executes them through the ExperimentRunner)
  * and folds the results into a scalar fitness (higher is better).
  * CorpusEvaluator is the shared workload-corpus evaluation path: it
- * owns the synthetic traces (generated once per budget and reused by
- * every candidate) and runs reference policies; both the sweep
- * objectives here and the legacy search::FeatureSetEvaluator shim are
- * built on it, so there is exactly one way a candidate gets simulated.
+ * holds the corpus as TraceSpec values (budget rungs are derived specs
+ * via withInstructions, cached per budget — nothing is materialized;
+ * every run streams its own source) and runs reference policies; both
+ * the sweep objectives here and the legacy search::FeatureSetEvaluator
+ * shim are built on it, so there is exactly one way a candidate gets
+ * simulated.
  */
 
 #ifndef MRP_SWEEP_OBJECTIVE_HPP
@@ -22,6 +24,7 @@
 
 #include "runner/experiment_runner.hpp"
 #include "sweep/search_space.hpp"
+#include "trace/spec.hpp"
 #include "trace/trace.hpp"
 
 namespace mrp::sweep {
@@ -54,15 +57,26 @@ class Objective
 struct CorpusConfig
 {
     std::vector<unsigned> workloads; //!< suite indices (training set)
+    /**
+     * Explicit corpus specs; when non-empty they ARE the corpus and
+     * `workloads` is ignored. This is how streaming families (Zipf,
+     * block-I/O, phase mixes, trace files) enter a sweep. Every spec
+     * must be resizable for budget rungs (no File/Borrowed kinds)
+     * unless the study never shortens budgets.
+     */
+    std::vector<trace::TraceSpec> corpus;
     InstCount fullInstructions = 400000;
     sim::SingleCoreConfig sim{};
     unsigned jobs = 0; //!< runner workers for the reference sweeps
+    /** Delivery knobs forwarded to every run (never affect scores). */
+    trace::TraceSpec::OpenOptions openOptions;
 };
 
 /**
- * Owns the corpus traces (cached per budget) and evaluates policies
- * over them through the ExperimentRunner. Not thread-safe; the Study
- * drives it from one thread and parallelism happens inside the runner.
+ * Holds the corpus specs (budget rungs cached per instruction count)
+ * and evaluates policies over them through the ExperimentRunner. Not
+ * thread-safe; the Study drives it from one thread and parallelism
+ * happens inside the runner (each worker opens its own stream).
  */
 class CorpusEvaluator
 {
@@ -70,11 +84,11 @@ class CorpusEvaluator
     explicit CorpusEvaluator(const CorpusConfig& cfg);
 
     const CorpusConfig& config() const { return cfg_; }
-    std::size_t workloadCount() const { return cfg_.workloads.size(); }
+    std::size_t workloadCount() const { return fullCorpus_.size(); }
 
-    /** Corpus traces at @p budget_insts (0 = fullInstructions);
-     * generated on first use, stable addresses thereafter. */
-    const std::vector<trace::Trace>& traces(InstCount budget_insts);
+    /** Corpus specs at @p budget_insts (0 = fullInstructions);
+     * derived via withInstructions on first use, stable thereafter. */
+    const std::vector<trace::TraceSpec>& specs(InstCount budget_insts);
 
     /** Per-workload MPKI of MPPPB under @p cfg. */
     std::vector<double> mpppbMpkis(const core::MpppbConfig& cfg,
@@ -89,7 +103,8 @@ class CorpusEvaluator
                             InstCount budget_insts);
 
     CorpusConfig cfg_;
-    std::map<InstCount, std::vector<trace::Trace>> traceCache_;
+    std::vector<trace::TraceSpec> fullCorpus_;
+    std::map<InstCount, std::vector<trace::TraceSpec>> specCache_;
     runner::ExperimentRunner pool_;
 };
 

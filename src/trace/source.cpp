@@ -1,0 +1,23 @@
+#include "trace/source.hpp"
+
+#include <vector>
+
+namespace mrp::trace {
+
+Trace
+materialize(TraceSource& source)
+{
+    std::vector<Record> records;
+    InstCount total = 0;
+    for (;;) {
+        const auto chunk = source.nextChunk();
+        if (chunk.empty())
+            break;
+        records.insert(records.end(), chunk.begin(), chunk.end());
+        for (const auto& r : chunk)
+            total += r.count();
+    }
+    return Trace(source.name(), std::move(records), total);
+}
+
+} // namespace mrp::trace

@@ -1,0 +1,240 @@
+#include "trace/spec.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "trace/wire_format.hpp"
+#include "trace/workloads.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::trace {
+
+namespace {
+
+// Private address regions for the streaming families, above the
+// suite/held-out slots so no family ever aliases another's blocks.
+constexpr Addr kStreamDataBase = Addr{0x40} << 32;
+constexpr Addr kStreamDataStride = Addr{0x10} << 32;
+constexpr Pc kStreamCodeBase = 0x4000000;
+constexpr Pc kStreamCodeStride = 0x100000;
+
+std::unique_ptr<TraceSource>
+maybeDecodeAhead(std::unique_ptr<TraceSource> src,
+                 const TraceSpec::OpenOptions& opts)
+{
+    if (!opts.decodeAhead)
+        return src;
+    return std::make_unique<DecodeAheadSource>(std::move(src),
+                                               opts.queueDepth);
+}
+
+/** Read just enough of a trace-file header to learn its identity
+ * (name + instruction count) without decoding the payload. */
+void
+peekHeader(const std::string& path, std::string& name,
+           InstCount& instructions)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, ErrorCode::Io, "cannot open for reading: " + path);
+    char base[wire::kBaseHeaderBytes] = {};
+    is.read(base, sizeof(base));
+    fatalIf(!is, ErrorCode::CorruptInput,
+            "truncated trace header in " + path);
+    fatalIf(std::memcmp(base, wire::kMagic, sizeof(wire::kMagic)) != 0,
+            ErrorCode::CorruptInput,
+            "not a trace file (bad magic): " + path);
+    std::uint32_t version = 0;
+    std::uint64_t insts = 0;
+    std::uint32_t name_len = 0;
+    std::memcpy(&version, base + 4, sizeof(version));
+    std::memcpy(&insts, base + 8, sizeof(insts));
+    std::memcpy(&name_len, base + 24, sizeof(name_len));
+    fatalIf(version < 1 || version > 3, ErrorCode::CorruptInput,
+            "unsupported trace version " + std::to_string(version) +
+                " in " + path);
+    fatalIf(name_len > wire::kMaxNameLen, ErrorCode::CorruptInput,
+            "implausible trace name length in " + path);
+    if (version == 3)
+        is.seekg(4, std::ios::cur); // the chunk-capacity field
+    name.resize(name_len);
+    if (name_len > 0)
+        is.read(name.data(), name_len);
+    fatalIf(!is, ErrorCode::CorruptInput,
+            "truncated trace name in " + path);
+    instructions = insts;
+}
+
+} // namespace
+
+TraceSpec
+TraceSpec::borrowed(const Trace& t)
+{
+    TraceSpec s;
+    s.kind_ = Kind::Borrowed;
+    s.borrowedTrace_ = &t;
+    s.name_ = t.name();
+    s.instructions_ = t.instructions();
+    return s;
+}
+
+TraceSpec
+TraceSpec::suite(unsigned index, InstCount instructions,
+                 std::uint64_t seed)
+{
+    fatalIf(index >= suiteSize(), ErrorCode::Config,
+            "suite index " + std::to_string(index) + " out of range");
+    TraceSpec s;
+    s.kind_ = Kind::Suite;
+    s.index_ = index;
+    s.seed_ = seed;
+    s.name_ = suiteName(index);
+    s.instructions_ = instructions;
+    return s;
+}
+
+TraceSpec
+TraceSpec::heldOut(unsigned index, InstCount instructions,
+                   std::uint64_t seed)
+{
+    fatalIf(index >= heldOutSize(), ErrorCode::Config,
+            "held-out index " + std::to_string(index) +
+                " out of range");
+    TraceSpec s;
+    s.kind_ = Kind::HeldOut;
+    s.index_ = index;
+    s.seed_ = seed;
+    s.name_ = heldOutName(index);
+    s.instructions_ = instructions;
+    return s;
+}
+
+TraceSpec
+TraceSpec::file(std::string path)
+{
+    TraceSpec s;
+    s.kind_ = Kind::File;
+    s.path_ = std::move(path);
+    peekHeader(s.path_, s.name_, s.instructions_);
+    return s;
+}
+
+TraceSpec
+TraceSpec::zipf(ZipfParams p)
+{
+    fatalIf(p.instructions == 0, ErrorCode::Config,
+            "zipf spec needs a nonzero instruction target");
+    if (p.dataBase == 0)
+        p.dataBase = kStreamDataBase;
+    if (p.codeBase == 0)
+        p.codeBase = kStreamCodeBase;
+    TraceSpec s;
+    s.kind_ = Kind::Zipf;
+    s.name_ = p.name;
+    s.instructions_ = p.instructions;
+    s.zipf_ = std::move(p);
+    return s;
+}
+
+TraceSpec
+TraceSpec::blockIo(BlockIoParams p)
+{
+    fatalIf(p.instructions == 0, ErrorCode::Config,
+            "blkio spec needs a nonzero instruction target");
+    if (p.dataBase == 0)
+        p.dataBase = kStreamDataBase + kStreamDataStride;
+    if (p.codeBase == 0)
+        p.codeBase = kStreamCodeBase + kStreamCodeStride;
+    TraceSpec s;
+    s.kind_ = Kind::BlockIo;
+    s.name_ = p.name;
+    s.instructions_ = p.instructions;
+    s.blockIo_ = std::move(p);
+    return s;
+}
+
+TraceSpec
+TraceSpec::phaseMix(std::string name, InstCount instructions,
+                    InstCount phase_insts,
+                    std::vector<TraceSpec> children)
+{
+    fatalIf(children.empty(), ErrorCode::Config,
+            "phase mix needs at least one child spec");
+    for (const auto& c : children)
+        fatalIf(c.kind_ == Kind::Borrowed, ErrorCode::Config,
+                "phase mix children must be self-contained specs, "
+                "not borrowed traces");
+    TraceSpec s;
+    s.kind_ = Kind::PhaseMix;
+    s.name_ = std::move(name);
+    s.instructions_ = instructions;
+    s.phaseInsts_ = phase_insts;
+    s.children_ = std::move(children);
+    return s;
+}
+
+TraceSpec
+TraceSpec::withInstructions(InstCount instructions) const
+{
+    fatalIf(kind_ == Kind::Borrowed || kind_ == Kind::File,
+            ErrorCode::Config,
+            "cannot resize a " +
+                std::string(kind_ == Kind::File ? "file"
+                                                : "borrowed") +
+                " trace spec ('" + name_ + "')");
+    TraceSpec s = *this;
+    s.instructions_ = instructions;
+    s.zipf_.instructions = instructions;
+    s.blockIo_.instructions = instructions;
+    return s;
+}
+
+std::unique_ptr<TraceSource>
+TraceSpec::open(const OpenOptions& opts) const
+{
+    const std::size_t chunk = opts.chunkRecords == 0
+                                  ? kDefaultChunkRecords
+                                  : opts.chunkRecords;
+    std::unique_ptr<TraceSource> src;
+    switch (kind_) {
+    case Kind::Borrowed:
+        src = std::make_unique<MaterializedTraceSource>(
+            *borrowedTrace_, chunk);
+        break;
+    case Kind::Suite:
+        src = std::make_unique<MaterializedTraceSource>(
+            makeSuiteTrace(index_, instructions_, seed_), chunk);
+        break;
+    case Kind::HeldOut:
+        src = std::make_unique<MaterializedTraceSource>(
+            makeHeldOutTrace(index_, instructions_, seed_), chunk);
+        break;
+    case Kind::File:
+        src = std::make_unique<FileTraceSource>(path_, opts.fileMode);
+        break;
+    case Kind::Zipf: {
+        ZipfParams p = zipf_;
+        p.chunkRecords = chunk;
+        src = makeZipfSource(p);
+        break;
+    }
+    case Kind::BlockIo: {
+        BlockIoParams p = blockIo_;
+        p.chunkRecords = chunk;
+        src = makeBlockIoSource(p);
+        break;
+    }
+    case Kind::PhaseMix: {
+        std::vector<std::unique_ptr<TraceSource>> kids;
+        kids.reserve(children_.size());
+        for (const auto& c : children_)
+            kids.push_back(c.open());
+        src = makePhaseMix(name_, instructions_, phaseInsts_,
+                           std::move(kids), chunk);
+        break;
+    }
+    }
+    return maybeDecodeAhead(std::move(src), opts);
+}
+
+} // namespace mrp::trace

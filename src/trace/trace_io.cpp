@@ -1,12 +1,17 @@
 #include "trace/trace_io.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <new>
+#include <sstream>
 #include <vector>
 
 #include "prof/profiler.hpp"
+#include "trace/stream_reader.hpp"
+#include "trace/wire_format.hpp"
 #include "util/crc32.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
@@ -15,10 +20,9 @@ namespace mrp::trace {
 
 namespace {
 
-constexpr char kMagic[4] = {'M', 'R', 'P', 'T'};
-constexpr std::uint64_t kHeaderBytes = 32;
-constexpr std::uint64_t kFooterBytes = 4; // v2 CRC-32
-constexpr std::uint32_t kMaxNameLen = 4096;
+using wire::kFooterBytes;
+using wire::kMagic;
+using wire::kMaxNameLen;
 
 template <typename T>
 void
@@ -94,15 +98,19 @@ writeTrace(std::ostream& os, const Trace& trace, TraceFormat format)
 {
     fault::checkIo("trace_io.write.io", "writing trace stream");
     const auto version = static_cast<std::uint32_t>(format);
-    fatalIf(version < 1 || version > 2,
+    fatalIf(version < 1 || version > 3,
             "unsupported trace format version " +
                 std::to_string(version));
+    if (format == TraceFormat::V3) {
+        writeChunkedTrace(os, trace);
+        return;
+    }
 
     // Serialize into memory first: the CRC covers the exact image, and
     // the write-corruption fault site can flip bits in any byte of it.
     std::string buf;
     static_assert(sizeof(Record) == 16, "record layout changed");
-    buf.reserve(kHeaderBytes + trace.name().size() +
+    buf.reserve(wire::kBaseHeaderBytes + trace.name().size() +
                 trace.records().size() * sizeof(Record) +
                 kFooterBytes);
     buf.append(kMagic, sizeof(kMagic));
@@ -126,9 +134,31 @@ saveTrace(const std::string& path, const Trace& trace,
           TraceFormat format)
 {
     fault::checkIo("trace_io.save.open", "opening " + path);
-    std::ofstream os(path, std::ios::binary);
-    fatalIf(!os, ErrorCode::Io, "cannot open for writing: " + path);
-    writeTrace(os, trace, format);
+
+    // Serialize first (any writer fault aborts before the filesystem
+    // is touched), then tmp + fsync + rename so a crash mid-save can
+    // never publish a torn file that still passes the header checks.
+    std::ostringstream buf;
+    writeTrace(buf, trace, format);
+    const std::string bytes = buf.str();
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    fatalIf(f == nullptr, ErrorCode::Io,
+            "cannot open for writing: " + tmp);
+    bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size() &&
+              std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        fatal(ErrorCode::Io, "failed writing " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal(ErrorCode::Io, "cannot rename " + tmp + " to " + path);
+    }
 }
 
 Trace
@@ -146,14 +176,31 @@ readTrace(std::istream& is)
     is.seekg(start);
     fatalIf(!is || end < start, ErrorCode::Io,
             "cannot determine trace stream size");
-    BoundedReader in(is, static_cast<std::uint64_t>(end - start));
+    const auto available = static_cast<std::uint64_t>(end - start);
+
+    // Sniff the version to dispatch v3 (chunked) streams; short or
+    // unrecognized prefixes fall through to the v1/v2 path for its
+    // full diagnostics.
+    if (available >= 8) {
+        char head[8] = {};
+        is.read(head, sizeof(head));
+        fatalIf(!is, ErrorCode::Io, "read failed sniffing version");
+        is.seekg(start);
+        fatalIf(!is, ErrorCode::Io, "seek failed sniffing version");
+        std::uint32_t sniffed = 0;
+        std::memcpy(&sniffed, head + 4, sizeof(sniffed));
+        if (std::memcmp(head, kMagic, sizeof(kMagic)) == 0 &&
+            sniffed == 3)
+            return readChunkedTrace(is, available);
+    }
+    BoundedReader in(is, available);
 
     char magic[4] = {};
     in.read(magic, sizeof(magic), "magic");
     fatalIf(std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
             ErrorCode::CorruptInput, "not a trace stream (bad magic)");
     const auto version = in.get<std::uint32_t>("version");
-    fatalIf(version < 1 || version > 2, ErrorCode::CorruptInput,
+    fatalIf(version < 1 || version > 3, ErrorCode::CorruptInput,
             "unsupported trace version " + std::to_string(version));
     const auto instructions = in.get<std::uint64_t>("instruction count");
     const auto record_count = in.get<std::uint64_t>("record count");

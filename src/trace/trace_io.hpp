@@ -3,13 +3,16 @@
  * Binary serialization of traces, so workloads can be generated once,
  * archived, or imported from external tools.
  *
- * Format (little-endian): a 32-byte header — magic "MRPT", u32
+ * Format (little-endian): a 28-byte header — magic "MRPT", u32
  * version, u64 instruction count, u64 record count, u32 name length —
  * followed by the name bytes and the packed 16-byte records. Version 2
- * (the current writer default) appends a u32 CRC-32 footer covering
- * every preceding byte, so any corruption of the payload is detected,
- * not just implausible header fields. Version-1 files (no footer) are
- * still read.
+ * appends a u32 CRC-32 footer covering every preceding byte, so any
+ * corruption of the payload is detected, not just implausible header
+ * fields. Version 3 (the current writer default) stores the records
+ * as independently-decodable chunks — per-chunk record counts and
+ * CRC-32s — so files stream in bounded memory and corruption is
+ * localized to one chunk (layout in trace/wire_format.hpp; streaming
+ * access in trace/stream_reader.hpp). All versions are still read.
  *
  * The reader is hardened against corrupt input: the name-length and
  * record-count fields are bounded against the bytes actually remaining
@@ -39,19 +42,24 @@
 
 namespace mrp::trace {
 
-/** On-disk format revision to emit; readers accept both. */
+/** On-disk format revision to emit; readers accept all of them. */
 enum class TraceFormat : std::uint32_t {
     V1 = 1, //!< header + payload, no checksum (legacy)
-    V2 = 2, //!< adds the CRC-32 footer (default)
+    V2 = 2, //!< adds the CRC-32 footer
+    V3 = 3, //!< chunked payload, per-chunk CRC-32 (default)
 };
 
 /** Serialize @p trace to a stream; throws FatalError on I/O failure. */
 void writeTrace(std::ostream& os, const Trace& trace,
-                TraceFormat format = TraceFormat::V2);
+                TraceFormat format = TraceFormat::V3);
 
-/** Serialize to a file path. */
+/**
+ * Serialize to a file path, atomically: the bytes land in a
+ * same-directory temp file which is fsynced and renamed into place,
+ * so a crashed writer can never leave a torn file at @p path.
+ */
 void saveTrace(const std::string& path, const Trace& trace,
-               TraceFormat format = TraceFormat::V2);
+               TraceFormat format = TraceFormat::V3);
 
 /** Deserialize a trace; throws FatalError on corrupt input. */
 Trace readTrace(std::istream& is);

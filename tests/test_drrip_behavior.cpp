@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 namespace mrp {
@@ -17,10 +18,11 @@ namespace {
 TEST(DrripBehavior, BeatsSrripOnCyclicThrash)
 {
     const auto tr = trace::makeSuiteTrace(32, 1500000); // thrash.1p2x
+    trace::MaterializedTraceSource src(tr);
     const auto srrip =
-        sim::runSingleCore(tr, sim::makePolicyFactory("SRRIP"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("SRRIP"), {});
     const auto drrip =
-        sim::runSingleCore(tr, sim::makePolicyFactory("DRRIP"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("DRRIP"), {});
     // SRRIP degenerates to ~LRU on a cyclic working set that exceeds
     // capacity; BRRIP's bimodal insertion retains a stable fraction.
     EXPECT_LT(drrip.llcDemandMisses, srrip.llcDemandMisses * 9 / 10);
@@ -29,10 +31,11 @@ TEST(DrripBehavior, BeatsSrripOnCyclicThrash)
 TEST(DrripBehavior, MatchesSrripOnFriendlyWorkload)
 {
     const auto tr = trace::makeSuiteTrace(4, 600000); // gups.fit
+    trace::MaterializedTraceSource src(tr);
     const auto srrip =
-        sim::runSingleCore(tr, sim::makePolicyFactory("SRRIP"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("SRRIP"), {});
     const auto drrip =
-        sim::runSingleCore(tr, sim::makePolicyFactory("DRRIP"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("DRRIP"), {});
     // Nothing to duel over: both should be near-identical.
     EXPECT_NEAR(static_cast<double>(drrip.llcDemandMisses),
                 static_cast<double>(srrip.llcDemandMisses),
@@ -42,10 +45,11 @@ TEST(DrripBehavior, MatchesSrripOnFriendlyWorkload)
 TEST(DrripBehavior, SrripStillHandlesScansBetterThanLru)
 {
     const auto tr = trace::makeSuiteTrace(12, 1200000); // phase.ab
+    trace::MaterializedTraceSource src(tr);
     const auto lru =
-        sim::runSingleCore(tr, sim::makePolicyFactory("LRU"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("LRU"), {});
     const auto srrip =
-        sim::runSingleCore(tr, sim::makePolicyFactory("SRRIP"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("SRRIP"), {});
     EXPECT_LE(srrip.llcDemandMisses, lru.llcDemandMisses * 11 / 10);
 }
 

@@ -9,6 +9,7 @@
 
 #include "sim/multi_core.hpp"
 #include "trace/mix.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 namespace mrp::sim {
@@ -29,8 +30,12 @@ TEST(MultiCoreProperties, DeterministicAcrossRuns)
     const auto t1 = trace::makeSuiteTrace(9, 200000);
     const auto t2 = trace::makeSuiteTrace(14, 200000);
     const auto t3 = trace::makeSuiteTrace(25, 200000);
-    const std::array<const trace::Trace*, 4> mix = {&t0, &t1, &t2, &t3};
+    trace::MaterializedTraceSource s0(t0), s1(t1), s2(t2), s3(t3);
+    const std::array<trace::TraceSource*, 4> mix = {&s0, &s1, &s2,
+                                                    &s3};
     const auto cfg = fastConfig();
+    // The second call reuses the same sources: the driver rewinds
+    // them, so replay is part of what this determinism check covers.
     const auto a =
         runMultiCore(mix, makePolicyFactory("MPPPB-MC"), cfg);
     const auto b =
@@ -48,10 +53,11 @@ TEST(MultiCoreProperties, CorePlacementMatters)
     const auto t1 = trace::makeSuiteTrace(9, 200000);
     const auto t2 = trace::makeSuiteTrace(14, 200000);
     const auto t3 = trace::makeSuiteTrace(25, 200000);
+    trace::MaterializedTraceSource s0(t0), s1(t1), s2(t2), s3(t3);
     const auto cfg = fastConfig();
-    const auto a = runMultiCore({&t0, &t1, &t2, &t3},
+    const auto a = runMultiCore({&s0, &s1, &s2, &s3},
                                 makePolicyFactory("LRU"), cfg);
-    const auto b = runMultiCore({&t3, &t2, &t1, &t0},
+    const auto b = runMultiCore({&s3, &s2, &s1, &s0},
                                 makePolicyFactory("LRU"), cfg);
     InstCount ia = 0, ib = 0;
     for (unsigned c = 0; c < 4; ++c) {
@@ -68,7 +74,9 @@ TEST(MultiCoreProperties, EveryPaperPolicyRunsAMix)
     const auto t1 = trace::makeSuiteTrace(7, 150000);
     const auto t2 = trace::makeSuiteTrace(21, 150000);
     const auto t3 = trace::makeSuiteTrace(30, 150000);
-    const std::array<const trace::Trace*, 4> mix = {&t0, &t1, &t2, &t3};
+    trace::MaterializedTraceSource s0(t0), s1(t1), s2(t2), s3(t3);
+    const std::array<trace::TraceSource*, 4> mix = {&s0, &s1, &s2,
+                                                    &s3};
     MultiCoreConfig cfg;
     cfg.warmupInstructions = 150000;
     cfg.measureCycles = 60000;
@@ -90,9 +98,13 @@ TEST(MultiCoreProperties, MemoryHogDegradesNeighbors)
     const auto quiet = trace::makeSuiteTrace(0, 250000);   // compute
     const auto hog = trace::makeSuiteTrace(8, 250000);     // thrash.3x
     const auto cfg = fastConfig();
-    const auto calm = runMultiCore({&victim, &quiet, &quiet, &quiet},
+    // Sources are single-consumer: a trace shared by several cores
+    // needs one source (own cursor) per slot.
+    trace::MaterializedTraceSource v0(victim), q1(quiet), q2(quiet),
+        q3(quiet), h1(hog), h2(hog), h3(hog);
+    const auto calm = runMultiCore({&v0, &q1, &q2, &q3},
                                    makePolicyFactory("LRU"), cfg);
-    const auto loud = runMultiCore({&victim, &hog, &hog, &hog},
+    const auto loud = runMultiCore({&v0, &h1, &h2, &h3},
                                    makePolicyFactory("LRU"), cfg);
     EXPECT_LE(loud.ipc[0], calm.ipc[0] * 1.05);
 }

@@ -11,6 +11,7 @@
 
 #include "cache/policy_cache.hpp"
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 #include "util/rng.hpp"
 
@@ -68,8 +69,10 @@ TEST_P(EveryPolicy, EndToEndDeterminism)
 {
     const auto tr = trace::makeSuiteTrace(14, 150000); // mixpc.hi
     const auto factory = sim::makePolicyFactory(GetParam());
-    const auto a = sim::runSingleCore(tr, factory, {});
-    const auto b = sim::runSingleCore(tr, factory, {});
+    // One source serves both runs: the driver rewinds at entry.
+    trace::MaterializedTraceSource src(tr);
+    const auto a = sim::runSingleCore(src, factory, {});
+    const auto b = sim::runSingleCore(src, factory, {});
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.llcDemandMisses, b.llcDemandMisses);
     EXPECT_EQ(a.llcBypasses, b.llcBypasses);
@@ -79,8 +82,9 @@ TEST_P(EveryPolicy, EndToEndDeterminism)
 TEST_P(EveryPolicy, IpcWithinMachineBounds)
 {
     const auto tr = trace::makeSuiteTrace(21, 150000); // prodcons.a
+    trace::MaterializedTraceSource src(tr);
     const auto r =
-        sim::runSingleCore(tr, sim::makePolicyFactory(GetParam()), {});
+        sim::runSingleCore(src, sim::makePolicyFactory(GetParam()), {});
     EXPECT_GT(r.ipc, 0.0);
     EXPECT_LE(r.ipc, 4.0);
 }
@@ -106,10 +110,11 @@ class PredictorPolicies : public ::testing::TestWithParam<const char*>
 TEST_P(PredictorPolicies, BeatsLruOnThrash)
 {
     const auto tr = trace::makeSuiteTrace(32, 1200000); // thrash.1p2x
+    trace::MaterializedTraceSource src(tr);
     const auto lru =
-        sim::runSingleCore(tr, sim::makePolicyFactory("LRU"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("LRU"), {});
     const auto r =
-        sim::runSingleCore(tr, sim::makePolicyFactory(GetParam()), {});
+        sim::runSingleCore(src, sim::makePolicyFactory(GetParam()), {});
     EXPECT_LT(r.llcDemandMisses, lru.llcDemandMisses) << GetParam();
     EXPECT_GT(r.ipc, lru.ipc) << GetParam();
 }

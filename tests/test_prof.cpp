@@ -20,6 +20,7 @@
 #include "prof/profiler.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/report.hpp"
+#include "trace/spec.hpp"
 #include "trace/workloads.hpp"
 #include "util/json_reader.hpp"
 
@@ -210,7 +211,8 @@ smallBatch(const std::vector<const trace::Trace*>& traces)
     for (const auto* tr : traces)
         for (const char* p : {"LRU", "MPPPB"})
             batch.push_back(runner::RunRequest::singleCore(
-                *tr, runner::PolicySpec::byName(p)));
+                trace::TraceSpec::borrowed(*tr),
+                runner::PolicySpec::byName(p)));
     return batch;
 }
 

@@ -11,6 +11,7 @@
 #include "sim/roc_probe.hpp"
 #include "sim/single_core.hpp"
 #include "stats/roc.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 namespace mrp {
@@ -101,8 +102,9 @@ TEST(RocProbeTest, ResolvesGroundTruthOnRealRun)
     // Long enough for the 2MB LLC to fill and start evicting; scan.b
     // has an LLC-resident hot set, so both outcome classes occur.
     const auto tr = trace::makeSuiteTrace(10, 900000); // scan.b
-    sim::runSingleCoreObserved(tr, sim::makePolicyFactory("LRU"), cfg,
-                               &probe);
+    trace::MaterializedTraceSource src(tr);
+    sim::runSingleCoreObserved(src, sim::makePolicyFactory("LRU"),
+                               cfg, &probe);
     EXPECT_GT(probe.roc(0).deadCount(), 1000u);
     EXPECT_GT(probe.roc(0).liveCount(), 0u);
 }

@@ -14,6 +14,8 @@
 #include "runner/report.hpp"
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
+#include "trace/spec.hpp"
 #include "trace/workloads.hpp"
 #include "util/logging.hpp"
 
@@ -28,7 +30,8 @@ smallBatch(std::initializer_list<const trace::Trace*> traces)
     for (const auto* tr : traces)
         for (const char* p : {"LRU", "SRRIP", "MPPPB"})
             batch.push_back(RunRequest::singleCore(
-                *tr, PolicySpec::byName(p)));
+                trace::TraceSpec::borrowed(*tr),
+                PolicySpec::byName(p)));
     return batch;
 }
 
@@ -43,7 +46,7 @@ TEST(ExperimentRunnerTest, ResultsKeyedByRequestIndex)
         EXPECT_EQ(set.results[i].index, i);
         EXPECT_EQ(set.results[i].policy, batch[i].policy.name);
         EXPECT_EQ(set.results[i].benchmark,
-                  batch[i].traces[0]->name());
+                  batch[i].sources[0].displayName());
         EXPECT_TRUE(set.results[i].ok()) << set.results[i].error;
         EXPECT_GT(set.results[i].ipc, 0.0);
     }
@@ -81,10 +84,12 @@ TEST(ExperimentRunnerTest, DeterministicAcrossWorkerCounts)
 TEST(ExperimentRunnerTest, MatchesDirectSingleCoreRun)
 {
     const auto tr = trace::makeSuiteTrace(7, 60000);
+    trace::MaterializedTraceSource src(tr);
     const auto direct =
-        sim::runSingleCore(tr, sim::makePolicyFactory("MPPPB"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("MPPPB"), {});
     const auto viaRunner = ExperimentRunner::runOne(
-        RunRequest::singleCore(tr, PolicySpec::byName("MPPPB")));
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("MPPPB")));
     EXPECT_EQ(viaRunner.ipc, direct.ipc);
     EXPECT_EQ(viaRunner.llcDemandMisses, direct.llcDemandMisses);
     EXPECT_EQ(viaRunner.instructions, direct.instructions);
@@ -95,9 +100,11 @@ TEST(ExperimentRunnerTest, MatchesDirectSingleCoreRun)
 TEST(ExperimentRunnerTest, MinDispatchesToTwoPassOracle)
 {
     const auto tr = trace::makeSuiteTrace(6, 120000);
-    const auto direct = sim::runSingleCoreMin(tr, {});
+    trace::MaterializedTraceSource src(tr);
+    const auto direct = sim::runSingleCoreMin(src, {});
     const auto viaRunner = ExperimentRunner::runOne(
-        RunRequest::singleCore(tr, PolicySpec::byName("MIN")));
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("MIN")));
     EXPECT_EQ(viaRunner.policy, "MIN");
     EXPECT_EQ(viaRunner.ipc, direct.ipc);
     EXPECT_EQ(viaRunner.llcDemandMisses, direct.llcDemandMisses);
@@ -109,15 +116,20 @@ TEST(ExperimentRunnerTest, MultiCoreRequestMatchesDirectRun)
     const auto t1 = trace::makeSuiteTrace(4, 60000);
     const auto t2 = trace::makeSuiteTrace(7, 60000);
     const auto t3 = trace::makeSuiteTrace(25, 60000);
-    const std::array<const trace::Trace*, 4> mix = {&t0, &t1, &t2,
-                                                    &t3};
+    // Sources are single-consumer: one per slot for the direct run.
+    trace::MaterializedTraceSource s0(t0), s1(t1), s2(t2), s3(t3);
+    const std::array<trace::TraceSource*, 4> mix = {&s0, &s1, &s2,
+                                                    &s3};
     sim::MultiCoreConfig cfg;
     cfg.warmupInstructions = 40000;
     cfg.measureCycles = 50000;
     const auto direct =
         sim::runMultiCore(mix, sim::makePolicyFactory("LRU"), cfg);
+    const std::array<trace::TraceSpec, 4> specs = {
+        trace::TraceSpec::borrowed(t0), trace::TraceSpec::borrowed(t1),
+        trace::TraceSpec::borrowed(t2), trace::TraceSpec::borrowed(t3)};
     const auto viaRunner = ExperimentRunner::runOne(
-        RunRequest::multiCore(mix, PolicySpec::byName("LRU"), cfg));
+        RunRequest::multiCore(specs, PolicySpec::byName("LRU"), cfg));
     ASSERT_TRUE(viaRunner.ok()) << viaRunner.error;
     EXPECT_TRUE(viaRunner.multiCore);
     ASSERT_EQ(viaRunner.coreIpc.size(), 4u);
@@ -131,8 +143,10 @@ TEST(ExperimentRunnerTest, UnknownPolicyCapturedPerRun)
 {
     const auto tr = trace::makeSuiteTrace(4, 60000);
     std::vector<RunRequest> batch = {
-        RunRequest::singleCore(tr, PolicySpec::byName("LRU")),
-        RunRequest::singleCore(tr, PolicySpec::byName("NoSuchPolicy")),
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("LRU")),
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("NoSuchPolicy")),
     };
     const auto set = ExperimentRunner(2).run(batch);
     EXPECT_TRUE(set.results[0].ok());
@@ -145,8 +159,10 @@ TEST(ExperimentRunnerTest, UnknownPolicyCapturedPerRun)
 TEST(ExperimentRunnerTest, MinOnMultiCoreIsARunError)
 {
     const auto t0 = trace::makeSuiteTrace(0, 60000);
-    const std::array<const trace::Trace*, 4> mix = {&t0, &t0, &t0,
-                                                    &t0};
+    // Specs may share a trace: the runner opens one source per slot.
+    const std::array<trace::TraceSpec, 4> mix = {
+        trace::TraceSpec::borrowed(t0), trace::TraceSpec::borrowed(t0),
+        trace::TraceSpec::borrowed(t0), trace::TraceSpec::borrowed(t0)};
     sim::MultiCoreConfig cfg;
     cfg.warmupInstructions = 40000;
     cfg.measureCycles = 50000;
@@ -159,14 +175,14 @@ TEST(ExperimentRunnerTest, MalformedRequestThrowsEagerly)
 {
     const auto tr = trace::makeSuiteTrace(0, 60000);
     RunRequest bad = RunRequest::singleCore(
-        tr, PolicySpec::byName("LRU"));
-    bad.traces.push_back(&tr); // 2 traces on a single-core config
+        trace::TraceSpec::borrowed(tr), PolicySpec::byName("LRU"));
+    // 2 sources on a single-core config
+    bad.sources.push_back(trace::TraceSpec::borrowed(tr));
     EXPECT_THROW(ExperimentRunner(1).run({bad}), FatalError);
 
-    RunRequest null_trace = RunRequest::singleCore(
-        tr, PolicySpec::byName("LRU"));
-    null_trace.traces[0] = nullptr;
-    EXPECT_THROW(ExperimentRunner(1).run({null_trace}), FatalError);
+    RunRequest no_policy = RunRequest::singleCore(
+        trace::TraceSpec::borrowed(tr), PolicySpec::byName(""));
+    EXPECT_THROW(ExperimentRunner(1).run({no_policy}), FatalError);
 }
 
 TEST(ExperimentRunnerTest, CustomFactorySpecRuns)
@@ -174,8 +190,8 @@ TEST(ExperimentRunnerTest, CustomFactorySpecRuns)
     const auto tr = trace::makeSuiteTrace(4, 60000);
     auto spec = PolicySpec::custom(
         "my-lru", sim::PolicyRegistry::make("LRU"));
-    const auto r = ExperimentRunner::runOne(
-        RunRequest::singleCore(tr, std::move(spec)));
+    const auto r = ExperimentRunner::runOne(RunRequest::singleCore(
+        trace::TraceSpec::borrowed(tr), std::move(spec)));
     ASSERT_TRUE(r.ok()) << r.error;
     EXPECT_GT(r.ipc, 0.0);
 }
@@ -213,8 +229,10 @@ TEST(ReportTest, JsonShapeAndErrorEscaping)
 {
     const auto tr = trace::makeSuiteTrace(4, 60000);
     std::vector<RunRequest> batch = {
-        RunRequest::singleCore(tr, PolicySpec::byName("LRU")),
-        RunRequest::singleCore(tr, PolicySpec::byName("Nope")),
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("LRU")),
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("Nope")),
     };
     const auto set = ExperimentRunner(1).run(batch);
     const auto json = toJson(set);

@@ -17,6 +17,7 @@
 #include "runner/checkpoint.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/report.hpp"
+#include "trace/spec.hpp"
 #include "trace/workloads.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
@@ -82,8 +83,9 @@ smallBatch(std::initializer_list<const trace::Trace*> traces)
     std::vector<RunRequest> batch;
     for (const auto* tr : traces)
         for (const char* p : {"LRU", "SRRIP", "MPPPB"})
-            batch.push_back(
-                RunRequest::singleCore(*tr, PolicySpec::byName(p)));
+            batch.push_back(RunRequest::singleCore(
+                trace::TraceSpec::borrowed(*tr),
+                PolicySpec::byName(p)));
     return batch;
 }
 
@@ -150,7 +152,9 @@ TEST_F(RunnerResilienceTest, JournalLineRoundTripsExactly)
 {
     const auto tr = trace::makeSuiteTrace(7, 60000);
     RunResult r = ExperimentRunner::runOne(
-        RunRequest::singleCore(tr, PolicySpec::byName("MPPPB")), 3);
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("MPPPB")),
+        3);
     ASSERT_TRUE(r.ok()) << r.error;
 
     const auto parsed = parseJournalLine(journalLine(r));
@@ -170,7 +174,9 @@ TEST_F(RunnerResilienceTest, JournalLineRoundTripsExactly)
 
     // Failed results round-trip their typed error too.
     RunResult failed = ExperimentRunner::runOne(
-        RunRequest::singleCore(tr, PolicySpec::byName("NoSuch")), 4);
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("NoSuch")),
+        4);
     ASSERT_FALSE(failed.ok());
     const auto fparsed = parseJournalLine(journalLine(failed));
     ASSERT_TRUE(fparsed.has_value());
@@ -217,7 +223,9 @@ TEST_F(RunnerResilienceTest, AppendHealsTornTail)
     {
         CheckpointJournal journal(path);
         RunResult r = ExperimentRunner::runOne(
-            RunRequest::singleCore(tr, PolicySpec::byName("LRU")), 9);
+            RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                                   PolicySpec::byName("LRU")),
+            9);
         journal.append(r);
     }
     const auto entries = loadJournal(path);
@@ -248,7 +256,8 @@ TEST_F(RunnerResilienceTest, ResumeRejectsMismatchedBatch)
 
     // Fewer requests than the journal covers.
     std::vector<RunRequest> tiny = {
-        RunRequest::singleCore(t0, PolicySpec::byName("LRU"))};
+        RunRequest::singleCore(trace::TraceSpec::borrowed(t0),
+                               PolicySpec::byName("LRU"))};
     try {
         ExperimentRunner(1).run(tiny, opts);
         FAIL() << "expected FatalError";
@@ -280,7 +289,8 @@ TEST_F(RunnerResilienceTest, ExhaustedRetriesSurfaceTypedErrorInJson)
 {
     const auto tr = trace::makeSuiteTrace(4, 60000);
     std::vector<RunRequest> batch = {
-        RunRequest::singleCore(tr, PolicySpec::byName("LRU"))};
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("LRU"))};
 
     fault::Spec spec;
     spec.maxFires = -1; // permanent outage
@@ -306,7 +316,8 @@ TEST_F(RunnerResilienceTest, ConfigErrorsAreNotRetried)
 {
     const auto tr = trace::makeSuiteTrace(4, 60000);
     std::vector<RunRequest> batch = {
-        RunRequest::singleCore(tr, PolicySpec::byName("NoSuch"))};
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("NoSuch"))};
     RunnerOptions opts;
     opts.maxRetries = 5;
     opts.retryBackoffSeconds = 0.0;
@@ -320,7 +331,8 @@ TEST_F(RunnerResilienceTest, WatchdogFlagsStalledRunAsTimeout)
 {
     const auto tr = trace::makeSuiteTrace(4, 20000);
     std::vector<RunRequest> batch = {
-        RunRequest::singleCore(tr, PolicySpec::byName("LRU"))};
+        RunRequest::singleCore(trace::TraceSpec::borrowed(tr),
+                               PolicySpec::byName("LRU"))};
 
     fault::Spec stall;
     stall.kind = fault::Kind::Stall;

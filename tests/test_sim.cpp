@@ -9,6 +9,7 @@
 
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 namespace mrp::sim {
@@ -38,7 +39,8 @@ TEST(PolicyFactoryTest, PaperPolicyListShape)
 TEST(SingleCoreTest, ProducesConsistentNumbers)
 {
     const auto tr = trace::makeSuiteTrace(4, 120000); // gups.fit
-    const auto r = runSingleCore(tr, makePolicyFactory("LRU"), {});
+    trace::MaterializedTraceSource src(tr);
+    const auto r = runSingleCore(src, makePolicyFactory("LRU"), {});
     EXPECT_EQ(r.benchmark, tr.name());
     EXPECT_EQ(r.policy, "LRU");
     EXPECT_GT(r.instructions, 0u);
@@ -55,8 +57,10 @@ TEST(SingleCoreTest, ProducesConsistentNumbers)
 TEST(SingleCoreTest, DeterministicAcrossRuns)
 {
     const auto tr = trace::makeSuiteTrace(7, 120000);
-    const auto a = runSingleCore(tr, makePolicyFactory("MPPPB"), {});
-    const auto b = runSingleCore(tr, makePolicyFactory("MPPPB"), {});
+    // One source serves both runs: the driver rewinds at entry.
+    trace::MaterializedTraceSource src(tr);
+    const auto a = runSingleCore(src, makePolicyFactory("MPPPB"), {});
+    const auto b = runSingleCore(src, makePolicyFactory("MPPPB"), {});
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.llcDemandMisses, b.llcDemandMisses);
 }
@@ -65,8 +69,10 @@ TEST(SingleCoreTest, MinNeverMissesMoreThanLru)
 {
     for (unsigned bench : {6u, 9u, 14u}) {
         const auto tr = trace::makeSuiteTrace(bench, 250000);
-        const auto lru = runSingleCore(tr, makePolicyFactory("LRU"), {});
-        const auto min = runSingleCoreMin(tr, {});
+        trace::MaterializedTraceSource src(tr);
+        const auto lru =
+            runSingleCore(src, makePolicyFactory("LRU"), {});
+        const auto min = runSingleCoreMin(src, {});
         EXPECT_LE(min.llcDemandMisses, lru.llcDemandMisses)
             << tr.name();
         EXPECT_EQ(min.policy, "MIN");
@@ -78,7 +84,8 @@ TEST(SingleCoreTest, WarmupShrinksMeasuredWindow)
     const auto tr = trace::makeSuiteTrace(0, 100000);
     SingleCoreConfig cfg;
     cfg.warmupFraction = 0.5;
-    const auto r = runSingleCore(tr, makePolicyFactory("LRU"), cfg);
+    trace::MaterializedTraceSource src(tr);
+    const auto r = runSingleCore(src, makePolicyFactory("LRU"), cfg);
     EXPECT_LT(r.instructions, tr.instructions());
     // Warmup stops at a record boundary; allow one pad-run of slack.
     EXPECT_GE(r.instructions, tr.instructions() / 2 - 64);
@@ -93,7 +100,8 @@ TEST(MultiCoreTest, RunsAMixAndReportsPerCoreIpc)
     MultiCoreConfig cfg;
     cfg.warmupInstructions = 40000;
     cfg.measureCycles = 50000;
-    const auto r = runMultiCore({&t0, &t1, &t2, &t3},
+    trace::MaterializedTraceSource s0(t0), s1(t1), s2(t2), s3(t3);
+    const auto r = runMultiCore({&s0, &s1, &s2, &s3},
                                 makePolicyFactory("LRU"), cfg);
     for (unsigned c = 0; c < 4; ++c) {
         EXPECT_GT(r.ipc[c], 0.0) << c;
@@ -136,7 +144,8 @@ TEST(MultiCoreTest, StandaloneIpcIsPositiveAndBounded)
     MultiCoreConfig cfg;
     cfg.warmupInstructions = 40000;
     cfg.measureCycles = 50000;
-    const double ipc = standaloneIpc(tr, cfg);
+    trace::MaterializedTraceSource src(tr);
+    const double ipc = standaloneIpc(src, cfg);
     EXPECT_GT(ipc, 0.0);
     EXPECT_LE(ipc, 4.0);
 }
@@ -153,12 +162,44 @@ TEST(MultiCoreTest, SharedCacheContentionReducesIpc)
     MultiCoreConfig cfg;
     cfg.warmupInstructions = 400000;
     cfg.measureCycles = 150000;
-    const std::array<const trace::Trace*, 4> mix = {&t0, &t1, &t2, &t3};
-    const auto r = runMultiCore(mix, makePolicyFactory("LRU"), cfg);
+    const std::array<const trace::Trace*, 4> traces = {&t0, &t1, &t2,
+                                                       &t3};
+    trace::MaterializedTraceSource s0(t0), s1(t1), s2(t2), s3(t3);
+    const auto r = runMultiCore({&s0, &s1, &s2, &s3},
+                                makePolicyFactory("LRU"), cfg);
     for (unsigned c = 0; c < 4; ++c) {
-        const double solo = standaloneIpc(*mix[c], cfg);
-        EXPECT_LE(r.ipc[c], solo * 1.10) << mix[c]->name();
+        trace::MaterializedTraceSource solo_src(*traces[c]);
+        const double solo = standaloneIpc(solo_src, cfg);
+        EXPECT_LE(r.ipc[c], solo * 1.10) << traces[c]->name();
     }
+}
+
+TEST(CompatShims, DeprecatedTraceOverloadsStillWork)
+{
+    // The Trace&-taking entry points are compatibility shims for one
+    // PR; until they are removed they must produce the same results
+    // as the TraceSource paths they wrap.
+    const auto tr = trace::makeSuiteTrace(0, 60000);
+    trace::MaterializedTraceSource src(tr);
+    const auto via_shim =
+        runSingleCore(tr, makePolicyFactory("LRU"), {});
+    const auto via_source =
+        runSingleCore(src, makePolicyFactory("LRU"), {});
+    EXPECT_EQ(via_shim.ipc, via_source.ipc);
+    EXPECT_EQ(via_shim.mpki, via_source.mpki);
+
+    MultiCoreConfig cfg;
+    cfg.warmupInstructions = 40000;
+    cfg.measureCycles = 50000;
+    const auto t1 = trace::makeSuiteTrace(4, 60000);
+    const auto t2 = trace::makeSuiteTrace(7, 60000);
+    const auto t3 = trace::makeSuiteTrace(25, 60000);
+    const auto mc = runMultiCore(
+        std::array<const trace::Trace*, 4>{&tr, &t1, &t2, &t3},
+        makePolicyFactory("LRU"), cfg);
+    EXPECT_GT(mc.ipc[0], 0.0);
+    trace::MaterializedTraceSource solo(tr);
+    EXPECT_EQ(standaloneIpc(tr, cfg), standaloneIpc(solo, cfg));
 }
 
 } // namespace

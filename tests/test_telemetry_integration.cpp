@@ -14,6 +14,8 @@
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
 #include "telemetry/session.hpp"
+#include "trace/source.hpp"
+#include "trace/spec.hpp"
 #include "trace/workloads.hpp"
 
 namespace mrp {
@@ -40,8 +42,9 @@ telemetryConfig(std::uint64_t epoch = 10000)
 TEST(TelemetryIntegrationTest, DisabledRunCarriesNoTelemetry)
 {
     const auto tr = trace::makeSuiteTrace(4, 120000); // gups.fit
+    trace::MaterializedTraceSource src(tr);
     const auto r =
-        sim::runSingleCore(tr, sim::makePolicyFactory("MPPPB"), {});
+        sim::runSingleCore(src, sim::makePolicyFactory("MPPPB"), {});
     EXPECT_EQ(r.telemetry, nullptr);
 }
 
@@ -49,9 +52,11 @@ TEST(TelemetryIntegrationTest, TelemetryDoesNotPerturbTheRun)
 {
     const auto tr = trace::makeSuiteTrace(4, 120000);
     const auto factory = sim::makePolicyFactory("MPPPB");
-    const auto plain = sim::runSingleCore(tr, factory, {});
+    // One source serves both runs: the driver rewinds at entry.
+    trace::MaterializedTraceSource src(tr);
+    const auto plain = sim::runSingleCore(src, factory, {});
     const auto instrumented =
-        sim::runSingleCore(tr, factory, telemetryConfig());
+        sim::runSingleCore(src, factory, telemetryConfig());
     EXPECT_EQ(plain.ipc, instrumented.ipc);
     EXPECT_EQ(plain.mpki, instrumented.mpki);
     EXPECT_EQ(plain.llcDemandAccesses,
@@ -64,8 +69,9 @@ TEST(TelemetryIntegrationTest, TelemetryDoesNotPerturbTheRun)
 TEST(TelemetryIntegrationTest, MetricsReconcileWithLevelStats)
 {
     const auto tr = trace::makeSuiteTrace(0, 150000); // scan.a
+    trace::MaterializedTraceSource src(tr);
     const auto r = sim::runSingleCore(
-        tr, sim::makePolicyFactory("MPPPB"), telemetryConfig());
+        src, sim::makePolicyFactory("MPPPB"), telemetryConfig());
     ASSERT_NE(r.telemetry, nullptr);
     const auto& t = *r.telemetry;
 
@@ -122,8 +128,9 @@ TEST(TelemetryIntegrationTest, MultiCoreRunCarriesTelemetry)
     const auto t1 = trace::makeSuiteTrace(9, 200000);
     const auto t2 = trace::makeSuiteTrace(14, 200000);
     const auto t3 = trace::makeSuiteTrace(25, 200000);
+    trace::MaterializedTraceSource s0(t0), s1(t1), s2(t2), s3(t3);
     const auto r = sim::runMultiCore(
-        {&t0, &t1, &t2, &t3}, sim::makePolicyFactory("MPPPB-MC"), cfg);
+        {&s0, &s1, &s2, &s3}, sim::makePolicyFactory("MPPPB-MC"), cfg);
     ASSERT_NE(r.telemetry, nullptr);
     const auto& t = *r.telemetry;
     EXPECT_EQ(metric(t, "llc.demand_misses").counter,
@@ -138,9 +145,11 @@ TEST(TelemetryIntegrationTest, RunnerReportsEmbedMetrics)
     const auto tr = trace::makeSuiteTrace(0, 150000);
     std::vector<runner::RunRequest> batch;
     batch.push_back(runner::RunRequest::singleCore(
-        tr, runner::PolicySpec::byName("LRU"), telemetryConfig()));
+        trace::TraceSpec::borrowed(tr),
+        runner::PolicySpec::byName("LRU"), telemetryConfig()));
     batch.push_back(runner::RunRequest::singleCore(
-        tr, runner::PolicySpec::byName("MPPPB"), telemetryConfig()));
+        trace::TraceSpec::borrowed(tr),
+        runner::PolicySpec::byName("MPPPB"), telemetryConfig()));
 
     const runner::ExperimentRunner pool(2);
     const auto set = pool.run(batch);

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <unistd.h>
 
 #include "trace/trace_io.hpp"
 #include "trace/workloads.hpp"
@@ -230,6 +231,42 @@ TEST(TraceIoTest, RejectsPlausibleButWrongRecordCount)
     EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
 }
 
+TEST(TraceIoTest, V3RoundTripsExplicitly)
+{
+    const Trace original = makeSuiteTrace(22, 30000); // pointer chase
+    std::stringstream ss;
+    writeTrace(ss, original, TraceFormat::V3);
+    expectEqualTraces(original, readTrace(ss));
+}
+
+TEST(TraceIoTest, V3RejectsTrailingGarbage)
+{
+    // A chunked payload knows exactly where it ends; stray bytes after
+    // the last chunk mean the file is not what its header claims.
+    const Trace original = makeSuiteTrace(1, 5000);
+    std::string bytes = bytesOf(original, TraceFormat::V3);
+    bytes += "stray";
+    EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
+}
+
+TEST(TraceIoTest, V3CrcCatchesPayloadBitFlips)
+{
+    const Trace original = makeSuiteTrace(1, 5000);
+    std::string bytes = bytesOf(original, TraceFormat::V3);
+    bytes[bytes.size() / 2] ^= 0x04;
+    EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
+}
+
+TEST(TraceIoTest, V3RejectsHeaderBitFlips)
+{
+    // v3 seals the header with its own CRC, so even a flipped bit in
+    // a field that still parses (the name) is caught up front.
+    const Trace original = makeSuiteTrace(1, 5000);
+    std::string bytes = bytesOf(original, TraceFormat::V3);
+    bytes[34] ^= 0x01; // second byte of the trace name
+    EXPECT_EQ(readCode(bytes), ErrorCode::CorruptInput);
+}
+
 class TraceIoFaultTest : public ::testing::Test
 {
   protected:
@@ -300,6 +337,29 @@ TEST_F(TraceIoFaultTest, InjectedIoFailuresAreTypedIoErrors)
                   ErrorCode::Io);
     }
     expectEqualTraces(original, loadTrace(path)); // all disarmed
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFaultTest, FailedSaveLeavesTargetAndNoTmpBehind)
+{
+    const Trace original = makeSuiteTrace(2, 5000);
+    const std::string path = "/tmp/mrp_trace_io_atomic_test.mrpt";
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    saveTrace(path, original);
+    {
+        // Fault the serializer: the save must abort before the
+        // filesystem is touched, leaving the previous file intact.
+        fault::Scoped f("trace_io.write.io", fault::Spec{});
+        EXPECT_THROW(saveTrace(path, original), FatalError);
+    }
+    EXPECT_EQ(std::remove(tmp.c_str()), -1)
+        << "a tmp file survived a failed save";
+    expectEqualTraces(original, loadTrace(path));
+
+    // A successful save also cleans up after itself.
+    saveTrace(path, original);
+    EXPECT_EQ(std::remove(tmp.c_str()), -1);
     std::remove(path.c_str());
 }
 
