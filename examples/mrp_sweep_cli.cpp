@@ -6,19 +6,8 @@
  * deterministic study report.
  *
  * Usage:
- *   mrp_sweep_cli [--strategy genetic|random|halving|grid]
- *                 [--generations N] [--population N]
- *                 [--budget-insts N] [--workloads I,J,...]
- *                 [--corpus FAM[,FAM...]] [--decode-ahead]
- *                 [--llc-kb N]
- *                 [--slots N] [--search-thresholds] [--search-sampler]
- *                 [--objective geomean|mean] [--seed N] [--jobs N]
- *                 [--journal FILE] [--resume] [--out FILE]
+ *   mrp_sweep_cli [shared sweep flags — see sweep_cli_common.hpp]
  *                 [--prof-out FILE]
- *   genetic:  [--tournament N] [--crossover R] [--mutation R]
- *             [--elites N]
- *   halving:  [--initial N] [--eta N] [--rungs N]
- *   grid:     --grid GENE:V1,V2,...   (repeatable, one axis each)
  *
  * --corpus replaces the suite-index training corpus with streaming
  * generator families ("zipf", "zipf:THETA", "blkio", "phase"): every
@@ -41,6 +30,9 @@
  * RNG and is stamped into every run and the report, so a study is
  * replayable from its report alone.
  *
+ * mrp_broker_cli runs the identical study through the distributed
+ * queue broker; their reports are byte-comparable.
+ *
  * --prof-out FILE wraps the study in a phase-timer Profiler and writes
  * a BENCH_*.json document (schema "mrp-bench-v1") with the
  * sweep.generation / sweep.ask / sweep.simulate / sweep.tell phase
@@ -48,18 +40,11 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "prof/export.hpp"
-#include "runner/report.hpp"
-#include "sweep/study.hpp"
-#include "trace/spec.hpp"
-#include "util/logging.hpp"
+#include "sweep_cli_common.hpp"
 
 namespace {
 
@@ -68,301 +53,33 @@ using namespace mrp;
 int
 usage()
 {
-    std::fprintf(
-        stderr,
-        "usage: mrp_sweep_cli [--strategy genetic|random|halving|"
-        "grid]\n"
-        "                     [--generations N] [--population N]\n"
-        "                     [--budget-insts N] "
-        "[--workloads I,J,...]\n"
-        "                     [--corpus FAM[,FAM...]] "
-        "[--decode-ahead]\n"
-        "                     [--llc-kb N]\n"
-        "                     [--slots N] [--search-thresholds]\n"
-        "                     [--search-sampler]\n"
-        "                     [--objective geomean|mean] [--seed N]\n"
-        "                     [--jobs N] [--journal FILE] [--resume]\n"
-        "                     [--out FILE] [--prof-out FILE]\n"
-        "       genetic: [--tournament N] [--crossover R]\n"
-        "                [--mutation R] [--elites N]\n"
-        "       halving: [--initial N] [--eta N] [--rungs N]\n"
-        "       grid:    --grid GENE:V1,V2,...  (one axis each)\n");
+    std::fprintf(stderr, "usage: mrp_sweep_cli [--prof-out FILE]\n%s",
+                 cli::kSweepUsage);
     return 2;
 }
-
-std::vector<std::string>
-splitCommas(const std::string& s)
-{
-    std::vector<std::string> out;
-    std::size_t pos = 0;
-    while (pos <= s.size()) {
-        const auto comma = s.find(',', pos);
-        if (comma == std::string::npos) {
-            out.push_back(s.substr(pos));
-            break;
-        }
-        out.push_back(s.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
-}
-
-/** One streaming-family corpus member ("zipf[:THETA]", "blkio",
- * "phase") at the full corpus length. */
-trace::TraceSpec
-corpusFamilySpec(const std::string& name, InstCount insts,
-                 std::uint64_t seed)
-{
-    if (name == "zipf" || name.rfind("zipf:", 0) == 0) {
-        trace::ZipfParams p;
-        p.instructions = insts;
-        p.seed = seed;
-        if (name.size() > 5) {
-            p.theta = std::atof(name.c_str() + 5);
-            p.name = name;
-        }
-        return trace::TraceSpec::zipf(p);
-    }
-    if (name == "blkio") {
-        trace::BlockIoParams p;
-        p.instructions = insts;
-        p.seed = seed;
-        return trace::TraceSpec::blockIo(p);
-    }
-    if (name == "phase") {
-        trace::ZipfParams zp;
-        zp.instructions = insts;
-        zp.seed = seed;
-        trace::BlockIoParams bp;
-        bp.instructions = insts;
-        bp.seed = seed + 1;
-        std::vector<trace::TraceSpec> kids;
-        kids.push_back(trace::TraceSpec::zipf(zp));
-        kids.push_back(trace::TraceSpec::blockIo(bp));
-        return trace::TraceSpec::phaseMix(
-            "phase", insts, std::max<InstCount>(insts / 8, 1),
-            std::move(kids));
-    }
-    fatal(ErrorCode::Config,
-          "unknown --corpus family '" + name +
-              "' (want zipf[:THETA], blkio, or phase)");
-}
-
-int run(int argc, char** argv);
-
-} // namespace
-
-int
-main(int argc, char** argv)
-{
-    try {
-        return run(argc, argv);
-    } catch (const FatalError& e) {
-        std::fprintf(stderr, "mrp_sweep_cli: %s [%s]\n", e.what(),
-                     errorCodeName(e.code()));
-        return 2;
-    }
-}
-
-namespace {
 
 int
 run(int argc, char** argv)
 {
-    std::string strategy_name = "genetic";
-    std::string objective_name = "geomean";
-    std::string journal_path;
-    std::string out_path;
+    cli::SweepCliConfig cfg;
     std::string prof_out_path;
-    bool resume = false;
-    unsigned generations = 5;
-    unsigned population = 16;
-    InstCount budget_insts = 400000;
-    std::vector<unsigned> workloads = {2,  7,  9,  12, 14,
-                                       16, 18, 21, 25, 30};
-    std::vector<std::string> corpus_families;
-    bool decode_ahead = false;
-    Addr llc_kb = 2048;
-    unsigned slots = 16;
-    bool search_thresholds = false;
-    bool search_sampler = false;
-    std::uint64_t seed = 1;
-    unsigned jobs = 0;
-    // genetic knobs
-    unsigned tournament = 3;
-    double crossover = 0.9;
-    double mutation = 0.08;
-    unsigned elites = 2;
-    // halving knobs
-    unsigned initial = 16;
-    unsigned eta = 2;
-    unsigned rungs = 3;
-    std::vector<sweep::GridAxis> grid_axes;
-
     for (int i = 1; i < argc; ++i) {
+        if (cli::parseSweepArg(cfg, argc, argv, i))
+            continue;
         const std::string arg = argv[i];
-        auto next = [&]() -> const char* {
+        if (arg == "--prof-out") {
             fatalIf(i + 1 >= argc, "missing value for " + arg);
-            return argv[++i];
-        };
-        if (arg == "--strategy") {
-            strategy_name = next();
-        } else if (arg == "--objective") {
-            objective_name = next();
-        } else if (arg == "--generations") {
-            generations = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--population") {
-            population = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--budget-insts") {
-            budget_insts = std::strtoull(next(), nullptr, 10);
-            fatalIf(budget_insts == 0,
-                    "--budget-insts must be positive");
-        } else if (arg == "--workloads") {
-            workloads.clear();
-            for (const auto& w : splitCommas(next()))
-                workloads.push_back(static_cast<unsigned>(
-                    std::strtoul(w.c_str(), nullptr, 10)));
-        } else if (arg == "--corpus") {
-            corpus_families = splitCommas(next());
-        } else if (arg == "--decode-ahead") {
-            decode_ahead = true;
-        } else if (arg == "--llc-kb") {
-            llc_kb = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--slots") {
-            slots = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--search-thresholds") {
-            search_thresholds = true;
-        } else if (arg == "--search-sampler") {
-            search_sampler = true;
-        } else if (arg == "--seed") {
-            seed = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--journal") {
-            journal_path = next();
-        } else if (arg == "--resume") {
-            resume = true;
-        } else if (arg == "--out") {
-            out_path = next();
-        } else if (arg == "--prof-out") {
-            prof_out_path = next();
-        } else if (arg == "--tournament") {
-            tournament = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--crossover") {
-            crossover = std::atof(next());
-        } else if (arg == "--mutation") {
-            mutation = std::atof(next());
-        } else if (arg == "--elites") {
-            elites = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--initial") {
-            initial = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--eta") {
-            eta = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--rungs") {
-            rungs = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--grid") {
-            // GENE:V1,V2,... — one axis of the cross product.
-            const std::string spec = next();
-            const auto colon = spec.find(':');
-            fatalIf(colon == std::string::npos,
-                    "--grid expects GENE:V1,V2,...");
-            sweep::GridAxis axis;
-            axis.gene = std::strtoul(spec.c_str(), nullptr, 10);
-            for (const auto& v :
-                 splitCommas(spec.substr(colon + 1)))
-                axis.values.push_back(
-                    std::atoi(v.c_str()));
-            grid_axes.push_back(std::move(axis));
+            prof_out_path = argv[++i];
         } else {
             return usage();
         }
     }
-    fatalIf(workloads.empty(), "--workloads list is empty");
 
-    sweep::SearchSpace space;
-    space.featureSlots = slots;
-    space.searchThresholds = search_thresholds;
-    space.searchSampler = search_sampler;
-
-    sweep::CorpusConfig corpus;
-    corpus.workloads = workloads;
-    for (std::size_t f = 0; f < corpus_families.size(); ++f)
-        corpus.corpus.push_back(corpusFamilySpec(
-            corpus_families[f], budget_insts, seed + f));
-    corpus.fullInstructions = budget_insts;
-    corpus.sim.hierarchy.llcBytes = llc_kb * 1024;
-    corpus.jobs = jobs;
-    corpus.openOptions.decodeAhead = decode_ahead;
-    const auto evaluator =
-        std::make_shared<sweep::CorpusEvaluator>(corpus);
-    sweep::CorpusMpkiObjective objective(
-        evaluator, objective_name == "mean"
-                       ? sweep::CorpusMpkiObjective::Aggregate::Mean
-                       : sweep::CorpusMpkiObjective::Aggregate::Geomean);
-    if (objective_name != "mean" && objective_name != "geomean")
+    const auto setup = cli::buildStudySetup(cfg);
+    if (!setup)
         return usage();
-
-    std::unique_ptr<sweep::Strategy> strategy;
-    if (strategy_name == "genetic") {
-        sweep::GeneticStrategy::Config gc;
-        gc.generations = generations;
-        gc.population = population;
-        gc.tournament = tournament;
-        gc.crossoverRate = crossover;
-        gc.mutationRate = mutation;
-        gc.elites = elites;
-        // Start from the paper-default configuration so the search
-        // can only improve on it (elitism keeps the incumbent alive).
-        // A space with fewer slots than the paper's 16 features can't
-        // hold the incumbent; those searches start purely random.
-        if (space.base.predictor.features.size() <= space.featureSlots)
-            gc.seeds.push_back(space.encode(space.base));
-        strategy =
-            std::make_unique<sweep::GeneticStrategy>(space, gc, seed);
-    } else if (strategy_name == "random") {
-        strategy = std::make_unique<sweep::RandomStrategy>(
-            space, generations, population, seed);
-    } else if (strategy_name == "halving") {
-        sweep::HalvingStrategy::Config hc;
-        hc.initial = initial;
-        hc.eta = eta;
-        hc.rungs = rungs;
-        hc.fullInstructions = budget_insts;
-        strategy =
-            std::make_unique<sweep::HalvingStrategy>(space, hc, seed);
-    } else if (strategy_name == "grid") {
-        fatalIf(grid_axes.empty(),
-                "--strategy grid needs at least one --grid axis");
-        strategy = std::make_unique<sweep::GridStrategy>(
-            space, space.encode(space.base), std::move(grid_axes));
-    } else {
-        return usage();
-    }
-
-    sweep::StudyConfig scfg;
-    scfg.name = "mrp_sweep_cli";
-    scfg.seed = seed;
-    scfg.jobs = jobs;
-    scfg.journalPath = journal_path;
-    if (resume) {
-        fatalIf(journal_path.empty(), "--resume requires --journal");
-        std::ifstream probe(journal_path);
-        if (!probe)
-            std::fprintf(stderr,
-                         "note: journal %s not found; starting cold\n",
-                         journal_path.c_str());
-        scfg.resume = true;
-    }
-    sweep::Study study(space, *strategy, objective, scfg);
+    sweep::Study study(setup->space, *setup->strategy,
+                       *setup->objective, setup->studyConfig);
 
     sweep::StudyResult result;
     if (!prof_out_path.empty()) {
@@ -381,9 +98,9 @@ run(int argc, char** argv)
         }
         profile.setThroughput(insts, accesses);
         prof::BenchRun br;
-        br.label = "study/" + strategy_name;
-        br.benchmark = scfg.name;
-        br.policy = strategy->name();
+        br.label = "study/" + cfg.strategyName;
+        br.benchmark = setup->studyConfig.name;
+        br.policy = setup->strategy->name();
         br.profile = std::move(profile);
         runner::writeFile(prof_out_path,
                           prof::benchJson("sweep", {br},
@@ -394,32 +111,19 @@ run(int argc, char** argv)
         result = study.run();
     }
 
-    const std::string report = study.reportJson(result);
-    if (out_path.empty()) {
-        std::fputs(report.c_str(), stdout);
-    } else {
-        runner::writeFile(out_path, report);
-        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
-    }
-
-    // Human summary on stderr so stdout stays machine-readable.
-    for (const auto& g : result.generations)
-        std::fprintf(stderr,
-                     "gen %u: %zu candidates (%zu simulated, %zu "
-                     "cached), best fitness %.4f, mean %.4f\n",
-                     g.generation, g.evaluations, g.simulations,
-                     g.cacheHits, g.bestFitness, g.meanFitness);
-    if (result.hasBest) {
-        const auto& b = result.candidates[result.bestId];
-        std::fprintf(stderr,
-                     "best: candidate %zu, corpus MPKI %.4f, %llu "
-                     "predictor bits\n",
-                     b.id, b.mpki,
-                     static_cast<unsigned long long>(b.predictorBits));
-        return 0;
-    }
-    std::fprintf(stderr, "no successful candidate\n");
-    return 1;
+    return cli::emitStudyReport(study, result, cfg);
 }
 
 } // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "mrp_sweep_cli: %s [%s]\n", e.what(),
+                     errorCodeName(e.code()));
+        return 2;
+    }
+}

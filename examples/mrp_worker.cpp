@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Queue worker: one process of the distributed sweep service.
+ *
+ * Speaks the line protocol of queue/wire.hpp on stdin/stdout: sends
+ * HELLO (pid + schema), then for each JOB line executes the request
+ * with the single-run runner path — identical simulation code to the
+ * in-process ExperimentRunner, which is what makes distributed
+ * results byte-identical — while a background thread emits HB
+ * heartbeats, and answers with a RESULT line carrying the checkpoint
+ * resultJson bytes. Exits on SHUTDOWN or stdin EOF. All simulation
+ * failures are relayed as typed error results, never as a crash.
+ *
+ * Usage (normally spawned by the broker, attachable by hand):
+ *   mrp_worker [--heartbeat-ms N] [--timeout SECONDS]
+ *              [--fault SITE:KIND[:FIRSTHIT[:MAXFIRES]]]...
+ *              [--chaos-wedge SUBSTR[:MARKERFILE]]
+ *
+ * --chaos-wedge (tests/CI only): on receiving a job whose label
+ * contains SUBSTR, raise(SIGSTOP) — the process freezes, heartbeats
+ * stop, and the broker's lease expiry machinery must recover. With a
+ * MARKERFILE the wedge is one-shot (the file records it fired), so
+ * the requeued attempt succeeds; without one, every attempt wedges
+ * and the job must exhaust its lease budget.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "queue/wire.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/experiment_runner.hpp"
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace mrp;
+
+std::mutex g_out_mutex;
+
+void
+emitLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(g_out_mutex);
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+}
+
+bool
+fileExists(const std::string& path)
+{
+    std::ifstream f(path);
+    return static_cast<bool>(f);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mrp_worker [--heartbeat-ms N] [--timeout SECONDS]\n"
+        "                  [--fault SITE:KIND[:FIRSTHIT[:MAXFIRES]]]"
+        "...\n"
+        "                  [--chaos-wedge SUBSTR[:MARKERFILE]]\n");
+    return 2;
+}
+
+int
+run(int argc, char** argv)
+{
+    unsigned heartbeat_ms = 25;
+    double timeout_seconds = 0.0;
+    std::string wedge_substr;
+    std::string wedge_marker;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            fatalIf(i + 1 >= argc, ErrorCode::Config,
+                    "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--heartbeat-ms") {
+            heartbeat_ms = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            fatalIf(heartbeat_ms == 0, ErrorCode::Config,
+                    "--heartbeat-ms must be positive");
+        } else if (arg == "--timeout") {
+            timeout_seconds = std::atof(next());
+        } else if (arg == "--fault") {
+            fault::armFromSpec(next());
+        } else if (arg == "--chaos-wedge") {
+            const std::string spec = next();
+            const auto colon = spec.find(':');
+            wedge_substr = spec.substr(0, colon);
+            if (colon != std::string::npos)
+                wedge_marker = spec.substr(colon + 1);
+            fatalIf(wedge_substr.empty(), ErrorCode::Config,
+                    "--chaos-wedge needs a label substring");
+        } else {
+            return usage();
+        }
+    }
+
+    emitLine(queue::helloLine(static_cast<std::uint64_t>(getpid())));
+
+    // Heartbeat thread: ticks whenever a job is executing. SIGSTOP
+    // (the chaos wedge) freezes this thread with the rest of the
+    // process, which is exactly the hang signature the broker's
+    // lease expiry machinery exists to catch.
+    std::atomic<bool> shutdown{false};
+    std::atomic<bool> beating{false};
+    std::atomic<std::uint64_t> beat_job{0};
+    std::thread heartbeats([&] {
+        std::uint64_t seq = 0;
+        while (!shutdown.load()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(heartbeat_ms));
+            if (beating.load())
+                emitLine(queue::heartbeatLine(beat_job.load(),
+                                              seq++));
+        }
+    });
+
+    int rc = 0;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line == queue::kShutdownLine)
+            break;
+        const auto job = queue::parseJob(line);
+        if (!job) {
+            std::fprintf(stderr,
+                         "mrp_worker: unparsable broker line\n");
+            rc = 3;
+            break;
+        }
+        const auto request = queue::requestFromJson(
+            job->json, "job " + std::to_string(job->jobId));
+
+        if (!wedge_substr.empty()) {
+            const std::string label =
+                request.label.empty() && !request.sources.empty()
+                    ? request.sources[0].displayName()
+                    : request.label;
+            if (label.find(wedge_substr) != std::string::npos &&
+                (wedge_marker.empty() || !fileExists(wedge_marker))) {
+                if (!wedge_marker.empty())
+                    std::ofstream(wedge_marker) << "wedged\n";
+                ::raise(SIGSTOP); // freeze until SIGKILLed
+            }
+        }
+
+        beat_job.store(job->jobId);
+        beating.store(true);
+        runner::RunnerOptions opts;
+        opts.timeoutSeconds = timeout_seconds;
+        opts.maxRetries = 0; // the broker owns retry policy
+        const auto result =
+            runner::ExperimentRunner::runOne(request, job->jobId,
+                                             opts);
+        beating.store(false);
+        emitLine(queue::resultLine(job->jobId,
+                                   runner::resultJson(result)));
+    }
+
+    shutdown.store(true);
+    heartbeats.join();
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "mrp_worker: %s [%s]\n", e.what(),
+                     errorCodeName(e.code()));
+        return 2;
+    }
+}

@@ -21,23 +21,6 @@ CoreModel::CoreModel(CoreId core, cache::Hierarchy& hierarchy,
     fatalIf(chunk_.empty(), "cannot execute an empty trace");
 }
 
-CoreModel::CoreModel(CoreId core, cache::Hierarchy& hierarchy,
-                     const trace::Trace& trace, bool loop,
-                     const CoreModelConfig& cfg)
-    : core_(core), hier_(hierarchy),
-      ownedSource_(
-          std::make_unique<trace::MaterializedTraceSource>(trace)),
-      source_(ownedSource_.get()), loop_(loop), cfg_(cfg),
-      retireRing_(cfg.windowSize, 0), mshrRing_(cfg.mshrs, 0)
-{
-    fatalIf(cfg.mshrs == 0, "need at least one MSHR");
-    fatalIf(cfg.windowSize == 0, "window size must be positive");
-    fatalIf(cfg.fetchWidth == 0 || cfg.retireWidth == 0,
-            "core width must be positive");
-    chunk_ = source_->nextChunk();
-    fatalIf(chunk_.empty(), "cannot execute an empty trace");
-}
-
 void
 CoreModel::advanceChunk()
 {

@@ -61,14 +61,6 @@ class CoreModel
               trace::TraceSource& source, bool loop,
               const CoreModelConfig& cfg = CoreModelConfig{});
 
-    /**
-     * Compatibility shim (deprecated, one PR): adapts an in-memory
-     * trace through a MaterializedTraceSource owned by the model.
-     */
-    CoreModel(CoreId core, cache::Hierarchy& hierarchy,
-              const trace::Trace& trace, bool loop,
-              const CoreModelConfig& cfg = CoreModelConfig{});
-
     /** True when a non-looping trace is exhausted. */
     bool finished() const { return exhausted_; }
 
@@ -110,8 +102,6 @@ class CoreModel
 
     CoreId core_;
     cache::Hierarchy& hier_;
-    std::unique_ptr<trace::MaterializedTraceSource>
-        ownedSource_; //!< set only via the Trace& shim
     trace::TraceSource* source_;
     bool loop_;
     CoreModelConfig cfg_;

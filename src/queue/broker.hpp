@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The queue broker: a runner::Executor that executes a RunRequest
+ * batch by leasing jobs from a durable WorkQueue to mrp_worker
+ * processes over the wire protocol (queue/wire.hpp).
+ *
+ * Liveness is heartbeat-based: an executing worker emits HB lines
+ * every BrokerConfig::heartbeatMs; a worker that dies (EOF/waitpid),
+ * hangs (no heartbeat for heartbeatTimeoutMs), or returns a transient
+ * (retryable) ErrorCode has its lease expired and the job requeued
+ * with deterministic exponential backoff. A job that exhausts its
+ * lease budget (maxAttempts) is completed with a synthesized
+ * failed-typed RunResult — Timeout for heartbeat expiry, Resource for
+ * worker death, the error's own code for a relayed failure — carrying
+ * the same identity fields an in-process failure would.
+ *
+ * Determinism contract: simulation is deterministic and results are
+ * keyed by job id (= batch index), so the assembled RunSet — and any
+ * report derived from it — is byte-identical at every worker count,
+ * through arbitrary worker kills, and across broker crash/resume
+ * (the queue journal replays completed work; see WorkQueue).
+ *
+ * Telemetry (when BrokerConfig::metrics is set):
+ *   queue.lease_expired         heartbeat deadlines missed
+ *   queue.requeued              jobs returned to Pending
+ *   queue.worker_restarts       workers respawned
+ *   queue.requeue_exhausted     jobs failed after the lease budget
+ *   queue.heartbeat_latency_ms  observed heartbeat intervals
+ */
+
+#ifndef MRP_QUEUE_BROKER_HPP
+#define MRP_QUEUE_BROKER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/executor.hpp"
+#include "runner/experiment_runner.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mrp::queue {
+
+struct BrokerConfig
+{
+    /** Path of the mrp_worker binary to spawn. */
+    std::string workerBin;
+    unsigned workers = 2;
+    /** Worker heartbeat emission period (forwarded to the worker). */
+    unsigned heartbeatMs = 25;
+    /** Lease expiry deadline: a busy worker silent this long is
+     * declared hung, SIGKILLed, and its job requeued. */
+    unsigned heartbeatTimeoutMs = 5000;
+    /** Lease budget per job: total execution attempts before the job
+     * is failed-typed (1 = no requeues). */
+    unsigned maxAttempts = 3;
+    /** Requeue backoff base; attempt k waits base * 2^(k-1). */
+    double backoffSeconds = 0.01;
+    /** Durable queue journal path (required). */
+    std::string queuePath;
+    /** Worker respawns allowed across one batch; a dead worker past
+     * the budget shrinks the pool instead. */
+    unsigned workerRestartBudget = 16;
+    /** Extra argv forwarded to every worker (chaos/fault flags). */
+    std::vector<std::string> workerArgs;
+    /** Optional metrics sink (see file comment for the counters). */
+    telemetry::MetricsRegistry* metrics = nullptr;
+
+    // --- chaos hooks (tests and the CI smoke job) -------------------
+    /** SIGKILL the worker holding the Nth lease granted (0 = off). */
+    std::uint64_t killWorkerAfterLeases = 0;
+    /** Throw (simulating a broker crash) after the Nth job completes
+     * (0 = off); resume by re-running with the same queuePath. */
+    std::uint64_t chaosAbortAfterCompletions = 0;
+};
+
+class Broker : public runner::Executor
+{
+  public:
+    explicit Broker(BrokerConfig cfg);
+
+    /**
+     * Execute @p batch through the worker pool. Honors
+     * RunnerOptions::journalPath (streams every completion into a
+     * checkpoint journal, before the queue marks it done) and
+     * RunnerOptions::resumePath (identity-validated prefill, exactly
+     * like ExperimentRunner); timeoutSeconds is forwarded to workers
+     * as their cooperative watchdog.
+     */
+    runner::RunSet run(const std::vector<runner::RunRequest>& batch,
+                       const runner::RunnerOptions& options)
+        const override;
+
+    runner::RunSet
+    run(const std::vector<runner::RunRequest>& batch) const
+    {
+        return run(batch, {});
+    }
+
+  private:
+    BrokerConfig cfg_;
+};
+
+} // namespace mrp::queue
+
+#endif // MRP_QUEUE_BROKER_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Serialization and line protocol of the distributed work queue.
+ *
+ * A RunRequest crosses the process boundary as one JSON document:
+ * trace sources via TraceSpec::toJson (pure identity, no bytes),
+ * the policy by name or as an MpppbConfig payload, and the full
+ * driver configuration field by field. The encoding is deterministic
+ * and total for everything a queue can carry; what it cannot carry is
+ * refused with ErrorCode::Config at enqueue time, never silently
+ * dropped:
+ *  - Borrowed trace specs (point into process memory),
+ *  - factory policies (closures don't serialize; use
+ *    PolicySpec::mpppb or a registry name),
+ *  - telemetry-enabled configs (RunTelemetry is a process-local
+ *    object graph with no wire form).
+ * OpenOptions are delivery knobs, not identity, and are deliberately
+ * not serialized — each worker opens sources with its own defaults,
+ * which is byte-neutral by the TraceSource contract.
+ *
+ * Results travel as the checkpoint journal's resultJson bytes
+ * (runner/checkpoint.hpp), so a result relayed by a worker is
+ * byte-identical to one produced in-process — the foundation of the
+ * any-worker-count determinism contract.
+ *
+ * Broker <-> worker wire protocol, one LF-terminated line per message
+ * over the worker's stdin/stdout; JSON payloads are CRC-framed with
+ * the journal idiom (journal::frameLine minus the newline):
+ *
+ *   worker -> broker:  HELLO <pid> <schema>
+ *                      HB <jobId> <seq>
+ *                      RESULT <jobId> <crc8> <resultJson>
+ *   broker -> worker:  JOB <jobId> <crc8> <requestJson>
+ *                      SHUTDOWN
+ */
+
+#ifndef MRP_QUEUE_WIRE_HPP
+#define MRP_QUEUE_WIRE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runner/run_request.hpp"
+#include "util/journal.hpp"
+#include "util/json_reader.hpp"
+
+namespace mrp::queue {
+
+/** Schema carried in HELLO and in queue-journal headers. */
+inline constexpr unsigned kWireSchemaVersion =
+    journal::kQueueSchemaVersion;
+
+/**
+ * Serialize @p request as one deterministic JSON document. Throws
+ * FatalError(ErrorCode::Config) for requests a queue cannot carry
+ * (see file comment).
+ */
+std::string requestJson(const runner::RunRequest& request);
+
+/** Inverse of requestJson. @p what names the document for errors;
+ * malformed documents throw FatalError(ErrorCode::CorruptInput). */
+runner::RunRequest requestFromJson(const json::Value& v,
+                                   const std::string& what);
+
+/** Convenience: parse text then requestFromJson. */
+runner::RunRequest requestFromJson(const std::string& text,
+                                   const std::string& what);
+
+// --- protocol lines (no trailing newline) ---------------------------
+
+struct HelloMsg
+{
+    std::uint64_t pid = 0;
+    unsigned schema = 0;
+};
+
+struct HeartbeatMsg
+{
+    std::uint64_t jobId = 0;
+    std::uint64_t seq = 0;
+};
+
+/** A JOB or RESULT line: id plus the CRC-verified JSON payload. */
+struct FramedMsg
+{
+    std::uint64_t jobId = 0;
+    std::string json;
+};
+
+std::string helloLine(std::uint64_t pid);
+std::string heartbeatLine(std::uint64_t job_id, std::uint64_t seq);
+std::string jobLine(std::uint64_t job_id,
+                    const std::string& request_json);
+std::string resultLine(std::uint64_t job_id,
+                       const std::string& result_json);
+inline constexpr const char* kShutdownLine = "SHUTDOWN";
+
+/** Each parser returns nullopt unless the line is a well-formed
+ * message of its kind (including payload checksum for JOB/RESULT). */
+std::optional<HelloMsg> parseHello(const std::string& line);
+std::optional<HeartbeatMsg> parseHeartbeat(const std::string& line);
+std::optional<FramedMsg> parseJob(const std::string& line);
+std::optional<FramedMsg> parseResult(const std::string& line);
+
+} // namespace mrp::queue
+
+#endif // MRP_QUEUE_WIRE_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Durable lease-based work queue — the crash-safe heart of the
+ * distributed sweep service.
+ *
+ * The queue is a CRC-framed JSONL journal (util/journal.hpp idiom:
+ * one fsync'd write per record, torn tail tolerated and healed) whose
+ * records replay to the full lease state machine:
+ *
+ *   header   {"type":"header","schema":S,"fingerprint":F}
+ *   enqueue  {"type":"enqueue","id":N,"request":{...wire...}}
+ *   lease    {"type":"lease","id":N,"attempt":K}
+ *   requeue  {"type":"requeue","id":N,"reason":R,"code":C}
+ *   complete {"type":"complete","id":N,"result":{...checkpoint...}}
+ *
+ * State machine per job: Pending --lease--> Leased --complete--> Done,
+ * with Leased --requeue--> Pending (worker death, heartbeat expiry,
+ * retryable error). Replay applies records in order; a job left
+ * Leased at the end of the journal was in flight when the broker
+ * died and is returned to Pending — the lease is the unit of loss.
+ *
+ * Open semantics:
+ *  - missing/empty file           -> fresh queue, header written
+ *  - header schema != ours        -> FatalError(Config), refused
+ *  - no header record at all      -> FatalError(Config): the file is
+ *    not a queue journal (e.g. a pre-queue checkpoint journal) and
+ *    must not be misread
+ *  - header fingerprint mismatch  -> a different batch's queue; the
+ *    file is truncated and restarted fresh (queue files are per-batch
+ *    scratch, unlike study journals, which refuse instead)
+ *
+ * Scheduling policy (which pending job to lease next, backoff
+ * deadlines) lives in the Broker; this class owns durability and
+ * state transitions only. All methods are single-threaded by design —
+ * the broker's poll loop is the sole caller.
+ */
+
+#ifndef MRP_QUEUE_WORK_QUEUE_HPP
+#define MRP_QUEUE_WORK_QUEUE_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/journal.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::queue {
+
+enum class JobState : std::uint8_t { Pending, Leased, Done };
+
+struct QueueJob
+{
+    std::uint64_t id = 0;
+    /** Wire-form request (queue/wire.hpp), exactly as journaled. */
+    std::string requestJson;
+    JobState state = JobState::Pending;
+    /** Leases granted so far (replayed from lease records). */
+    unsigned attempts = 0;
+    /** Checkpoint resultJson bytes; set iff state == Done. */
+    std::string resultJson;
+};
+
+class WorkQueue
+{
+  public:
+    /**
+     * Open (replaying an existing journal) or create the queue at
+     * @p path. @p fingerprint identifies the batch (see file comment
+     * for the mismatch semantics). Fault sites: "queue.journal.open",
+     * "queue.journal.write".
+     */
+    WorkQueue(const std::string& path,
+              const std::string& fingerprint);
+
+    /**
+     * Idempotent enqueue: journals the job unless the replayed queue
+     * already holds @p id, in which case the request must match
+     * byte-for-byte (FatalError(Config) otherwise — the fingerprint
+     * should have caught a different batch).
+     */
+    void ensureEnqueued(std::uint64_t id,
+                        const std::string& request_json);
+
+    /** Pending -> Leased; journals the lease and returns the attempt
+     * number (1 = first execution). */
+    unsigned lease(std::uint64_t id);
+
+    /** Leased -> Pending after a failed attempt; journals reason and
+     * code. The attempt count is NOT reset. */
+    void requeue(std::uint64_t id, const std::string& reason,
+                 ErrorCode code);
+
+    /** Leased (or Pending, for broker-synthesized failures) -> Done;
+     * journals the checkpoint-form result bytes. */
+    void complete(std::uint64_t id, const std::string& result_json);
+
+    const QueueJob& job(std::uint64_t id) const;
+
+    /** Pending job ids in ascending order. */
+    std::vector<std::uint64_t> pendingIds() const;
+
+    std::size_t size() const { return jobs_.size(); }
+    std::size_t doneCount() const;
+    bool allDone() const;
+
+    const std::string& path() const { return file_->path(); }
+
+  private:
+    QueueJob& mutableJob(std::uint64_t id);
+    void replay(const std::vector<std::string>& lines);
+
+    std::map<std::uint64_t, QueueJob> jobs_;
+    /** Opened after replay validation (which may truncate the file). */
+    std::unique_ptr<journal::AppendFile> file_;
+};
+
+} // namespace mrp::queue
+
+#endif // MRP_QUEUE_WORK_QUEUE_HPP

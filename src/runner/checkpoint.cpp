@@ -1,70 +1,16 @@
 #include "runner/checkpoint.hpp"
 
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
-
-#include <fcntl.h>
-#include <unistd.h>
 
 #include "runner/report.hpp"
-#include "util/crc32.hpp"
 #include "util/json_writer.hpp"
-#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::runner {
 
 namespace {
-
-std::string
-hex8(std::uint32_t v)
-{
-    char buf[16];
-    std::snprintf(buf, sizeof(buf), "%08x", v);
-    return buf;
-}
-
-std::string
-journalJson(const RunResult& r)
-{
-    std::string out = "{\"index\": " + std::to_string(r.index);
-    out += ", \"benchmark\": \"" + json::escape(r.benchmark) +
-           "\"";
-    out += ", \"policy\": \"" + json::escape(r.policy) + "\"";
-    out += ", \"label\": \"" + json::escape(r.label) + "\"";
-    out += std::string(", \"mode\": ") +
-           (r.multiCore ? "\"multi\"" : "\"single\"");
-    out += ", \"ipc\": " + json::formatDouble(r.ipc);
-    out += ", \"mpki\": " + json::formatDouble(r.mpki);
-    out += ", \"instructions\": " + std::to_string(r.instructions);
-    out += ", \"llcDemandAccesses\": " +
-           std::to_string(r.llcDemandAccesses);
-    out += ", \"llcDemandMisses\": " +
-           std::to_string(r.llcDemandMisses);
-    out += ", \"llcBypasses\": " + std::to_string(r.llcBypasses);
-    if (r.seed != 0)
-        out += ", \"seed\": " + std::to_string(r.seed);
-    if (r.multiCore) {
-        out += ", \"coreIpc\": [";
-        for (std::size_t c = 0; c < r.coreIpc.size(); ++c) {
-            if (c)
-                out += ", ";
-            out += json::formatDouble(r.coreIpc[c]);
-        }
-        out += "]";
-    }
-    if (!r.ok()) {
-        out += ", \"error\": \"" + json::escape(r.error) + "\"";
-        out += std::string(", \"errorCode\": \"") +
-               errorCodeName(r.errorCode) + "\"";
-    }
-    out += "}";
-    return out;
-}
 
 /**
  * Minimal parser for the flat JSON objects this module itself emits:
@@ -314,23 +260,79 @@ class JsonParser
     const char* end_;
 };
 
-struct ScanResult
-{
-    std::vector<RunResult> entries;
-    /** Byte length of the valid line prefix (everything before a torn
-     * or missing tail). */
-    std::uint64_t validBytes = 0;
-};
+} // namespace
 
-/**
- * Walk @p content line by line. An unparsable *final* chunk is a torn
- * tail and is excluded from validBytes; an unparsable interior line is
- * corruption and throws.
- */
-ScanResult
-scanJournal(const std::string& content, const std::string& path)
+std::string
+resultJson(const RunResult& r)
 {
-    ScanResult scan;
+    std::string out = "{\"index\": " + std::to_string(r.index);
+    out += ", \"benchmark\": \"" + json::escape(r.benchmark) +
+           "\"";
+    out += ", \"policy\": \"" + json::escape(r.policy) + "\"";
+    out += ", \"label\": \"" + json::escape(r.label) + "\"";
+    out += std::string(", \"mode\": ") +
+           (r.multiCore ? "\"multi\"" : "\"single\"");
+    out += ", \"ipc\": " + json::formatDouble(r.ipc);
+    out += ", \"mpki\": " + json::formatDouble(r.mpki);
+    out += ", \"instructions\": " + std::to_string(r.instructions);
+    out += ", \"llcDemandAccesses\": " +
+           std::to_string(r.llcDemandAccesses);
+    out += ", \"llcDemandMisses\": " +
+           std::to_string(r.llcDemandMisses);
+    out += ", \"llcBypasses\": " + std::to_string(r.llcBypasses);
+    if (r.seed != 0)
+        out += ", \"seed\": " + std::to_string(r.seed);
+    if (r.multiCore) {
+        out += ", \"coreIpc\": [";
+        for (std::size_t c = 0; c < r.coreIpc.size(); ++c) {
+            if (c)
+                out += ", ";
+            out += json::formatDouble(r.coreIpc[c]);
+        }
+        out += "]";
+    }
+    if (!r.ok()) {
+        out += ", \"error\": \"" + json::escape(r.error) + "\"";
+        out += std::string(", \"errorCode\": \"") +
+               errorCodeName(r.errorCode) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::optional<RunResult>
+resultFromJson(const std::string& json)
+{
+    RunResult r;
+    if (!JsonParser(json).parse(r))
+        return std::nullopt;
+    return r;
+}
+
+std::string
+journalLine(const RunResult& result)
+{
+    return journal::frameLine(resultJson(result));
+}
+
+std::optional<RunResult>
+parseJournalLine(const std::string& line)
+{
+    const auto json = journal::unframeLine(line);
+    if (!json)
+        return std::nullopt;
+    return resultFromJson(*json);
+}
+
+std::vector<RunResult>
+loadJournal(const std::string& path)
+{
+    const std::string content = journal::readWholeFile(path);
+    // Scan with the RunResult-aware line parser rather than the
+    // generic frame scanner, so a line whose checksum is intact but
+    // whose schema has drifted is still classified (torn tail if
+    // final, CorruptInput otherwise) exactly as before.
+    std::vector<RunResult> entries;
     std::size_t pos = 0;
     std::size_t line_no = 0;
     while (pos < content.size()) {
@@ -347,131 +349,23 @@ scanJournal(const std::string& content, const std::string& path)
                         std::to_string(line_no) +
                         " fails checksum/parse but is not the final "
                         "line");
-            return scan; // torn tail: drop it
+            return entries; // torn tail: drop it
         }
-        scan.entries.push_back(std::move(*parsed));
-        scan.validBytes = next;
+        entries.push_back(std::move(*parsed));
         pos = next;
     }
-    return scan;
-}
-
-std::string
-readWholeFile(const std::string& path)
-{
-    std::ifstream is(path, std::ios::binary);
-    fatalIf(!is, ErrorCode::Io,
-            "cannot open checkpoint journal: " + path);
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    fatalIf(is.bad(), ErrorCode::Io,
-            "read failed on checkpoint journal: " + path);
-    return ss.str();
-}
-
-bool
-fileExists(const std::string& path)
-{
-    return ::access(path.c_str(), F_OK) == 0;
-}
-
-} // namespace
-
-std::string
-journalLine(const RunResult& result)
-{
-    const std::string json = journalJson(result);
-    return hex8(Crc32::of(json.data(), json.size())) + " " + json +
-           "\n";
-}
-
-std::optional<RunResult>
-parseJournalLine(const std::string& line)
-{
-    std::string body = line;
-    while (!body.empty() &&
-           (body.back() == '\n' || body.back() == '\r'))
-        body.pop_back();
-    if (body.size() < 10 || body[8] != ' ')
-        return std::nullopt;
-    std::uint32_t stored = 0;
-    for (int i = 0; i < 8; ++i) {
-        const char h = body[static_cast<std::size_t>(i)];
-        stored <<= 4;
-        if (h >= '0' && h <= '9')
-            stored |= static_cast<std::uint32_t>(h - '0');
-        else if (h >= 'a' && h <= 'f')
-            stored |= static_cast<std::uint32_t>(h - 'a' + 10);
-        else
-            return std::nullopt;
-    }
-    const std::string json = body.substr(9);
-    if (Crc32::of(json.data(), json.size()) != stored)
-        return std::nullopt;
-    RunResult r;
-    if (!JsonParser(json).parse(r))
-        return std::nullopt;
-    return r;
-}
-
-std::vector<RunResult>
-loadJournal(const std::string& path)
-{
-    return scanJournal(readWholeFile(path), path).entries;
+    return entries;
 }
 
 CheckpointJournal::CheckpointJournal(const std::string& path)
-    : path_(path)
+    : file_(path, "runner.journal")
 {
-    fault::checkIo("runner.journal.open", "opening journal " + path);
-    // Heal a torn tail left by a crash: truncate to the valid line
-    // prefix so new appends never concatenate onto a partial line.
-    if (fileExists(path_)) {
-        const std::string content = readWholeFile(path_);
-        const auto scan = scanJournal(content, path_);
-        if (scan.validBytes < content.size())
-            fatalIf(::truncate(path_.c_str(),
-                               static_cast<off_t>(scan.validBytes)) !=
-                        0,
-                    ErrorCode::Io,
-                    "cannot truncate torn journal tail: " + path_ +
-                        ": " + std::strerror(errno));
-    }
-    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    fatalIf(fd_ < 0, ErrorCode::Io,
-            "cannot open journal for append: " + path_ + ": " +
-                std::strerror(errno));
-}
-
-CheckpointJournal::~CheckpointJournal()
-{
-    if (fd_ >= 0)
-        ::close(fd_);
 }
 
 void
 CheckpointJournal::append(const RunResult& result)
 {
-    const std::string line = journalLine(result);
-    std::lock_guard<std::mutex> lock(mutex_);
-    fault::checkIo("runner.journal.write",
-                   "appending to journal " + path_);
-    // One write(2) per line: a crash tears at most the final line,
-    // which the loader and the constructor's truncation both tolerate.
-    std::size_t off = 0;
-    while (off < line.size()) {
-        const ssize_t n =
-            ::write(fd_, line.data() + off, line.size() - off);
-        if (n < 0 && errno == EINTR)
-            continue;
-        fatalIf(n <= 0, ErrorCode::Io,
-                "journal write failed: " + path_ + ": " +
-                    std::strerror(errno));
-        off += static_cast<std::size_t>(n);
-    }
-    fatalIf(::fsync(fd_) != 0, ErrorCode::Io,
-            "journal fsync failed: " + path_ + ": " +
-                std::strerror(errno));
+    file_.append(resultJson(result));
 }
 
 } // namespace mrp::runner

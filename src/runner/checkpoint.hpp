@@ -26,19 +26,20 @@
 #ifndef MRP_RUNNER_CHECKPOINT_HPP
 #define MRP_RUNNER_CHECKPOINT_HPP
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "runner/run_request.hpp"
+#include "util/journal.hpp"
 
 namespace mrp::runner {
 
 /**
  * Append-only, fsync'd journal writer. Thread-safe: workers append
  * results as they complete, in completion order (the index field, not
- * line order, keys each entry).
+ * line order, keys each entry). A thin RunResult-typed veneer over
+ * journal::AppendFile.
  */
 class CheckpointJournal
 {
@@ -46,19 +47,16 @@ class CheckpointJournal
     /** Opens (creating or appending to) @p path; throws
      * FatalError(ErrorCode::Io) on failure. */
     explicit CheckpointJournal(const std::string& path);
-    ~CheckpointJournal();
     CheckpointJournal(const CheckpointJournal&) = delete;
     CheckpointJournal& operator=(const CheckpointJournal&) = delete;
 
     /** Serialize, append, and fsync one completed result. */
     void append(const RunResult& result);
 
-    const std::string& path() const { return path_; }
+    const std::string& path() const { return file_.path(); }
 
   private:
-    std::mutex mutex_;
-    std::string path_;
-    int fd_ = -1;
+    journal::AppendFile file_;
 };
 
 /**
@@ -76,6 +74,15 @@ std::string journalLine(const RunResult& result);
 
 /** Parse one line; std::nullopt if the checksum or JSON is invalid. */
 std::optional<RunResult> parseJournalLine(const std::string& line);
+
+/** JSON body of one result (what journalLine frames with a checksum).
+ * Deterministic fields only — the queue wire protocol reuses this
+ * exact form, so a worker's RESULT payload and a journal entry are
+ * the same bytes. */
+std::string resultJson(const RunResult& result);
+
+/** Parse a resultJson body; std::nullopt on schema mismatch. */
+std::optional<RunResult> resultFromJson(const std::string& json);
 
 } // namespace mrp::runner
 

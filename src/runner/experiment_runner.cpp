@@ -302,6 +302,24 @@ mixName(const std::vector<trace::TraceSpec>& sources)
     return out;
 }
 
+/** True when `name` alone decides the policy (no factory override and
+ * no MPPPB configuration payload). */
+bool
+byNameOnly(const PolicySpec& p)
+{
+    return !p.factory && !p.mpppbConfig;
+}
+
+sim::PolicyFactory
+resolveFactory(const PolicySpec& p)
+{
+    if (p.factory)
+        return p.factory;
+    if (p.mpppbConfig)
+        return sim::makeMpppbFactory(*p.mpppbConfig);
+    return sim::PolicyRegistry::make(p.name);
+}
+
 void
 executeInto(const RunRequest& req, RunResult& out)
 {
@@ -315,12 +333,9 @@ executeInto(const RunRequest& req, RunResult& out)
     // record sequences and the batch outcome stays bit-identical.
     if (req.isMultiCore()) {
         const auto& cfg = std::get<sim::MultiCoreConfig>(req.config);
-        fatalIf(req.policy.name == "MIN" && !req.policy.factory,
+        fatalIf(req.policy.name == "MIN" && byNameOnly(req.policy),
                 "MIN needs a single-core request (two-pass oracle)");
-        const auto factory =
-            req.policy.factory
-                ? req.policy.factory
-                : sim::PolicyRegistry::make(req.policy.name);
+        const auto factory = resolveFactory(req.policy);
         std::array<std::unique_ptr<trace::TraceSource>, 4> opened;
         std::array<trace::TraceSource*, 4> mix{};
         for (unsigned c = 0; c < 4; ++c) {
@@ -345,14 +360,11 @@ executeInto(const RunRequest& req, RunResult& out)
     const auto& cfg = std::get<sim::SingleCoreConfig>(req.config);
     const auto source = req.sources[0].open(req.openOptions);
     sim::SingleCoreResult r;
-    if (req.policy.name == "MIN" && !req.policy.factory) {
+    if (req.policy.name == "MIN" && byNameOnly(req.policy)) {
         r = sim::runSingleCoreMin(*source, cfg);
     } else {
-        const auto factory =
-            req.policy.factory
-                ? req.policy.factory
-                : sim::PolicyRegistry::make(req.policy.name);
-        r = sim::runSingleCore(*source, factory, cfg);
+        r = sim::runSingleCore(*source, resolveFactory(req.policy),
+                               cfg);
     }
     out.policy = r.policy;
     out.ipc = r.ipc;

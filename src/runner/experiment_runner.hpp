@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "runner/executor.hpp"
 #include "runner/run_request.hpp"
 
 namespace mrp::runner {
@@ -86,7 +87,7 @@ struct RunnerOptions
     std::string progressJsonlPath;
 };
 
-class ExperimentRunner
+class ExperimentRunner : public Executor
 {
   public:
     /**
@@ -111,7 +112,7 @@ class ExperimentRunner
     /** As above with the durability options (journal, resume,
      * watchdog, retries). */
     RunSet run(const std::vector<RunRequest>& batch,
-               const RunnerOptions& options) const;
+               const RunnerOptions& options) const override;
 
     /** Execute one request in the calling thread (index 0). */
     static RunResult runOne(const RunRequest& request,

@@ -21,6 +21,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/mpppb.hpp"
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
 #include "trace/spec.hpp"
@@ -37,25 +38,43 @@ namespace mrp::runner {
 /**
  * Policy selection for one run: a registry name, optionally overridden
  * by an explicit factory (for configurations that have no registered
- * name, e.g. leave-one-feature-out MPPPB variants). The name "MIN"
- * with no factory selects the two-pass Belady oracle, which is valid
- * for single-core requests only.
+ * name, e.g. leave-one-feature-out MPPPB variants) or by an MPPPB
+ * configuration carried as data. The name "MIN" with no factory
+ * selects the two-pass Belady oracle, which is valid for single-core
+ * requests only.
+ *
+ * The data-payload form exists for the distributed queue: a factory
+ * is a closure and cannot cross a process boundary, while an
+ * MpppbConfig serializes (see queue/wire.hpp) and is resolved to a
+ * factory at execution time — in this process or a worker — so sweep
+ * candidates run identically everywhere.
  */
 struct PolicySpec
 {
     std::string name;          //!< display / report name
     sim::PolicyFactory factory; //!< empty => resolve name via registry
+    /** When set (and no factory), the run builds an MPPPB policy from
+     * this configuration instead of resolving `name`. */
+    std::shared_ptr<const core::MpppbConfig> mpppbConfig;
 
     static PolicySpec
     byName(std::string name)
     {
-        return {std::move(name), {}};
+        return {std::move(name), {}, nullptr};
     }
 
     static PolicySpec
     custom(std::string name, sim::PolicyFactory factory)
     {
-        return {std::move(name), std::move(factory)};
+        return {std::move(name), std::move(factory), nullptr};
+    }
+
+    /** Serializable MPPPB-by-configuration spec (name "MPPPB"). */
+    static PolicySpec
+    mpppb(const core::MpppbConfig& cfg)
+    {
+        return {"MPPPB", {},
+                std::make_shared<const core::MpppbConfig>(cfg)};
     }
 };
 
@@ -96,15 +115,6 @@ struct RunRequest
         return r;
     }
 
-    /** Compatibility shim (deprecated, one PR): borrows @p trace. */
-    static RunRequest
-    singleCore(const trace::Trace& trace, PolicySpec policy,
-               sim::SingleCoreConfig cfg = {})
-    {
-        return singleCore(trace::TraceSpec::borrowed(trace),
-                          std::move(policy), cfg);
-    }
-
     static RunRequest
     multiCore(std::array<trace::TraceSpec, 4> mix, PolicySpec policy,
               sim::MultiCoreConfig cfg = {})
@@ -112,22 +122,6 @@ struct RunRequest
         RunRequest r;
         r.sources.assign(std::make_move_iterator(mix.begin()),
                          std::make_move_iterator(mix.end()));
-        r.policy = std::move(policy);
-        r.config = std::move(cfg);
-        return r;
-    }
-
-    /** Compatibility shim (deprecated, one PR): borrows the traces. */
-    static RunRequest
-    multiCore(const std::array<const trace::Trace*, 4>& mix,
-              PolicySpec policy, sim::MultiCoreConfig cfg = {})
-    {
-        RunRequest r;
-        for (const auto* t : mix) {
-            fatalIf(t == nullptr, ErrorCode::Config,
-                    "null trace in mix");
-            r.sources.push_back(trace::TraceSpec::borrowed(*t));
-        }
         r.policy = std::move(policy);
         r.config = std::move(cfg);
         return r;

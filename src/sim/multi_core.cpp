@@ -157,27 +157,4 @@ standaloneIpc(trace::TraceSource& source, const MultiCoreConfig& cfg)
            static_cast<double>(cfg.measureCycles);
 }
 
-MultiCoreResult
-runMultiCore(const std::array<const trace::Trace*, 4>& mix,
-             const PolicyFactory& factory, const MultiCoreConfig& cfg)
-{
-    std::array<std::unique_ptr<trace::MaterializedTraceSource>, 4> owned;
-    std::array<trace::TraceSource*, 4> sources{};
-    for (unsigned c = 0; c < 4; ++c) {
-        fatalIf(mix[c] == nullptr, ErrorCode::Config,
-                "null trace in mix");
-        owned[c] =
-            std::make_unique<trace::MaterializedTraceSource>(*mix[c]);
-        sources[c] = owned[c].get();
-    }
-    return runMultiCore(sources, factory, cfg);
-}
-
-double
-standaloneIpc(const trace::Trace& trace, const MultiCoreConfig& cfg)
-{
-    trace::MaterializedTraceSource source(trace);
-    return standaloneIpc(source, cfg);
-}
-
 } // namespace mrp::sim

@@ -81,21 +81,12 @@ MultiCoreResult runMultiCore(const std::array<trace::TraceSource*, 4>& mix,
                              const PolicyFactory& factory,
                              const MultiCoreConfig& cfg = {});
 
-/** Compatibility shim (deprecated, one PR): in-memory traces. */
-MultiCoreResult runMultiCore(const std::array<const trace::Trace*, 4>& mix,
-                             const PolicyFactory& factory,
-                             const MultiCoreConfig& cfg = {});
-
 /**
  * Standalone IPC of one benchmark on the multi-core hierarchy with an
  * LRU LLC (the SingleIPC_i of §4.5), using the same loop-and-measure
  * scheme as the mixed run.
  */
 double standaloneIpc(trace::TraceSource& source,
-                     const MultiCoreConfig& cfg = {});
-
-/** Compatibility shim (deprecated, one PR): in-memory trace. */
-double standaloneIpc(const trace::Trace& trace,
                      const MultiCoreConfig& cfg = {});
 
 } // namespace mrp::sim

@@ -114,14 +114,6 @@ runSingleCore(trace::TraceSource& source, const PolicyFactory& factory,
 }
 
 SingleCoreResult
-runSingleCore(const trace::Trace& trace, const PolicyFactory& factory,
-              const SingleCoreConfig& cfg)
-{
-    trace::MaterializedTraceSource source(trace);
-    return runSingleCore(source, factory, cfg);
-}
-
-SingleCoreResult
 runSingleCoreObserved(trace::TraceSource& source,
                       const PolicyFactory& factory,
                       const SingleCoreConfig& cfg,
@@ -130,16 +122,6 @@ runSingleCoreObserved(trace::TraceSource& source,
     const cache::CacheGeometry geom(cfg.hierarchy.llcBytes,
                                     cfg.hierarchy.llcWays);
     return runWithPolicy(source, factory(geom, 1), cfg, observer);
-}
-
-SingleCoreResult
-runSingleCoreObserved(const trace::Trace& trace,
-                      const PolicyFactory& factory,
-                      const SingleCoreConfig& cfg,
-                      cache::LlcObserver* observer)
-{
-    trace::MaterializedTraceSource source(trace);
-    return runSingleCoreObserved(source, factory, cfg, observer);
 }
 
 SingleCoreResult
@@ -170,13 +152,6 @@ runSingleCoreMin(trace::TraceSource& source,
         cfg, nullptr);
     r.policy = "MIN";
     return r;
-}
-
-SingleCoreResult
-runSingleCoreMin(const trace::Trace& trace, const SingleCoreConfig& cfg)
-{
-    trace::MaterializedTraceSource source(trace);
-    return runSingleCoreMin(source, cfg);
 }
 
 } // namespace mrp::sim

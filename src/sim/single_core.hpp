@@ -58,22 +58,11 @@ SingleCoreResult runSingleCore(trace::TraceSource& source,
                                const PolicyFactory& factory,
                                const SingleCoreConfig& cfg = {});
 
-/** Compatibility shim (deprecated, one PR): in-memory trace. */
-SingleCoreResult runSingleCore(const trace::Trace& trace,
-                               const PolicyFactory& factory,
-                               const SingleCoreConfig& cfg = {});
-
 /**
  * As runSingleCore, with a passive LLC observer attached (ROC probes,
  * access recorders). The observer sees the whole run, warmup included.
  */
 SingleCoreResult runSingleCoreObserved(trace::TraceSource& source,
-                                       const PolicyFactory& factory,
-                                       const SingleCoreConfig& cfg,
-                                       cache::LlcObserver* observer);
-
-/** Compatibility shim (deprecated, one PR): in-memory trace. */
-SingleCoreResult runSingleCoreObserved(const trace::Trace& trace,
                                        const PolicyFactory& factory,
                                        const SingleCoreConfig& cfg,
                                        cache::LlcObserver* observer);
@@ -87,10 +76,6 @@ SingleCoreResult runSingleCoreObserved(const trace::Trace& trace,
  * memory, so MIN works on streamed traces too.
  */
 SingleCoreResult runSingleCoreMin(trace::TraceSource& source,
-                                  const SingleCoreConfig& cfg = {});
-
-/** Compatibility shim (deprecated, one PR): in-memory trace. */
-SingleCoreResult runSingleCoreMin(const trace::Trace& trace,
                                   const SingleCoreConfig& cfg = {});
 
 } // namespace mrp::sim

@@ -73,9 +73,7 @@ std::vector<double>
 CorpusEvaluator::mpppbMpkis(const core::MpppbConfig& cfg,
                             InstCount budget_insts)
 {
-    return run(runner::PolicySpec::custom("MPPPB",
-                                          sim::makeMpppbFactory(cfg)),
-               budget_insts);
+    return run(runner::PolicySpec::mpppb(cfg), budget_insts);
 }
 
 std::vector<double>
@@ -104,13 +102,14 @@ CorpusMpkiObjective::requests(const core::MpppbConfig& cfg,
                               InstCount budget_insts)
 {
     const auto& ts = evaluator_->specs(budget_insts);
-    const auto factory = sim::makeMpppbFactory(cfg);
+    // Carried as data (not a factory closure) so the requests can
+    // cross a process boundary to queue workers unchanged.
+    const auto spec = runner::PolicySpec::mpppb(cfg);
     std::vector<runner::RunRequest> out;
     out.reserve(ts.size());
     for (const auto& t : ts) {
         out.push_back(runner::RunRequest::singleCore(
-            t, runner::PolicySpec::custom("MPPPB", factory),
-            evaluator_->config().sim));
+            t, spec, evaluator_->config().sim));
         out.back().openOptions = evaluator_->config().openOptions;
     }
     return out;

@@ -9,7 +9,9 @@
 
 #include "prof/profiler.hpp"
 #include "runner/checkpoint.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/crc32.hpp"
+#include "util/journal.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
 #include "util/math_util.hpp"
@@ -54,10 +56,14 @@ Study::Study(const SearchSpace& space, Strategy& strategy,
 std::string
 Study::fingerprint() const
 {
-    const std::string text = space_.spaceJson() + "|" +
-                             strategy_.name() + "|" +
-                             objective_.name() + "|" +
-                             std::to_string(cfg_.seed);
+    // The queue schema version is part of the identity: a journal
+    // written before the work-queue era (or after an incompatible
+    // schema bump) fingerprints differently, so resume refuses it
+    // with a typed Config error instead of silently misreading it.
+    const std::string text =
+        space_.spaceJson() + "|" + strategy_.name() + "|" +
+        objective_.name() + "|" + std::to_string(cfg_.seed) +
+        "|qschema" + std::to_string(journal::kQueueSchemaVersion);
     return hex8(Crc32::of(text.data(), text.size()));
 }
 
@@ -115,7 +121,11 @@ Study::run()
         journal = std::make_unique<runner::CheckpointJournal>(
             cfg_.journalPath);
 
-    const runner::ExperimentRunner pool(cfg_.jobs);
+    const runner::ExperimentRunner pool(
+        cfg_.executor ? 1 : cfg_.jobs);
+    const runner::Executor& exec =
+        cfg_.executor ? *cfg_.executor
+                      : static_cast<const runner::Executor&>(pool);
     // Keys proposed by an earlier candidate id; drives the `cached`
     // flag, which therefore survives kill/resume unchanged.
     std::unordered_set<std::string> seen;
@@ -194,7 +204,7 @@ Study::run()
                 runner::RunnerOptions ropts;
                 ropts.journalPath = raw_path;
                 MRP_PROF_SCOPE("sweep.simulate");
-                const auto set = pool.run(to_run, ropts);
+                const auto set = exec.run(to_run, ropts);
                 for (std::size_t j = 0; j < set.results.size(); ++j)
                     finals[slot[j]] = set.results[j];
             }

@@ -6,6 +6,7 @@
 
 #include "trace/wire_format.hpp"
 #include "trace/workloads.hpp"
+#include "util/json_writer.hpp"
 #include "util/logging.hpp"
 
 namespace mrp::trace {
@@ -187,6 +188,174 @@ TraceSpec::withInstructions(InstCount instructions) const
     s.zipf_.instructions = instructions;
     s.blockIo_.instructions = instructions;
     return s;
+}
+
+namespace {
+
+std::uint64_t
+requireU64(const json::Value& v, const char* key,
+           const std::string& what)
+{
+    return v.require(key, json::Value::Type::Number, what).asU64();
+}
+
+double
+requireDouble(const json::Value& v, const char* key,
+              const std::string& what)
+{
+    return v.require(key, json::Value::Type::Number, what).number;
+}
+
+std::string
+requireString(const json::Value& v, const char* key,
+              const std::string& what)
+{
+    return v.require(key, json::Value::Type::String, what).string;
+}
+
+} // namespace
+
+std::string
+TraceSpec::toJson() const
+{
+    // Every field that shapes the record sequence is serialized;
+    // u64 values ride as JSON numbers, which is exact below 2^53 —
+    // far above any instruction target or seed in use.
+    switch (kind_) {
+    case Kind::Borrowed:
+        fatalIf(true, ErrorCode::Config,
+                "borrowed trace spec '" + name_ +
+                    "' points into process memory and cannot be "
+                    "serialized; materialize it to a file spec first");
+        break;
+    case Kind::Suite:
+    case Kind::HeldOut:
+        return std::string("{\"kind\": ") +
+               (kind_ == Kind::Suite ? "\"suite\"" : "\"heldOut\"") +
+               ", \"index\": " + std::to_string(index_) +
+               ", \"instructions\": " + std::to_string(instructions_) +
+               ", \"seed\": " + std::to_string(seed_) + "}";
+    case Kind::File:
+        return "{\"kind\": \"file\", \"path\": " + json::str(path_) +
+               "}";
+    case Kind::Zipf:
+        return "{\"kind\": \"zipf\", \"name\": " + json::str(zipf_.name) +
+               ", \"instructions\": " +
+               std::to_string(zipf_.instructions) +
+               ", \"seed\": " + std::to_string(zipf_.seed) +
+               ", \"dataBase\": " + std::to_string(zipf_.dataBase) +
+               ", \"codeBase\": " + std::to_string(zipf_.codeBase) +
+               ", \"keys\": " + std::to_string(zipf_.keys) +
+               ", \"theta\": " + json::formatDouble(zipf_.theta) +
+               ", \"storeProb\": " +
+               json::formatDouble(zipf_.storeProb) +
+               ", \"padsPerAccess\": " +
+               std::to_string(zipf_.padsPerAccess) + "}";
+    case Kind::BlockIo:
+        return "{\"kind\": \"blkio\", \"name\": " +
+               json::str(blockIo_.name) +
+               ", \"instructions\": " +
+               std::to_string(blockIo_.instructions) +
+               ", \"seed\": " + std::to_string(blockIo_.seed) +
+               ", \"dataBase\": " + std::to_string(blockIo_.dataBase) +
+               ", \"codeBase\": " + std::to_string(blockIo_.codeBase) +
+               ", \"volumeBytes\": " +
+               std::to_string(blockIo_.volumeBytes) +
+               ", \"hotFraction\": " +
+               json::formatDouble(blockIo_.hotFraction) +
+               ", \"seqProb\": " +
+               json::formatDouble(blockIo_.seqProb) +
+               ", \"hotProb\": " +
+               json::formatDouble(blockIo_.hotProb) +
+               ", \"writeProb\": " +
+               json::formatDouble(blockIo_.writeProb) +
+               ", \"maxRunBlocks\": " +
+               std::to_string(blockIo_.maxRunBlocks) +
+               ", \"padsPerRequest\": " +
+               std::to_string(blockIo_.padsPerRequest) + "}";
+    case Kind::PhaseMix: {
+        std::string out = "{\"kind\": \"phaseMix\", \"name\": " +
+                          json::str(name_) + ", \"instructions\": " +
+                          std::to_string(instructions_) +
+                          ", \"phaseInstructions\": " +
+                          std::to_string(phaseInsts_) +
+                          ", \"children\": [";
+        for (std::size_t i = 0; i < children_.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += children_[i].toJson();
+        }
+        out += "]}";
+        return out;
+    }
+    }
+    fatalIf(true, ErrorCode::Internal, "unreachable trace spec kind");
+    return {};
+}
+
+TraceSpec
+TraceSpec::fromJson(const json::Value& v, const std::string& what)
+{
+    fatalIf(!v.isObject(), ErrorCode::CorruptInput,
+            what + ": trace spec must be a JSON object");
+    const std::string kind = requireString(v, "kind", what);
+    if (kind == "suite" || kind == "heldOut") {
+        const auto index =
+            static_cast<unsigned>(requireU64(v, "index", what));
+        const auto insts = requireU64(v, "instructions", what);
+        const auto seed = requireU64(v, "seed", what);
+        return kind == "suite" ? suite(index, insts, seed)
+                               : heldOut(index, insts, seed);
+    }
+    if (kind == "file")
+        return file(requireString(v, "path", what));
+    if (kind == "zipf") {
+        ZipfParams p;
+        p.name = requireString(v, "name", what);
+        p.instructions = requireU64(v, "instructions", what);
+        p.seed = requireU64(v, "seed", what);
+        p.dataBase = requireU64(v, "dataBase", what);
+        p.codeBase = requireU64(v, "codeBase", what);
+        p.keys = requireU64(v, "keys", what);
+        p.theta = requireDouble(v, "theta", what);
+        p.storeProb = requireDouble(v, "storeProb", what);
+        p.padsPerAccess =
+            static_cast<unsigned>(requireU64(v, "padsPerAccess", what));
+        return zipf(std::move(p));
+    }
+    if (kind == "blkio") {
+        BlockIoParams p;
+        p.name = requireString(v, "name", what);
+        p.instructions = requireU64(v, "instructions", what);
+        p.seed = requireU64(v, "seed", what);
+        p.dataBase = requireU64(v, "dataBase", what);
+        p.codeBase = requireU64(v, "codeBase", what);
+        p.volumeBytes = requireU64(v, "volumeBytes", what);
+        p.hotFraction = requireDouble(v, "hotFraction", what);
+        p.seqProb = requireDouble(v, "seqProb", what);
+        p.hotProb = requireDouble(v, "hotProb", what);
+        p.writeProb = requireDouble(v, "writeProb", what);
+        p.maxRunBlocks =
+            static_cast<unsigned>(requireU64(v, "maxRunBlocks", what));
+        p.padsPerRequest = static_cast<unsigned>(
+            requireU64(v, "padsPerRequest", what));
+        return blockIo(std::move(p));
+    }
+    if (kind == "phaseMix") {
+        const std::string name = requireString(v, "name", what);
+        const auto insts = requireU64(v, "instructions", what);
+        const auto phase = requireU64(v, "phaseInstructions", what);
+        const auto& kids =
+            v.require("children", json::Value::Type::Array, what);
+        std::vector<TraceSpec> children;
+        children.reserve(kids.array.size());
+        for (const auto& k : kids.array)
+            children.push_back(fromJson(k, what));
+        return phaseMix(name, insts, phase, std::move(children));
+    }
+    fatalIf(true, ErrorCode::CorruptInput,
+            what + ": unknown trace spec kind '" + kind + "'");
+    return TraceSpec();
 }
 
 std::unique_ptr<TraceSource>

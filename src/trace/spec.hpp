@@ -29,6 +29,7 @@
 #include "trace/source.hpp"
 #include "trace/stream_gen.hpp"
 #include "trace/stream_reader.hpp"
+#include "util/json_reader.hpp"
 
 namespace mrp::trace {
 
@@ -92,6 +93,24 @@ class TraceSpec
     /** Open a fresh, independent source for this spec. */
     std::unique_ptr<TraceSource> open() const { return open({}); }
     std::unique_ptr<TraceSource> open(const OpenOptions& opts) const;
+
+    /**
+     * Self-contained JSON form of this spec, suitable for shipping a
+     * run to a worker process: every generator parameter that affects
+     * the record sequence is included, so fromJson() on any machine
+     * opens a bit-identical stream. Borrowed specs point into this
+     * process's memory and cannot cross a process boundary — they
+     * throw FatalError(ErrorCode::Config).
+     */
+    std::string toJson() const;
+
+    /** Rebuild a spec from toJson() output. @p what names the
+     * document for error messages. Throws
+     * FatalError(ErrorCode::CorruptInput) on schema violations and
+     * whatever the named factory throws (e.g. Io for a missing trace
+     * file). */
+    static TraceSpec fromJson(const json::Value& v,
+                              const std::string& what);
 
   private:
     TraceSpec() = default;

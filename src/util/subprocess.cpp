@@ -1,0 +1,292 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::proc {
+
+std::string
+ExitStatus::toString() const
+{
+    if (exited)
+        return "exit " + std::to_string(exitCode);
+    if (signaled)
+        return "signal " + std::to_string(signal) +
+               (signal == SIGKILL ? " (SIGKILL)" : "");
+    return "unknown";
+}
+
+namespace {
+
+void
+closeIfOpen(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    fatalIf(flags < 0 ||
+                ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0,
+            ErrorCode::Io,
+            std::string("fcntl(O_NONBLOCK) failed: ") +
+                std::strerror(errno));
+}
+
+} // namespace
+
+Child
+Child::spawn(const std::string& path,
+             const std::vector<std::string>& args)
+{
+    fault::checkIo("subprocess.spawn", "spawning " + path);
+    fault::checkStall("subprocess.spawn");
+
+    int to_child[2];   // parent writes [1] -> child stdin [0]
+    int from_child[2]; // child stdout [1] -> parent reads [0]
+    fatalIf(::pipe(to_child) != 0, ErrorCode::Io,
+            std::string("pipe failed: ") + std::strerror(errno));
+    if (::pipe(from_child) != 0) {
+        const int err = errno;
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        fatalIf(true, ErrorCode::Io,
+                std::string("pipe failed: ") + std::strerror(err));
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        const int err = errno;
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        fatalIf(true, ErrorCode::Io,
+                std::string("fork failed: ") + std::strerror(err));
+    }
+
+    if (pid == 0) {
+        // Child: wire the pipes onto stdin/stdout and exec. On any
+        // failure _exit(127) — the parent sees EOF + exit 127.
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        if (::dup2(to_child[0], STDIN_FILENO) < 0 ||
+            ::dup2(from_child[1], STDOUT_FILENO) < 0)
+            ::_exit(127);
+        ::close(to_child[0]);
+        ::close(from_child[1]);
+        std::vector<char*> argv;
+        argv.push_back(const_cast<char*>(path.c_str()));
+        for (const auto& a : args)
+            argv.push_back(const_cast<char*>(a.c_str()));
+        argv.push_back(nullptr);
+        ::execv(path.c_str(), argv.data());
+        ::_exit(127);
+    }
+
+    // Parent.
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    // SIGPIPE on a dead worker must surface as EPIPE from write(2),
+    // not kill the broker.
+    ::signal(SIGPIPE, SIG_IGN);
+    setNonBlocking(from_child[0]);
+
+    Child c;
+    c.pid_ = pid;
+    c.inFd_ = to_child[1];
+    c.outFd_ = from_child[0];
+    return c;
+}
+
+Child::~Child()
+{
+    if (pid_ > 0 && !reaped_) {
+        ::kill(pid_, SIGKILL);
+        int raw = 0;
+        while (::waitpid(pid_, &raw, 0) < 0 && errno == EINTR)
+            ;
+    }
+    closeIfOpen(inFd_);
+    closeIfOpen(outFd_);
+}
+
+Child::Child(Child&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      inFd_(std::exchange(other.inFd_, -1)),
+      outFd_(std::exchange(other.outFd_, -1)),
+      eof_(std::exchange(other.eof_, false)),
+      buffer_(std::move(other.buffer_)),
+      reaped_(std::move(other.reaped_))
+{
+}
+
+Child&
+Child::operator=(Child&& other) noexcept
+{
+    if (this != &other) {
+        if (pid_ > 0 && !reaped_) {
+            ::kill(pid_, SIGKILL);
+            int raw = 0;
+            while (::waitpid(pid_, &raw, 0) < 0 && errno == EINTR)
+                ;
+        }
+        closeIfOpen(inFd_);
+        closeIfOpen(outFd_);
+        pid_ = std::exchange(other.pid_, -1);
+        inFd_ = std::exchange(other.inFd_, -1);
+        outFd_ = std::exchange(other.outFd_, -1);
+        eof_ = std::exchange(other.eof_, false);
+        buffer_ = std::move(other.buffer_);
+        reaped_ = std::move(other.reaped_);
+    }
+    return *this;
+}
+
+void
+Child::writeLine(const std::string& line)
+{
+    fault::checkIo("subprocess.write",
+                   "writing to pid " + std::to_string(pid_));
+    fatalIf(inFd_ < 0, ErrorCode::Io,
+            "write to closed stdin of pid " + std::to_string(pid_));
+    const std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::write(inFd_, framed.data() + off,
+                                  framed.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n <= 0, ErrorCode::Io,
+                "write to worker pid " + std::to_string(pid_) +
+                    " failed: " + std::strerror(errno));
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::vector<std::string>
+Child::drainLines()
+{
+    fault::checkIo("subprocess.read",
+                   "reading from pid " + std::to_string(pid_));
+    std::vector<std::string> lines;
+    char chunk[4096];
+    while (outFd_ >= 0 && !eof_) {
+        const ssize_t n = ::read(outFd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        fatalIf(true, ErrorCode::Io,
+                "read from worker pid " + std::to_string(pid_) +
+                    " failed: " + std::strerror(errno));
+    }
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        lines.push_back(buffer_.substr(start, nl - start));
+        start = nl + 1;
+    }
+    buffer_.erase(0, start);
+    if (eof_ && !buffer_.empty()) {
+        lines.push_back(std::move(buffer_));
+        buffer_.clear();
+    }
+    return lines;
+}
+
+void
+Child::kill(int sig) const
+{
+    if (pid_ > 0 && !reaped_)
+        ::kill(pid_, sig);
+}
+
+std::optional<ExitStatus>
+Child::tryReap()
+{
+    if (reaped_)
+        return reaped_;
+    if (pid_ <= 0)
+        return std::nullopt;
+    fault::checkIo("subprocess.reap",
+                   "reaping pid " + std::to_string(pid_));
+    int raw = 0;
+    const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+    if (r == 0)
+        return std::nullopt;
+    if (r < 0) {
+        if (errno == EINTR)
+            return std::nullopt;
+        fatalIf(true, ErrorCode::Io,
+                "waitpid(" + std::to_string(pid_) +
+                    ") failed: " + std::strerror(errno));
+    }
+    reaped_ = decode(raw);
+    return reaped_;
+}
+
+ExitStatus
+Child::waitReap()
+{
+    if (reaped_)
+        return *reaped_;
+    fatalIf(pid_ <= 0, ErrorCode::Internal,
+            "waitReap on invalid child");
+    fault::checkIo("subprocess.reap",
+                   "reaping pid " + std::to_string(pid_));
+    int raw = 0;
+    while (::waitpid(pid_, &raw, 0) < 0) {
+        fatalIf(errno != EINTR, ErrorCode::Io,
+                "waitpid(" + std::to_string(pid_) +
+                    ") failed: " + std::strerror(errno));
+    }
+    reaped_ = decode(raw);
+    return *reaped_;
+}
+
+void
+Child::closeStdin()
+{
+    closeIfOpen(inFd_);
+}
+
+ExitStatus
+Child::decode(int raw_status)
+{
+    ExitStatus st;
+    if (WIFEXITED(raw_status)) {
+        st.exited = true;
+        st.exitCode = WEXITSTATUS(raw_status);
+    } else if (WIFSIGNALED(raw_status)) {
+        st.signaled = true;
+        st.signal = WTERMSIG(raw_status);
+    }
+    return st;
+}
+
+} // namespace mrp::proc

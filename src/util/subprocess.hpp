@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Pipe/exec subprocess supervision for the broker/worker protocol.
+ *
+ * A Child is one spawned process with a pipe to its stdin and from
+ * its stdout (stderr passes through to the parent's). The parent
+ * writes whole lines and drains whole lines; reads are non-blocking
+ * and buffered, so the broker can multiplex many workers with
+ * poll(2) on stdoutFd(). Death is observed two ways: EOF on the
+ * stdout pipe (eof()) and waitpid (tryReap()/waitReap()) — a worker
+ * killed with SIGKILL produces both. None of this is on any
+ * simulation path; robustness, not speed, is the design bar.
+ *
+ * Fault-injection sites:
+ *   "subprocess.spawn"  IoError — fail pipe/fork
+ *   "subprocess.write"  IoError — fail a line write (worker gone)
+ *   "subprocess.read"   IoError — fail a drain
+ *   "subprocess.reap"   IoError — fail a waitpid
+ */
+
+#ifndef MRP_UTIL_SUBPROCESS_HPP
+#define MRP_UTIL_SUBPROCESS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace mrp::proc {
+
+/** Exit disposition of a reaped child. */
+struct ExitStatus
+{
+    bool exited = false;   //!< normal exit (code below)
+    int exitCode = 0;
+    bool signaled = false; //!< killed by a signal (signal below)
+    int signal = 0;
+
+    /** Human-readable form, e.g. "exit 0" / "signal 9 (SIGKILL)". */
+    std::string toString() const;
+};
+
+/**
+ * One supervised child process. Movable, not copyable; the
+ * destructor closes the pipes and, if the child was never reaped,
+ * SIGKILLs and reaps it (a Child never outlives its supervisor).
+ */
+class Child
+{
+  public:
+    /** Spawn @p path with @p args (argv[1..]); throws
+     * FatalError(ErrorCode::Io) on pipe/fork/exec-setup failure. An
+     * exec failure surfaces as instant EOF + exit code 127. */
+    static Child spawn(const std::string& path,
+                       const std::vector<std::string>& args);
+
+    Child() = default;
+    ~Child();
+    Child(Child&& other) noexcept;
+    Child& operator=(Child&& other) noexcept;
+    Child(const Child&) = delete;
+    Child& operator=(const Child&) = delete;
+
+    pid_t pid() const { return pid_; }
+    bool valid() const { return pid_ > 0; }
+
+    /** Pollable fd of the child's stdout (non-blocking). */
+    int stdoutFd() const { return outFd_; }
+
+    /** Write one line (newline appended) to the child's stdin;
+     * throws FatalError(ErrorCode::Io) if the pipe is broken. */
+    void writeLine(const std::string& line);
+
+    /**
+     * Drain whatever the child has written: returns every complete
+     * line currently available (without newlines). Never blocks.
+     * After the child closes its end, the final drain returns any
+     * buffered partial line and eof() turns true.
+     */
+    std::vector<std::string> drainLines();
+
+    /** True once the stdout pipe has reached EOF. */
+    bool eof() const { return eof_; }
+
+    /** Send @p sig (default SIGKILL); no-op once reaped. */
+    void kill(int sig) const;
+
+    /** Non-blocking reap; the status is remembered (later calls
+     * return it again). */
+    std::optional<ExitStatus> tryReap();
+
+    /** Blocking reap. */
+    ExitStatus waitReap();
+
+    /** Close the child's stdin (EOF is the polite shutdown nudge). */
+    void closeStdin();
+
+  private:
+    ExitStatus decode(int raw_status);
+
+    pid_t pid_ = -1;
+    int inFd_ = -1;  //!< parent writes -> child stdin
+    int outFd_ = -1; //!< parent reads <- child stdout
+    bool eof_ = false;
+    std::string buffer_; //!< partial-line carry between drains
+    std::optional<ExitStatus> reaped_;
+};
+
+} // namespace mrp::proc
+
+#endif // MRP_UTIL_SUBPROCESS_HPP

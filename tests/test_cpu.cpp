@@ -12,6 +12,7 @@
 #include "cpu/core_model.hpp"
 #include "policy/lru.hpp"
 #include "trace/builder.hpp"
+#include "trace/source.hpp"
 
 namespace mrp::cpu {
 namespace {
@@ -45,7 +46,8 @@ TEST(CoreModelTest, NonMemIpcApproachesWidth)
 {
     auto hier = makeHier(smallConfig());
     const auto t = padsOnly(100000);
-    CoreModel cpu(0, *hier, t, false);
+    trace::MaterializedTraceSource src(t);
+    CoreModel cpu(0, *hier, src, false);
     while (!cpu.finished())
         cpu.step();
     const double ipc = static_cast<double>(cpu.retired()) /
@@ -63,7 +65,8 @@ TEST(CoreModelTest, L1HitsDoNotThrottleMuch)
         b.pad(3);
     }
     const auto t = std::move(b).build();
-    CoreModel cpu(0, *hier, t, false);
+    trace::MaterializedTraceSource src(t);
+    CoreModel cpu(0, *hier, src, false);
     while (!cpu.finished())
         cpu.step();
     const double ipc = static_cast<double>(cpu.retired()) /
@@ -84,7 +87,8 @@ TEST(CoreModelTest, DependentLoadsSerialize)
         for (int i = 0; i < n; ++i)
             b.load(1, 0x10000000ull + stride * i, dep);
         const auto t = std::move(b).build();
-        CoreModel cpu(0, *hier, t, false);
+        trace::MaterializedTraceSource src(t);
+        CoreModel cpu(0, *hier, src, false);
         while (!cpu.finished())
             cpu.step();
         return cpu.cycle();
@@ -110,7 +114,8 @@ TEST(CoreModelTest, MshrsBoundMissOverlap)
         const auto t = std::move(b).build();
         CoreModelConfig ccfg;
         ccfg.mshrs = mshrs;
-        CoreModel cpu(0, *hier, t, false, ccfg);
+        trace::MaterializedTraceSource src(t);
+        CoreModel cpu(0, *hier, src, false, ccfg);
         while (!cpu.finished())
             cpu.step();
         return cpu.cycle();
@@ -133,7 +138,8 @@ TEST(CoreModelTest, WindowLimitsOverlapWhenSmall)
         const auto t = std::move(b).build();
         CoreModelConfig ccfg;
         ccfg.windowSize = window;
-        CoreModel cpu(0, *hier, t, false, ccfg);
+        trace::MaterializedTraceSource src(t);
+        CoreModel cpu(0, *hier, src, false, ccfg);
         while (!cpu.finished())
             cpu.step();
         return cpu.cycle();
@@ -150,7 +156,8 @@ TEST(CoreModelTest, LoopRestartsTrace)
     b.load(1, 0x1000);
     b.pad(9);
     const auto t = std::move(b).build();
-    CoreModel cpu(0, *hier, t, true);
+    trace::MaterializedTraceSource src(t);
+    CoreModel cpu(0, *hier, src, true);
     for (int i = 0; i < 100; ++i)
         cpu.step();
     EXPECT_FALSE(cpu.finished());
@@ -161,7 +168,8 @@ TEST(CoreModelTest, FinishedAfterSinglePass)
 {
     auto hier = makeHier(smallConfig());
     const auto t = padsOnly(5000);
-    CoreModel cpu(0, *hier, t, false);
+    trace::MaterializedTraceSource src(t);
+    CoreModel cpu(0, *hier, src, false);
     while (!cpu.finished())
         cpu.step();
     EXPECT_EQ(cpu.retired(), t.instructions());
@@ -175,7 +183,8 @@ TEST(CoreModelTest, PcHistoryIsUpdatedOnMemOps)
     b.load(1, 0x1000);
     b.load(2, 0x2000);
     const auto t = std::move(b).build();
-    CoreModel cpu(0, *hier, t, false);
+    trace::MaterializedTraceSource src(t);
+    CoreModel cpu(0, *hier, src, false);
     cpu.step();
     EXPECT_EQ(cpu.context().pcHistory.recent(0), t.records()[0].pc());
     cpu.step();
@@ -196,7 +205,8 @@ TEST(CoreModelTest, StoresDoNotBlockRetirement)
                 b.load(1, 0x10000000ull + stride * i);
         }
         const auto t = std::move(b).build();
-        CoreModel cpu(0, *hier, t, false);
+        trace::MaterializedTraceSource src(t);
+        CoreModel cpu(0, *hier, src, false);
         while (!cpu.finished())
             cpu.step();
         return cpu.cycle();
@@ -211,7 +221,8 @@ TEST(CoreModelTest, LoadLatencyAccounting)
     b.load(1, 0x1000);
     b.load(1, 0x1000);
     const auto t = std::move(b).build();
-    CoreModel cpu(0, *hier, t, false);
+    trace::MaterializedTraceSource src(t);
+    CoreModel cpu(0, *hier, src, false);
     while (!cpu.finished())
         cpu.step();
     EXPECT_EQ(cpu.loadCount(), 2u);

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Chaos recovery tests for the distributed sweep service, against
+ * real mrp_worker processes: SIGKILLed workers mid-batch, wedged
+ * (SIGSTOPped) workers recovered by lease expiry, lease-budget
+ * exhaustion of a permanently wedged job, broker crash/resume over
+ * the durable queue — and the headline check, a genetic study run
+ * through all of it emitting a report byte-identical to the unharmed
+ * single-threaded in-process run.
+ *
+ * Workloads are tiny (the container is 1-CPU) and heartbeat periods
+ * short; the wedge tests bound recovery latency by heartbeatTimeoutMs
+ * so the whole file stays in sanitize-suite time budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queue/broker.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/report.hpp"
+#include "sweep/study.hpp"
+#include "trace/spec.hpp"
+#include "util/logging.hpp"
+
+#ifndef MRP_WORKER_BIN
+#define MRP_WORKER_BIN "mrp_worker"
+#endif
+
+namespace mrp::queue {
+namespace {
+
+class QueueChaosTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        for (const auto& p : temp_paths_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    tempPath(const std::string& name)
+    {
+        const std::string p = "/tmp/mrp_qchaos_" + name;
+        std::remove(p.c_str());
+        temp_paths_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> temp_paths_;
+};
+
+BrokerConfig
+chaosBrokerConfig(const std::string& queue_path, unsigned workers)
+{
+    BrokerConfig cfg;
+    cfg.workerBin = MRP_WORKER_BIN;
+    cfg.workers = workers;
+    cfg.queuePath = queue_path;
+    cfg.heartbeatMs = 10;
+    cfg.heartbeatTimeoutMs = 400;
+    cfg.backoffSeconds = 0.001;
+    return cfg;
+}
+
+runner::RunRequest
+suiteRequest(unsigned index, const char* policy = "LRU",
+             const std::string& label = "")
+{
+    sim::SingleCoreConfig cfg;
+    cfg.hierarchy.llcBytes = 128 * 1024;
+    auto r = runner::RunRequest::singleCore(
+        trace::TraceSpec::suite(index, 40000),
+        runner::PolicySpec::byName(policy), cfg);
+    r.label = label;
+    return r;
+}
+
+std::vector<runner::RunRequest>
+chaosBatch()
+{
+    std::vector<runner::RunRequest> batch;
+    for (unsigned w : {1u, 2u, 3u})
+        for (const char* p : {"LRU", "SRRIP"})
+            batch.push_back(suiteRequest(w, p));
+    return batch;
+}
+
+TEST_F(QueueChaosTest, SigkilledWorkerIsRequeuedByteIdentically)
+{
+    const auto batch = chaosBatch();
+    const auto reference = runner::ExperimentRunner(1).run(batch);
+    telemetry::MetricsRegistry metrics;
+    auto cfg = chaosBrokerConfig(tempPath("kill.jsonl"), 2);
+    cfg.metrics = &metrics;
+    cfg.killWorkerAfterLeases = 2; // SIGKILL the 2nd lease's holder
+    const Broker broker(cfg);
+
+    const auto set = broker.run(batch);
+    EXPECT_EQ(runner::toJson(set), runner::toJson(reference));
+    EXPECT_GE(metrics.counter("queue.requeued").value(), 1);
+    EXPECT_GE(metrics.counter("queue.worker_restarts").value(), 1);
+}
+
+TEST_F(QueueChaosTest, WedgedWorkerExpiresLeaseAndRecovers)
+{
+    // One job wedges its worker (SIGSTOP — heartbeats stop, process
+    // lives) exactly once, recorded in a marker file. The broker must
+    // expire the lease on heartbeat silence, SIGKILL the hung worker,
+    // and the requeued attempt must succeed.
+    const std::string marker = tempPath("wedge.marker");
+    auto batch = chaosBatch();
+    batch.push_back(suiteRequest(4, "LRU", "wedge-me"));
+    const auto reference = runner::ExperimentRunner(1).run(batch);
+
+    telemetry::MetricsRegistry metrics;
+    auto cfg = chaosBrokerConfig(tempPath("wedge.jsonl"), 2);
+    cfg.metrics = &metrics;
+    cfg.workerArgs = {"--chaos-wedge", "wedge-me:" + marker};
+    const Broker broker(cfg);
+
+    const auto set = broker.run(batch);
+    EXPECT_EQ(runner::toJson(set), runner::toJson(reference));
+    EXPECT_GE(metrics.counter("queue.lease_expired").value(), 1);
+    EXPECT_GE(metrics.counter("queue.worker_restarts").value(), 1);
+    EXPECT_EQ(metrics.counter("queue.requeue_exhausted").value(), 0);
+}
+
+TEST_F(QueueChaosTest, PermanentlyWedgedJobExhaustsLeaseBudget)
+{
+    // No marker file: every attempt wedges. The job must burn its
+    // lease budget through heartbeat expiries and complete as a
+    // failed-typed Timeout result; the other job is unaffected.
+    telemetry::MetricsRegistry metrics;
+    auto cfg = chaosBrokerConfig(tempPath("exhaust.jsonl"), 2);
+    cfg.metrics = &metrics;
+    cfg.maxAttempts = 2;
+    cfg.workerArgs = {"--chaos-wedge", "wedge-me"};
+    const Broker broker(cfg);
+
+    const auto set = broker.run(
+        {suiteRequest(1, "LRU", "wedge-me"), suiteRequest(2, "SRRIP")});
+    ASSERT_EQ(set.results.size(), 2u);
+    EXPECT_FALSE(set.results[0].ok());
+    EXPECT_EQ(set.results[0].errorCode, ErrorCode::Timeout);
+    EXPECT_NE(set.results[0].error.find("after 2 attempt(s)"),
+              std::string::npos)
+        << set.results[0].error;
+    EXPECT_EQ(set.results[0].label, "wedge-me");
+    EXPECT_TRUE(set.results[1].ok()) << set.results[1].error;
+    EXPECT_EQ(metrics.counter("queue.lease_expired").value(), 2);
+    EXPECT_EQ(metrics.counter("queue.requeue_exhausted").value(), 1);
+}
+
+TEST_F(QueueChaosTest, BrokerCrashResumeIsByteIdentical)
+{
+    const auto batch = chaosBatch();
+    const auto reference = runner::ExperimentRunner(1).run(batch);
+    const std::string qpath = tempPath("crash.jsonl");
+
+    auto cfg = chaosBrokerConfig(qpath, 2);
+    cfg.chaosAbortAfterCompletions = 2;
+    try {
+        Broker(cfg).run(batch);
+        FAIL() << "chaos abort hook must fire";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Internal);
+    }
+
+    // Resume: a new broker over the same durable queue replays the
+    // completed jobs and finishes only the remainder.
+    const Broker resumed(chaosBrokerConfig(qpath, 2));
+    const auto set = resumed.run(batch);
+    EXPECT_EQ(runner::toJson(set), runner::toJson(reference));
+}
+
+// --- the headline: a full study through mixed chaos -----------------
+
+sweep::StudyConfig
+studyConfig(unsigned jobs, const runner::Executor* executor)
+{
+    sweep::StudyConfig scfg;
+    scfg.name = "chaos_study";
+    scfg.seed = 7;
+    scfg.jobs = jobs;
+    scfg.executor = executor;
+    return scfg;
+}
+
+std::string
+runStudy(const sweep::StudyConfig& scfg)
+{
+    sweep::SearchSpace space;
+    space.featureSlots = 4;
+    space.searchThresholds = true;
+
+    sweep::CorpusConfig cc;
+    cc.workloads = {3, 4};
+    cc.fullInstructions = 40000;
+    cc.sim.hierarchy.llcBytes = 128 * 1024;
+    const auto evaluator =
+        std::make_shared<sweep::CorpusEvaluator>(cc);
+    sweep::CorpusMpkiObjective objective(
+        evaluator, sweep::CorpusMpkiObjective::Aggregate::Geomean);
+
+    sweep::GeneticStrategy::Config gc;
+    gc.generations = 2;
+    gc.population = 4;
+    if (space.base.predictor.features.size() <= space.featureSlots)
+        gc.seeds.push_back(space.encode(space.base));
+    sweep::GeneticStrategy strategy(space, gc, scfg.seed);
+
+    sweep::Study study(space, strategy, objective, scfg);
+    return study.reportJson(study.run());
+}
+
+TEST_F(QueueChaosTest, ChaosStudyReportMatchesUnharmedInProcessRun)
+{
+    // Reference: unharmed, in-process, single-threaded.
+    const std::string reference = runStudy(studyConfig(1, nullptr));
+
+    // Distributed run #1: 2 workers, one SIGKILLed per generation
+    // batch (the kill counter is per broker.run call).
+    {
+        auto cfg = chaosBrokerConfig(tempPath("study_kill.jsonl"), 2);
+        cfg.killWorkerAfterLeases = 2;
+        const Broker broker(cfg);
+        EXPECT_EQ(runStudy(studyConfig(0, &broker)), reference);
+    }
+
+    // Distributed run #2: broker crashes after 2 completions, then a
+    // fresh broker resumes over the same queue path mid-study.
+    {
+        const std::string qpath = tempPath("study_crash.jsonl");
+        auto cfg = chaosBrokerConfig(qpath, 2);
+        cfg.chaosAbortAfterCompletions = 2;
+        try {
+            const Broker broker(cfg);
+            runStudy(studyConfig(0, &broker));
+            FAIL() << "chaos abort hook must fire";
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::Internal);
+        }
+        const Broker resumed(chaosBrokerConfig(qpath, 2));
+        EXPECT_EQ(runStudy(studyConfig(0, &resumed)), reference);
+    }
+
+    // Distributed run #3: 4 workers, no chaos — worker count alone
+    // must not move a byte.
+    {
+        const Broker broker(
+            chaosBrokerConfig(tempPath("study_w4.jsonl"), 4));
+        EXPECT_EQ(runStudy(studyConfig(0, &broker)), reference);
+    }
+}
+
+} // namespace
+} // namespace mrp::queue

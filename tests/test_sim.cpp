@@ -174,33 +174,5 @@ TEST(MultiCoreTest, SharedCacheContentionReducesIpc)
     }
 }
 
-TEST(CompatShims, DeprecatedTraceOverloadsStillWork)
-{
-    // The Trace&-taking entry points are compatibility shims for one
-    // PR; until they are removed they must produce the same results
-    // as the TraceSource paths they wrap.
-    const auto tr = trace::makeSuiteTrace(0, 60000);
-    trace::MaterializedTraceSource src(tr);
-    const auto via_shim =
-        runSingleCore(tr, makePolicyFactory("LRU"), {});
-    const auto via_source =
-        runSingleCore(src, makePolicyFactory("LRU"), {});
-    EXPECT_EQ(via_shim.ipc, via_source.ipc);
-    EXPECT_EQ(via_shim.mpki, via_source.mpki);
-
-    MultiCoreConfig cfg;
-    cfg.warmupInstructions = 40000;
-    cfg.measureCycles = 50000;
-    const auto t1 = trace::makeSuiteTrace(4, 60000);
-    const auto t2 = trace::makeSuiteTrace(7, 60000);
-    const auto t3 = trace::makeSuiteTrace(25, 60000);
-    const auto mc = runMultiCore(
-        std::array<const trace::Trace*, 4>{&tr, &t1, &t2, &t3},
-        makePolicyFactory("LRU"), cfg);
-    EXPECT_GT(mc.ipc[0], 0.0);
-    trace::MaterializedTraceSource solo(tr);
-    EXPECT_EQ(standaloneIpc(tr, cfg), standaloneIpc(solo, cfg));
-}
-
 } // namespace
 } // namespace mrp::sim

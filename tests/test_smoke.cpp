@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/single_core.hpp"
+#include "trace/source.hpp"
 #include "trace/workloads.hpp"
 
 namespace mrp {
@@ -15,8 +16,9 @@ namespace {
 TEST(Smoke, MpppbRunsOnABenchmark)
 {
     const auto trace = trace::makeSuiteTrace(0, 50000);
+    trace::MaterializedTraceSource source(trace);
     const auto r = sim::runSingleCore(
-        trace, sim::makePolicyFactory("MPPPB"), {});
+        source, sim::makePolicyFactory("MPPPB"), {});
     EXPECT_GT(r.instructions, 0u);
     EXPECT_GT(r.ipc, 0.0);
     EXPECT_LE(r.ipc, 4.0);

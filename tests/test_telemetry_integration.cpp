@@ -186,9 +186,10 @@ TEST(TelemetryIntegrationTest, RunnerReportsEmbedMetrics)
 TEST(TelemetryIntegrationTest, ObserverAndTelemetryAreExclusive)
 {
     const auto tr = trace::makeSuiteTrace(4, 120000);
+    trace::MaterializedTraceSource src(tr);
     cache::LlcObserver obs;
     EXPECT_THROW(sim::runSingleCoreObserved(
-                     tr, sim::makePolicyFactory("LRU"),
+                     src, sim::makePolicyFactory("LRU"),
                      telemetryConfig(), &obs),
                  FatalError);
 }
