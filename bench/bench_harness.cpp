@@ -19,12 +19,19 @@
  * Usage:
  *   bench_harness [--name NAME] [--out FILE] [--insts N]
  *                 [--benchmark NAME[,NAME...]]
- *                 [--policy NAME[,NAME...]]
+ *                 [--policy NAME[,NAME...]] [--mrc]
  *
  * Defaults: name "smoke", out "BENCH_<name>.json", 400k instructions
  * (or MRP_BENCH_INSTS), benchmarks thrash.2x,gups.2x,mixpc.hi,
  * policies LRU,MPPPB. Prints per-run throughput and llc.* coverage of
  * the measured window, and exits nonzero if any run fails.
+ *
+ * --mrc switches the cell axis from replacement policies to
+ * miss-ratio-curve construction: one profiled src/mrc pass per
+ * (benchmark, mode) cell over exact/shards/shards-adj, throughput =
+ * trace instructions consumed per second. The artifact (default name
+ * "mrc" -> BENCH_mrc.json) guards the one-pass engine's cost the same
+ * way the simulation cells guard the simulator's.
  */
 
 #include <cstdio>
@@ -33,9 +40,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mrc/engine.hpp"
 #include "prof/export.hpp"
 #include "prof/profiler.hpp"
 #include "runner/report.hpp"
+#include "trace/source.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -70,10 +79,47 @@ suiteIndexOf(const std::string& name)
     return 0; // unreachable
 }
 
+/** One profiled MRC pass per (trace, mode) cell; appends BenchRuns. */
+bool
+runMrcCells(const std::vector<trace::Trace>& traces,
+            std::vector<prof::BenchRun>& bench_runs)
+{
+    for (const auto& t : traces) {
+        for (const auto mode :
+             {mrc::MrcMode::Exact, mrc::MrcMode::Shards,
+              mrc::MrcMode::ShardsAdj}) {
+            mrc::MrcConfig cfg;
+            cfg.mode = mode;
+            trace::MaterializedTraceSource src(t);
+            prof::Profiler profiler;
+            mrc::MrcProfile p;
+            {
+                const prof::Attach attach(profiler);
+                p = mrc::buildProfile(src, cfg);
+            }
+            const std::string label =
+                t.name() + "/mrc-" + mrc::mrcModeName(mode);
+            prof::BenchRun br;
+            br.label = label;
+            br.benchmark = t.name();
+            br.policy = std::string("mrc-") + mrc::mrcModeName(mode);
+            br.profile = profiler.finish();
+            br.profile.setThroughput(t.instructions(),
+                                     p.demandSamples);
+            std::printf("%-24s %12.0f %12.0f %10s\n", label.c_str(),
+                        br.profile.instsPerSecond,
+                        br.profile.accessesPerSecond, "-");
+            bench_runs.push_back(std::move(br));
+        }
+    }
+    return false; // a failed pass throws FatalError instead
+}
+
 int
 runHarness(int argc, char** argv)
 {
     std::string name = "smoke";
+    bool mrc_cells = false;
     std::string out_path;
     auto insts =
         static_cast<InstCount>(bench::envCount("MRP_BENCH_INSTS",
@@ -97,15 +143,19 @@ runHarness(int argc, char** argv)
             benchmarks = next();
         } else if (arg == "--policy") {
             policies = next();
+        } else if (arg == "--mrc") {
+            mrc_cells = true;
         } else {
             std::fprintf(stderr,
                          "usage: bench_harness [--name NAME] "
                          "[--out FILE] [--insts N]\n"
                          "                     [--benchmark LIST] "
-                         "[--policy LIST]\n");
+                         "[--policy LIST] [--mrc]\n");
             return 2;
         }
     }
+    if (mrc_cells && name == "smoke")
+        name = "mrc";
     if (out_path.empty())
         out_path = "BENCH_" + name + ".json";
 
@@ -142,6 +192,16 @@ runHarness(int argc, char** argv)
     std::printf("%-24s %12s %12s %10s\n", "run", "insts/sec",
                 "accesses/sec", "llc cover");
     bool failed = false;
+    if (mrc_cells) {
+        failed = runMrcCells(traces, bench_runs);
+        runner::writeFile(out_path,
+                          prof::benchJson(name, bench_runs,
+                                          prof::machineInfo(),
+                                          prof::gitSha()));
+        std::fprintf(stderr, "wrote %s (%zu runs)\n",
+                     out_path.c_str(), bench_runs.size());
+        return failed ? 1 : 0;
+    }
     std::size_t index = 0;
     for (const auto& t : traces) {
         for (const auto& p : splitCommas(policies)) {

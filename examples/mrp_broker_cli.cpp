@@ -164,6 +164,7 @@ run(int argc, char** argv)
         std::fprintf(stderr, "wrote %s\n", metrics_out.c_str());
     }
 
+    cli::maybeWriteMrcProfiles(*setup, cfg);
     return cli::emitStudyReport(study, result, cfg);
 }
 

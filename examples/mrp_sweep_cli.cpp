@@ -111,6 +111,7 @@ run(int argc, char** argv)
         result = study.run();
     }
 
+    cli::maybeWriteMrcProfiles(*setup, cfg);
     return cli::emitStudyReport(study, result, cfg);
 }
 

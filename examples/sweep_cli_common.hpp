@@ -20,6 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "cache/geometry.hpp"
+#include "cache/hierarchy.hpp"
+#include "mrc/engine.hpp"
+#include "mrc/objective.hpp"
+#include "mrc/profile.hpp"
 #include "runner/report.hpp"
 #include "sweep/study.hpp"
 #include "trace/spec.hpp"
@@ -117,6 +122,9 @@ struct SweepCliConfig
     unsigned eta = 2;
     unsigned rungs = 3;
     std::vector<sweep::GridAxis> gridAxes;
+    // MRC engine knobs
+    unsigned mrcRateLog2 = 0; //!< nonzero = SHARDS-sampled rung 0
+    std::string mrcOutPath;   //!< write the corpus MrcProfile JSON
 };
 
 /** Usage text of the shared flags (callers append their own). */
@@ -131,7 +139,9 @@ inline const char* const kSweepUsage =
     "       genetic: [--tournament N] [--crossover R]\n"
     "                [--mutation R] [--elites N]\n"
     "       halving: [--initial N] [--eta N] [--rungs N]\n"
-    "       grid:    --grid GENE:V1,V2,...  (one axis each)\n";
+    "                [--mrc-rung RATELOG2]\n"
+    "       grid:    --grid GENE:V1,V2,...  (one axis each)\n"
+    "       [--mrc-out FILE]  (corpus miss-ratio-curve profiles)\n";
 
 /**
  * Consume argv[i] (advancing i past any value) if it is a shared
@@ -173,6 +183,11 @@ parseSweepArg(SweepCliConfig& c, int argc, char** argv, int& i)
         c.decodeAhead = true;
     } else if (arg == "--llc-kb") {
         c.llcKb = std::strtoull(next(), nullptr, 10);
+        // Reject impossible geometries at the flag, not mid-study.
+        const std::string why = cache::CacheGeometry::describeInvalid(
+            c.llcKb * 1024, cache::HierarchyConfig{}.llcWays);
+        fatalIf(!why.empty(), ErrorCode::Config,
+                "--llc-kb " + std::to_string(c.llcKb) + ": " + why);
     } else if (arg == "--slots") {
         c.slots =
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
@@ -210,6 +225,14 @@ parseSweepArg(SweepCliConfig& c, int argc, char** argv, int& i)
     } else if (arg == "--rungs") {
         c.rungs =
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--mrc-rung") {
+        c.mrcRateLog2 =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        fatalIf(c.mrcRateLog2 == 0 || c.mrcRateLog2 >= 24,
+                ErrorCode::Config,
+                "--mrc-rung rate log2 must be in [1, 24)");
+    } else if (arg == "--mrc-out") {
+        c.mrcOutPath = next();
     } else if (arg == "--grid") {
         // GENE:V1,V2,... — one axis of the cross product.
         const std::string spec = next();
@@ -236,7 +259,7 @@ struct StudySetup
 {
     sweep::SearchSpace space;
     std::shared_ptr<sweep::CorpusEvaluator> evaluator;
-    std::unique_ptr<sweep::CorpusMpkiObjective> objective;
+    std::unique_ptr<sweep::Objective> objective;
     std::unique_ptr<sweep::Strategy> strategy;
     sweep::StudyConfig studyConfig;
 };
@@ -265,11 +288,20 @@ buildStudySetup(const SweepCliConfig& c)
     s->evaluator = std::make_shared<sweep::CorpusEvaluator>(corpus);
     if (c.objectiveName != "mean" && c.objectiveName != "geomean")
         return nullptr;
-    s->objective = std::make_unique<sweep::CorpusMpkiObjective>(
-        s->evaluator,
+    const auto aggregate =
         c.objectiveName == "mean"
             ? sweep::CorpusMpkiObjective::Aggregate::Mean
-            : sweep::CorpusMpkiObjective::Aggregate::Geomean);
+            : sweep::CorpusMpkiObjective::Aggregate::Geomean;
+    if (c.mrcRateLog2 > 0) {
+        fatalIf(c.strategyName != "halving", ErrorCode::Config,
+                "--mrc-rung needs --strategy halving (it flags the "
+                "halving ladder's rung 0 for sampled evaluation)");
+        s->objective = std::make_unique<mrc::SampledRungObjective>(
+            s->evaluator, c.mrcRateLog2, aggregate);
+    } else {
+        s->objective = std::make_unique<sweep::CorpusMpkiObjective>(
+            s->evaluator, aggregate);
+    }
 
     if (c.strategyName == "genetic") {
         sweep::GeneticStrategy::Config gc;
@@ -297,6 +329,7 @@ buildStudySetup(const SweepCliConfig& c)
         hc.eta = c.eta;
         hc.rungs = c.rungs;
         hc.fullInstructions = c.budgetInsts;
+        hc.mrcRateLog2 = c.mrcRateLog2;
         s->strategy = std::make_unique<sweep::HalvingStrategy>(
             s->space, hc, c.seed);
     } else if (c.strategyName == "grid") {
@@ -322,6 +355,28 @@ buildStudySetup(const SweepCliConfig& c)
         s->studyConfig.resume = true;
     }
     return s;
+}
+
+/**
+ * --mrc-out: one pass of the MRC engine over the full-length corpus
+ * (shards-adj, the sweep's --mrc-rung rate when set), written as the
+ * deterministic mrp.mrc.v1 corpus document. The study's L1/L2 sizing
+ * is reused so profiles and simulations see the same filtered stream.
+ */
+inline void
+maybeWriteMrcProfiles(StudySetup& s, const SweepCliConfig& c)
+{
+    if (c.mrcOutPath.empty())
+        return;
+    mrc::MrcConfig mc;
+    mc.hierarchy = s.evaluator->config().sim.hierarchy;
+    if (c.mrcRateLog2 > 0)
+        mc.rateLog2 = c.mrcRateLog2;
+    const auto profiles =
+        mrc::profileCorpus(s.evaluator->specs(0), mc, c.jobs,
+                           s.evaluator->config().openOptions);
+    runner::writeFile(c.mrcOutPath, mrc::corpusJson(profiles));
+    std::fprintf(stderr, "wrote %s\n", c.mrcOutPath.c_str());
 }
 
 /** Write the deterministic report (stdout or --out) and the human

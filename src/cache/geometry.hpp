@@ -7,6 +7,7 @@
 #define MRP_CACHE_GEOMETRY_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "util/bitfield.hpp"
 #include "util/logging.hpp"
@@ -27,6 +28,31 @@ class CacheGeometry
         : ways_(ways), sets_(computeSets(bytes, ways)),
           setShift_(log2Ceil(sets_))
     {
+    }
+
+    /**
+     * Why (bytes, ways) cannot form a valid geometry, or "" when it
+     * can. The constructor enforces the same rules; this form lets
+     * front-ends (CLI flag parsing, corpus assembly) reject a bad
+     * configuration up front with a typed Config error instead of
+     * aborting mid-run from a cache constructor.
+     */
+    static std::string
+    describeInvalid(Addr bytes, std::uint32_t ways)
+    {
+        if (ways == 0)
+            return "cache must have at least one way";
+        if (bytes == 0 ||
+            bytes % (static_cast<Addr>(kBlockBytes) * ways) != 0)
+            return std::to_string(bytes) +
+                   " bytes is not a positive multiple of " +
+                   std::to_string(kBlockBytes) + "-byte blocks x " +
+                   std::to_string(ways) + " ways";
+        if (!isPowerOfTwo(bytes / kBlockBytes / ways))
+            return std::to_string(bytes) + " bytes / " +
+                   std::to_string(ways) +
+                   " ways yields a non-power-of-two set count";
+        return {};
     }
 
     std::uint32_t ways() const { return ways_; }
@@ -61,13 +87,9 @@ class CacheGeometry
     static std::uint32_t
     computeSets(Addr bytes, std::uint32_t ways)
     {
-        fatalIf(ways == 0, "cache must have at least one way");
-        fatalIf(bytes % (static_cast<Addr>(kBlockBytes) * ways) != 0,
-                "cache size not a multiple of block size * ways");
-        const auto sets = static_cast<std::uint32_t>(
-            bytes / kBlockBytes / ways);
-        fatalIf(!isPowerOfTwo(sets), "set count must be a power of two");
-        return sets;
+        const std::string why = describeInvalid(bytes, ways);
+        fatalIf(!why.empty(), "invalid cache geometry: " + why);
+        return static_cast<std::uint32_t>(bytes / kBlockBytes / ways);
     }
 
     std::uint32_t ways_;

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * One-pass miss-ratio-curve construction over a trace::TraceSource.
+ *
+ * The engine replays the paper's functional L1/L2 path exactly — the
+ * same BasicCache types, fill order, and dirty-victim writebacks as
+ * cache::Hierarchy::access with prefetching off — but replaces the
+ * LLC with an LRU stack model: every LLC demand access records its
+ * stack distance (writeback accesses update recency without being
+ * counted, mirroring how demand MPKI is defined), and one pass yields
+ * the demand miss ratio at EVERY power-of-two capacity at once,
+ * because a fully associative LRU cache of C blocks misses exactly
+ * when the stack distance is >= C.
+ *
+ * Three accounting modes:
+ *  - Exact: Olken-style tree, O(unique blocks) memory.
+ *  - Shards (fixed-rate): hash-threshold spatial sampling at rate
+ *    2^-rateLog2; sampled distances are rate-corrected (d / rate).
+ *  - ShardsAdj (fixed-size): at most maxSamples tracked blocks with a
+ *    self-lowering threshold — bounded memory for arbitrarily large
+ *    corpora.
+ *  Both sampled modes apply the SHARDS_adj expected-minus-actual
+ *  correction (N * rate_final - N_sampled added to the smallest
+ *  distance bucket), which removes most of the small-sample bias.
+ *
+ * Warmup mirrors sim::runSingleCore: cache and stack state are built
+ * from the whole trace, but only accesses after warmupFraction of the
+ * instructions are counted — so profiles are comparable with measured
+ * simulation windows.
+ */
+
+#ifndef MRP_MRC_ENGINE_HPP
+#define MRP_MRC_ENGINE_HPP
+
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "mrc/profile.hpp"
+#include "telemetry/metrics.hpp"
+#include "trace/spec.hpp"
+
+namespace mrp::mrc {
+
+enum class MrcMode {
+    Exact,     //!< exact stack distances, O(unique blocks) memory
+    Shards,    //!< fixed-rate spatial sampling
+    ShardsAdj, //!< fixed-size sampling (bounded memory)
+};
+
+/** Parse "exact" | "shards" | "shards-adj"; throws
+ * FatalError(Config) on anything else. */
+MrcMode parseMrcMode(const std::string& name);
+const char* mrcModeName(MrcMode mode);
+
+struct MrcConfig
+{
+    /** Profiled LLC capacities in bytes; each must be a power-of-two
+     * number of blocks. Empty = the default 16KB..8MB ladder. */
+    std::vector<Addr> sizesBytes;
+    /** L1/L2 filter sizing (llc* fields are ignored — the LLC is the
+     * curve's free variable). */
+    cache::HierarchyConfig hierarchy{};
+    /** Fraction of the instructions warmed before counting; matches
+     * sim::DriverConfig::warmupFraction. */
+    double warmupFraction = 0.25;
+    MrcMode mode = MrcMode::ShardsAdj;
+    // Sampling rate 2^-rateLog2 (sampled modes). 1/16 keeps the
+    // sampled population dense enough for the short synthetic traces;
+    // multi-billion-reference traces tolerate far coarser rates.
+    unsigned rateLog2 = 4;
+    /** Tracked-block cap for ShardsAdj (must be > 0 in that mode). */
+    std::size_t maxSamples = 8192;
+    /**
+     * Optional metrics sink: after the pass the engine publishes
+     * construction gauges (mrc.sampler.peak_occupancy, mrc.sampler.
+     * final_rate, mrc.sampler.evictions, mrc.stack.live_blocks,
+     * mrc.demand_samples) so BENCH/telemetry artifacts capture
+     * profiling cost. Never affects the profile bytes.
+     */
+    telemetry::MetricsRegistry* registry = nullptr;
+};
+
+/** The default profiled-capacity ladder: powers of two, 16KB..8MB. */
+std::vector<Addr> defaultSizeLadder();
+
+/** Consume @p source (from its current position; it is reset first)
+ * and build the profile. Deterministic for any chunking or delivery
+ * mode of the same record sequence. */
+MrcProfile buildProfile(trace::TraceSource& source,
+                        const MrcConfig& cfg);
+
+/**
+ * Profile every spec of @p corpus, `jobs` at a time (0 = hardware
+ * concurrency). Results are in corpus order regardless of the worker
+ * count, so serialized output is byte-identical at any --jobs.
+ */
+std::vector<MrcProfile>
+profileCorpus(const std::vector<trace::TraceSpec>& corpus,
+              const MrcConfig& cfg, unsigned jobs = 1,
+              const trace::TraceSpec::OpenOptions& opts = {});
+
+} // namespace mrp::mrc
+
+#endif // MRP_MRC_ENGINE_HPP

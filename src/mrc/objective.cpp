@@ -1,0 +1,106 @@
+#include "mrc/objective.hpp"
+
+#include <algorithm>
+
+#include "sweep/strategy.hpp"
+#include "trace/sampled_source.hpp"
+#include "util/logging.hpp"
+#include "util/math_util.hpp"
+
+namespace mrp::mrc {
+
+namespace {
+
+/** The scaled-hierarchy validity check, per level. */
+void
+checkScaledLevel(const char* level, Addr bytes, std::uint32_t ways,
+                 unsigned rate_log2)
+{
+    const Addr scaled = bytes >> rate_log2;
+    fatalIf(scaled < static_cast<Addr>(ways) * kBlockBytes,
+            ErrorCode::Config,
+            std::string("sampled rung: ") + level + " (" +
+                std::to_string(bytes) + " bytes, " +
+                std::to_string(ways) + " ways) cannot scale by 2^-" +
+                std::to_string(rate_log2) +
+                " and keep one block per way");
+}
+
+} // namespace
+
+SampledRungObjective::SampledRungObjective(
+    std::shared_ptr<sweep::CorpusEvaluator> evaluator,
+    unsigned rate_log2, Aggregate aggregate)
+    : evaluator_(evaluator), full_(evaluator, aggregate),
+      rateLog2_(rate_log2), aggregate_(aggregate)
+{
+    fatalIf(rateLog2_ == 0 || rateLog2_ >= 24, ErrorCode::Config,
+            "sampled rung rate log2 must be in [1, 24)");
+    const auto& h = evaluator_->config().sim.hierarchy;
+    checkScaledLevel("L1", h.l1Bytes, h.l1Ways, rateLog2_);
+    checkScaledLevel("L2", h.l2Bytes, h.l2Ways, rateLog2_);
+    checkScaledLevel("LLC", h.llcBytes, h.llcWays, rateLog2_);
+}
+
+std::string
+SampledRungObjective::name() const
+{
+    return full_.name() + "+mrc-rung-r" + std::to_string(rateLog2_);
+}
+
+std::vector<runner::RunRequest>
+SampledRungObjective::requests(const core::MpppbConfig& cfg,
+                               InstCount budget_insts)
+{
+    if ((budget_insts & sweep::kSampledBudgetFlag) == 0)
+        return full_.requests(cfg, budget_insts);
+    const InstCount budget =
+        budget_insts & ~sweep::kSampledBudgetFlag;
+    const auto& ts = evaluator_->specs(budget);
+    const auto spec = runner::PolicySpec::mpppb(cfg);
+    // The SHARDS scaling: sampled stream against a hierarchy shrunk by
+    // the same rate. Every level stays a valid power-of-two geometry
+    // (checked at construction).
+    sim::SingleCoreConfig sim = evaluator_->config().sim;
+    sim.hierarchy.l1Bytes >>= rateLog2_;
+    sim.hierarchy.l2Bytes >>= rateLog2_;
+    sim.hierarchy.llcBytes >>= rateLog2_;
+    std::vector<runner::RunRequest> out;
+    out.reserve(ts.size());
+    for (const auto& t : ts) {
+        out.push_back(runner::RunRequest::singleCore(
+            trace::TraceSpec::sampled(t, rateLog2_), spec, sim));
+        out.back().openOptions = evaluator_->config().openOptions;
+    }
+    return out;
+}
+
+sweep::Score
+SampledRungObjective::score(
+    const std::vector<const runner::RunResult*>& results)
+{
+    fatalIf(results.empty(), "scoring an empty result set");
+    // requests() and score() may pair across cache hits or resume, so
+    // sampled batches are recognized statelessly: every sampled spec's
+    // benchmark name carries the "~s<rate>" marker.
+    const std::string marker = std::string(trace::kSampledNameMarker) +
+                               std::to_string(rateLog2_);
+    if (!results.front()->benchmark.ends_with(marker))
+        return full_.score(results);
+    const double scale = static_cast<double>(InstCount{1} << rateLog2_);
+    std::vector<double> mpkis;
+    mpkis.reserve(results.size());
+    for (const auto* r : results) {
+        const double corrected = r->mpki * scale;
+        mpkis.push_back(aggregate_ == Aggregate::Geomean
+                            ? std::max(corrected,
+                                       sweep::kGeomeanMpkiFloor)
+                            : corrected);
+    }
+    const double agg = aggregate_ == Aggregate::Geomean
+                           ? geomean(mpkis)
+                           : mean(mpkis);
+    return {-agg * kSampledFitnessDiscount, agg};
+}
+
+} // namespace mrp::mrc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The MRC engine's sweep adapter: a sampling-aware Objective that
+ * turns SHARDS spatial sampling into successive halving's cheap rung.
+ *
+ * SampledRungObjective wraps the standard corpus-MPKI objective. A
+ * candidate whose budget carries sweep::kSampledBudgetFlag (set by
+ * HalvingStrategy rung 0 when Config::mrcRateLog2 > 0) is evaluated
+ * on SHARDS-sampled traces (TraceSpec::sampled) against a hierarchy
+ * scaled by the same rate — the SHARDS observation that a workload
+ * sampled at rate R behaves on a cache of size R*C like the full
+ * workload on C. Demand misses scale by ~R while instructions are
+ * exact, so the raw sampled MPKI is ~R times the full one; score()
+ * corrects by 1/R so fitnesses stay on one scale across rungs.
+ *
+ * The corrected sampled fitness is additionally discounted by
+ * kSampledFitnessDiscount (a uniform positive factor, so rung-internal
+ * ranking is untouched) so the study's global best — and hence the
+ * report's "best" block — is always decided by full-fidelity runs,
+ * never by a lucky sampling estimate.
+ */
+
+#ifndef MRP_MRC_OBJECTIVE_HPP
+#define MRP_MRC_OBJECTIVE_HPP
+
+#include <memory>
+
+#include "sweep/objective.hpp"
+
+namespace mrp::mrc {
+
+/** Multiplied into (negative) sampled fitnesses; > 1 keeps any
+ * sampled estimate below its own full-fidelity fitness unless the
+ * sampler underestimates MPKI by more than 20%. */
+inline constexpr double kSampledFitnessDiscount = 1.25;
+
+class SampledRungObjective : public sweep::Objective
+{
+  public:
+    using Aggregate = sweep::CorpusMpkiObjective::Aggregate;
+
+    SampledRungObjective(
+        std::shared_ptr<sweep::CorpusEvaluator> evaluator,
+        unsigned rate_log2,
+        Aggregate aggregate = Aggregate::Geomean);
+
+    std::string name() const override;
+    std::vector<runner::RunRequest>
+    requests(const core::MpppbConfig& cfg,
+             InstCount budget_insts) override;
+    sweep::Score score(
+        const std::vector<const runner::RunResult*>& results) override;
+
+    unsigned rateLog2() const { return rateLog2_; }
+
+  private:
+    std::shared_ptr<sweep::CorpusEvaluator> evaluator_;
+    sweep::CorpusMpkiObjective full_;
+    unsigned rateLog2_;
+    Aggregate aggregate_;
+};
+
+} // namespace mrp::mrc
+
+#endif // MRP_MRC_OBJECTIVE_HPP

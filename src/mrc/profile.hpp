@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MrcProfile: the schema-versioned, deterministic JSON artifact one
+ * miss-ratio-curve pass produces for one workload.
+ *
+ * Determinism contract: the profile is a pure function of the record
+ * sequence and the MrcConfig — never of delivery mode, chunking,
+ * --jobs, or wall clock — so its serialized bytes are comparable
+ * across machines and reruns, and CI can diff them.
+ */
+
+#ifndef MRP_MRC_PROFILE_HPP
+#define MRP_MRC_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mrp::mrc {
+
+/** Current schema tag written into every profile. */
+inline constexpr const char* kMrcSchema = "mrp.mrc.v1";
+
+/** One point of the curve: the modeled LLC capacity and the predicted
+ * demand miss ratio at that capacity. */
+struct MrcPoint
+{
+    Addr bytes = 0;
+    double missRatio = 0.0;
+};
+
+struct MrcProfile
+{
+    std::string benchmark;
+    std::string mode; //!< "exact" | "shards" | "shards-adj"
+    /** Instructions in the measured (post-warmup) window. */
+    InstCount instructions = 0;
+    /** LLC demand accesses in the measured window (the full stream —
+     * what a simulation's llcDemandAccesses reports). */
+    std::uint64_t demandSamples = 0;
+    /** Demand accesses that entered the sampled histogram (equals
+     * demandSamples in exact mode). */
+    std::uint64_t sampledSamples = 0;
+    /** Sampled demand accesses that were the first touch of their
+     * block (misses at every capacity). */
+    std::uint64_t coldSamples = 0;
+    /** Final effective sampling rate (1.0 in exact mode). */
+    double samplingRate = 1.0;
+    /** Fixed-size cap (0 = unbounded). */
+    std::size_t maxSamples = 0;
+    /** Peak tracked sampled blocks over the pass. */
+    std::size_t samplerPeakOccupancy = 0;
+    /** Blocks dropped by fixed-size threshold lowering. */
+    std::uint64_t samplerEvictions = 0;
+    /** Ascending by bytes; one per profiled capacity. */
+    std::vector<MrcPoint> points;
+
+    /** Miss ratio at @p bytes; throws FatalError(Config) if that
+     * capacity was not profiled. */
+    double missRatioAt(Addr bytes) const;
+
+    /** Deterministic JSON (schema kMrcSchema), newline-terminated. */
+    std::string toJson() const;
+};
+
+/** Deterministic JSON for a whole corpus of profiles, in input order:
+ * `{"schema": ..., "profiles": [...]}`, newline-terminated. */
+std::string corpusJson(const std::vector<MrcProfile>& profiles);
+
+} // namespace mrp::mrc
+
+#endif // MRP_MRC_PROFILE_HPP

@@ -1,0 +1,45 @@
+#include "mrc/shards.hpp"
+
+#include "util/logging.hpp"
+
+namespace mrp::mrc {
+
+ShardsSampler::ShardsSampler(unsigned rate_log2,
+                             std::size_t max_samples)
+    : threshold_(kShardsModulus >> rate_log2),
+      maxSamples_(max_samples)
+{
+    fatalIf(rate_log2 >= 24, ErrorCode::Config,
+            "SHARDS rate log2 must be below 24 (the hash modulus)");
+    fatalIf(threshold_ == 0, ErrorCode::Config,
+            "SHARDS sampling rate underflows the hash modulus");
+}
+
+std::vector<std::uint64_t>
+ShardsSampler::insert(std::uint64_t block_key)
+{
+    ++tracked_;
+    if (maxSamples_ == 0) {
+        maxTracked_ = std::max(maxTracked_, tracked_);
+        return {};
+    }
+    heap_.push({shardsHash(block_key), block_key});
+    std::vector<std::uint64_t> evicted;
+    if (heap_.size() > maxSamples_) {
+        // Evict the largest hash and lower the threshold to it; also
+        // sweep any colliding entries at the same hash, so the subset
+        // property "tracked iff hash < threshold" stays exact.
+        const std::uint64_t h = heap_.top().hash;
+        threshold_ = h;
+        while (!heap_.empty() && heap_.top().hash == h) {
+            evicted.push_back(heap_.top().key);
+            heap_.pop();
+            --tracked_;
+            ++evictions_;
+        }
+    }
+    maxTracked_ = std::max(maxTracked_, tracked_);
+    return evicted;
+}
+
+} // namespace mrp::mrc

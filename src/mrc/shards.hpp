@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SHARDS spatial sampling for miss-ratio-curve construction
+ * (Waldspurger et al., FAST'15): a block is sampled iff
+ * shardsHash(block) < threshold, so sampling is a deterministic
+ * property of the block address — every access to a sampled block is
+ * seen, which is what keeps sampled reuse distances meaningful.
+ *
+ * Two variants share this class:
+ *  - fixed-rate: the threshold never moves; rate() is 2^-rateLog2 for
+ *    the whole pass.
+ *  - fixed-size (SHARDS_adj): at most maxSamples blocks are tracked.
+ *    When a new block would exceed the cap, the tracked block with the
+ *    LARGEST hash is evicted and the threshold drops to that hash, so
+ *    the surviving set is exactly "every block with hash < T" for the
+ *    new T — the subset property that makes the shrinking sample
+ *    self-consistent.
+ */
+
+#ifndef MRP_MRC_SHARDS_HPP
+#define MRP_MRC_SHARDS_HPP
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace mrp::mrc {
+
+class ShardsSampler
+{
+  public:
+    /**
+     * @param rate_log2 initial sampling rate 2^-rate_log2
+     * @param max_samples cap on tracked blocks; 0 = unbounded
+     *        (fixed-rate variant)
+     */
+    ShardsSampler(unsigned rate_log2, std::size_t max_samples);
+
+    /** Is @p block_key sampled at the current threshold? Pure test —
+     * call before touching the block's stack state. */
+    bool
+    keeps(std::uint64_t block_key) const
+    {
+        return shardsHash(block_key) < threshold_;
+    }
+
+    /**
+     * Register a newly tracked block (first sampled touch). In the
+     * fixed-size variant this may lower the threshold and evict
+     * tracked blocks; the caller must erase every returned key from
+     * its stack tracker. The new block itself may be among them.
+     */
+    std::vector<std::uint64_t> insert(std::uint64_t block_key);
+
+    /** Effective sampling rate at the current threshold. */
+    double
+    rate() const
+    {
+        return static_cast<double>(threshold_) /
+               static_cast<double>(kShardsModulus);
+    }
+
+    std::size_t occupancy() const { return tracked_; }
+    std::size_t maxOccupancy() const { return maxTracked_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::size_t maxSamples() const { return maxSamples_; }
+
+  private:
+    struct HeapEntry
+    {
+        std::uint64_t hash;
+        std::uint64_t key;
+        bool
+        operator<(const HeapEntry& o) const
+        {
+            // Max-heap by hash; ties broken by key so eviction order
+            // is deterministic even for colliding hashes.
+            return hash != o.hash ? hash < o.hash : key < o.key;
+        }
+    };
+
+    std::uint64_t threshold_;
+    std::size_t maxSamples_;
+    std::size_t tracked_ = 0;
+    std::size_t maxTracked_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::priority_queue<HeapEntry> heap_; //!< fixed-size variant only
+};
+
+} // namespace mrp::mrc
+
+#endif // MRP_MRC_SHARDS_HPP

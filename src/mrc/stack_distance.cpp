@@ -1,0 +1,90 @@
+#include "mrc/stack_distance.hpp"
+
+#include <algorithm>
+
+namespace mrp::mrc {
+
+namespace {
+constexpr std::size_t kInitialCapacity = 1024;
+} // namespace
+
+void
+StackDistanceTracker::add(std::size_t slot, std::int64_t delta)
+{
+    for (std::size_t i = slot + 1; i < tree_.size(); i += i & (~i + 1))
+        tree_[i] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(tree_[i]) + delta);
+}
+
+std::uint64_t
+StackDistanceTracker::prefix(std::size_t n) const
+{
+    // Sum of presence flags over slots [0, n).
+    std::uint64_t s = 0;
+    for (std::size_t i = n; i > 0; i -= i & (~i + 1))
+        s += tree_[i];
+    return s;
+}
+
+void
+StackDistanceTracker::rebuild(std::size_t capacity)
+{
+    // Compact live keys to a dense prefix, preserving recency order.
+    std::vector<std::pair<std::size_t, std::uint64_t>> live;
+    live.reserve(pos_.size());
+    for (const auto& [key, slot] : pos_)
+        live.emplace_back(slot, key);
+    std::sort(live.begin(), live.end());
+    tree_.assign(capacity + 1, 0);
+    nextSlot_ = 0;
+    for (const auto& [slot, key] : live) {
+        (void)slot;
+        pos_[key] = nextSlot_;
+        add(nextSlot_, +1);
+        ++nextSlot_;
+    }
+}
+
+void
+StackDistanceTracker::ensureSlot()
+{
+    if (tree_.size() <= 1)
+        rebuild(kInitialCapacity);
+    else if (nextSlot_ + 1 >= tree_.size())
+        // Keep the slot array at least 2x the live count so appends
+        // stay amortized O(1) even when nothing is ever evicted.
+        rebuild(std::max(kInitialCapacity, 4 * pos_.size()));
+}
+
+std::uint64_t
+StackDistanceTracker::touch(std::uint64_t key)
+{
+    std::uint64_t distance = kCold;
+    const auto it = pos_.find(key);
+    if (it != pos_.end()) {
+        // Distinct keys above = live keys at slots greater than ours.
+        // Remove the key before ensureSlot(): a compaction there
+        // rebuilds the tree from pos_, so a half-moved key would be
+        // counted twice.
+        distance = pos_.size() - prefix(it->second + 1);
+        add(it->second, -1);
+        pos_.erase(it);
+    }
+    ensureSlot();
+    const std::size_t top = nextSlot_++;
+    add(top, +1);
+    pos_.emplace(key, top);
+    return distance;
+}
+
+void
+StackDistanceTracker::erase(std::uint64_t key)
+{
+    const auto it = pos_.find(key);
+    if (it == pos_.end())
+        return;
+    add(it->second, -1);
+    pos_.erase(it);
+}
+
+} // namespace mrp::mrc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exact LRU stack-distance tracking (Olken's algorithm) at bounded
+ * memory: a Fenwick tree over time-ordered slots plus a key→slot map.
+ *
+ * touch(key) returns how many DISTINCT keys were touched since the
+ * previous touch of `key` — the key's depth-minus-one in a true-LRU
+ * stack — and moves the key to the top. A fully associative LRU cache
+ * of capacity C blocks therefore hits exactly when the returned
+ * distance d satisfies d < C, which is how one pass yields the miss
+ * ratio at every capacity simultaneously.
+ *
+ * Memory is O(live keys): each touch appends a new top slot, and when
+ * the slot array fills, the tracker compacts the live keys back to a
+ * dense prefix (amortized O(1) slots per touch, O(log n) per
+ * operation).
+ */
+
+#ifndef MRP_MRC_STACK_DISTANCE_HPP
+#define MRP_MRC_STACK_DISTANCE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mrp::mrc {
+
+class StackDistanceTracker
+{
+  public:
+    /** Returned for the first touch of a key. */
+    static constexpr std::uint64_t kCold = ~0ull;
+
+    /** Move @p key to the stack top; returns the number of distinct
+     * keys above it (kCold on first touch). */
+    std::uint64_t touch(std::uint64_t key);
+
+    /** Forget @p key entirely (SHARDS fixed-size eviction); a later
+     * touch is cold again. No-op if absent. */
+    void erase(std::uint64_t key);
+
+    /** Distinct keys currently tracked. */
+    std::size_t liveKeys() const { return pos_.size(); }
+
+  private:
+    void ensureSlot();
+    void rebuild(std::size_t capacity);
+    void add(std::size_t slot, std::int64_t delta);
+    std::uint64_t prefix(std::size_t n) const;
+
+    /** Fenwick tree over slots: tree_ is 1-based, bit i covers the
+     * presence flag of slot i-1. */
+    std::vector<std::uint64_t> tree_;
+    std::unordered_map<std::uint64_t, std::size_t> pos_;
+    std::size_t nextSlot_ = 0;
+};
+
+} // namespace mrp::mrc
+
+#endif // MRP_MRC_STACK_DISTANCE_HPP

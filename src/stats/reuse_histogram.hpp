@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared reuse-distance accounting primitives.
+ *
+ * Two consumers need the same bookkeeping over a stream of block
+ * touches: the telemetry ReuseDistanceTracker (temporal distances into
+ * the registry's power-of-two Histogram) and the miss-ratio-curve
+ * engine in src/mrc (stack distances with SHARDS rate-corrected
+ * weights). The pieces they share live here:
+ *
+ *  - ReuseDistanceCounter: the last-access map + access clock that
+ *    turns a key stream into temporal distances, with the invariant
+ *    `reuse observations + cold observations == accesses observed`
+ *    that the telemetry integration test reconciles against
+ *    LevelStats.
+ *  - Log2Histogram: a floor-log2 bucketed histogram with double
+ *    weights whose bucket boundaries are exactly the powers of two, so
+ *    "total weight strictly below 2^m" — the query a miss-ratio curve
+ *    evaluates at every power-of-two cache size — is an exact prefix
+ *    sum, and SHARDS corrections can add fractional weight.
+ *
+ * (The registry Histogram in telemetry/metrics.hpp is upper-INCLUSIVE
+ * per bucket — bounds[i-1] < v <= bounds[i] — which cannot answer the
+ * strict "below 2^m" prefix query; that is why the MRC engine needs
+ * this second bucketing rather than reusing the registry type.)
+ */
+
+#ifndef MRP_STATS_REUSE_HISTOGRAM_HPP
+#define MRP_STATS_REUSE_HISTOGRAM_HPP
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mrp::stats {
+
+/**
+ * Temporal reuse-distance counter: for each observed key, the number
+ * of other observations between consecutive observations of that key.
+ * Every observe() is either a reuse (finite distance) or the first
+ * touch of its key (kCold), so
+ * `accesses() == coldAccesses() + reuse observations` always holds.
+ */
+class ReuseDistanceCounter
+{
+  public:
+    /** Returned for the first touch of a key. */
+    static constexpr std::uint64_t kCold = ~0ull;
+
+    /** Observe one access; kCold on first touch, else the count of
+     * observations since the previous access to @p key. */
+    std::uint64_t
+    observe(std::uint64_t key)
+    {
+        ++clock_;
+        const auto [it, inserted] = lastAccess_.try_emplace(key, clock_);
+        if (inserted) {
+            ++cold_;
+            return kCold;
+        }
+        const std::uint64_t d = clock_ - it->second - 1;
+        it->second = clock_;
+        return d;
+    }
+
+    std::uint64_t accesses() const { return clock_; }
+    std::uint64_t coldAccesses() const { return cold_; }
+    /** Distinct keys seen (the working-set size so far). */
+    std::size_t uniqueKeys() const { return lastAccess_.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> lastAccess_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t cold_ = 0;
+};
+
+/**
+ * Floor-log2 histogram over unsigned values with double weights.
+ * Bucket 0 holds value 0; bucket k >= 1 holds values in
+ * [2^(k-1), 2^k), clamped into the last bucket above 2^maxExp.
+ */
+class Log2Histogram
+{
+  public:
+    /** Buckets cover values up to 2^maxExp (larger values clamp). */
+    explicit Log2Histogram(unsigned max_exp = 48)
+        : buckets_(static_cast<std::size_t>(max_exp) + 2, 0.0)
+    {
+    }
+
+    std::size_t
+    bucketOf(std::uint64_t value) const
+    {
+        if (value == 0)
+            return 0;
+        const auto b = static_cast<std::size_t>(std::bit_width(value));
+        return b < buckets_.size() ? b : buckets_.size() - 1;
+    }
+
+    void
+    record(std::uint64_t value, double weight = 1.0)
+    {
+        buckets_[bucketOf(value)] += weight;
+        total_ += weight;
+    }
+
+    /** Add weight directly to the value-0 bucket — the SHARDS_adj
+     * expected-minus-actual correction path (may be negative). */
+    void
+    addToFirstBucket(double weight)
+    {
+        buckets_[0] += weight;
+        total_ += weight;
+    }
+
+    /** Total weight of values strictly below 2^m (exact: the bucket
+     * boundaries are the powers of two). */
+    double
+    weightBelowPow2(unsigned m) const
+    {
+        double w = 0.0;
+        const std::size_t end =
+            std::min<std::size_t>(m + 1, buckets_.size());
+        for (std::size_t i = 0; i < end; ++i)
+            w += buckets_[i];
+        return w;
+    }
+
+    double total() const { return total_; }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    double bucketWeight(std::size_t i) const { return buckets_[i]; }
+
+  private:
+    std::vector<double> buckets_;
+    double total_ = 0.0;
+};
+
+} // namespace mrp::stats
+
+#endif // MRP_STATS_REUSE_HISTOGRAM_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/geometry.hpp"
 #include "trace/workloads.hpp"
 #include "util/logging.hpp"
 #include "util/math_util.hpp"
@@ -15,6 +16,24 @@ CorpusEvaluator::CorpusEvaluator(const CorpusConfig& cfg)
             "corpus evaluator needs training workloads");
     fatalIf(cfg_.fullInstructions == 0,
             "corpus evaluator needs a trace length");
+    // Validate the hierarchy geometry up front with a typed error:
+    // every candidate run shares it, so a bad --llc-kb would otherwise
+    // abort deep inside the first simulation's cache constructor.
+    const auto& h = cfg_.sim.hierarchy;
+    const struct
+    {
+        const char* level;
+        Addr bytes;
+        std::uint32_t ways;
+    } levels[] = {{"L1", h.l1Bytes, h.l1Ways},
+                  {"L2", h.l2Bytes, h.l2Ways},
+                  {"LLC", h.llcBytes, h.llcWays}};
+    for (const auto& l : levels) {
+        const std::string why =
+            cache::CacheGeometry::describeInvalid(l.bytes, l.ways);
+        fatalIf(!why.empty(), ErrorCode::Config,
+                std::string("corpus ") + l.level + " geometry: " + why);
+    }
     if (!cfg_.corpus.empty()) {
         fullCorpus_ = cfg_.corpus;
     } else {

@@ -137,6 +137,8 @@ HalvingStrategy::HalvingStrategy(const SearchSpace& space,
     fatalIf(cfg_.rungs > 1 && cfg_.fullInstructions == 0,
             "HalvingStrategy needs fullInstructions to derive the "
             "short-rung budgets");
+    fatalIf(cfg_.mrcRateLog2 >= 24,
+            "HalvingStrategy sampled-rung rate log2 must be < 24");
 }
 
 InstCount
@@ -157,10 +159,14 @@ HalvingStrategy::ask()
         return {};
     std::vector<Candidate> out;
     if (rung_ == 0) {
+        // With a sampled rung configured, rung 0 keeps its budget but
+        // flags it: the objective evaluates under SHARDS sampling.
+        const InstCount flag =
+            cfg_.mrcRateLog2 > 0 ? kSampledBudgetFlag : 0;
         out.reserve(cfg_.initial);
         for (unsigned i = 0; i < cfg_.initial; ++i)
             out.push_back({space_.randomGenome(rng_),
-                           budgetForRung(0)});
+                           budgetForRung(0) | flag});
     } else {
         out.reserve(survivors_.size());
         for (const auto& g : survivors_)

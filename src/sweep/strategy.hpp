@@ -43,6 +43,18 @@ struct Candidate
     InstCount budgetInsts = 0;
 };
 
+/**
+ * Budget sentinel: a rung budget with this bit set asks the objective
+ * to evaluate the candidate under SHARDS spatial sampling (the MRC
+ * engine's cheap low rung) instead of merely shortening the trace.
+ * The Study treats budgets opaquely — a sampled and a full evaluation
+ * of the same genome occupy distinct fitness-cache keys for free —
+ * and only sampling-aware objectives (mrc::SampledRungObjective)
+ * interpret the bit; plain objectives must never see it. Far above
+ * any real instruction budget (< 2^53 for exact JSON round-trips).
+ */
+inline constexpr InstCount kSampledBudgetFlag = InstCount{1} << 62;
+
 /** Outcome of one candidate, as reported back to the strategy. */
 struct Evaluated
 {
@@ -143,6 +155,15 @@ class HalvingStrategy : public Strategy
         unsigned eta = 2;       //!< promotion factor
         unsigned rungs = 3;     //!< budget ladder length
         InstCount fullInstructions = 0; //!< objective's full length
+        /**
+         * Nonzero = rung 0 runs under SHARDS sampling at rate
+         * 2^-mrcRateLog2: its budgets carry kSampledBudgetFlag, so a
+         * sampling-aware objective (mrc::SampledRungObjective) streams
+         * sampled traces through a rate-scaled hierarchy — an
+         * order-of-magnitude cheaper first cut with near-identical
+         * ranking. Requires such an objective; must be in [0, 24).
+         */
+        unsigned mrcRateLog2 = 0;
     };
 
     HalvingStrategy(const SearchSpace& space, const Config& cfg,

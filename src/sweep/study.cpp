@@ -430,7 +430,12 @@ Study::reportJson(const StudyResult& result) const
         out += ", " + json::key("generation") +
                std::to_string(o.generation);
         out += ", " + json::key("budget") +
-               std::to_string(o.candidate.budgetInsts);
+               std::to_string(o.candidate.budgetInsts &
+                              ~kSampledBudgetFlag);
+        out += ", " + json::key("sampled") +
+               ((o.candidate.budgetInsts & kSampledBudgetFlag) != 0
+                    ? "true"
+                    : "false");
         out += ", " + json::key("cached") +
                (o.cached ? "true" : "false");
         if (o.ok) {

@@ -14,15 +14,12 @@ ReuseDistanceTracker::ReuseDistanceTracker(MetricsRegistry& registry)
 void
 ReuseDistanceTracker::observe(std::uint64_t blockKey)
 {
-    ++clock_;
-    const auto [it, inserted] = lastAccess_.try_emplace(blockKey, clock_);
-    if (inserted) {
+    const std::uint64_t d = counter_.observe(blockKey);
+    if (d == stats::ReuseDistanceCounter::kCold) {
         cold_->add();
         return;
     }
-    distance_->record(
-        static_cast<std::int64_t>(clock_ - it->second - 1));
-    it->second = clock_;
+    distance_->record(static_cast<std::int64_t>(d));
 }
 
 Session::Session(const TelemetryConfig& cfg)

@@ -15,8 +15,8 @@
 #define MRP_TELEMETRY_SESSION_HPP
 
 #include <memory>
-#include <unordered_map>
 
+#include "stats/reuse_histogram.hpp"
 #include "telemetry/config.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -51,7 +51,10 @@ struct RunTelemetry
  * first touch of its block (cold counter), so
  * `llc.reuse_distance.total + llc.reuse.cold_accesses` always equals
  * the accesses observed — the reconciliation the integration test
- * checks against LevelStats.
+ * checks against LevelStats. The distance bookkeeping itself is the
+ * shared stats::ReuseDistanceCounter (also the substrate of the MRC
+ * engine's samplers); this class only routes its output into the
+ * registry's Histogram/Counter.
  */
 class ReuseDistanceTracker
 {
@@ -64,8 +67,7 @@ class ReuseDistanceTracker
   private:
     Histogram* distance_;
     Counter* cold_;
-    std::unordered_map<std::uint64_t, std::uint64_t> lastAccess_;
-    std::uint64_t clock_ = 0;
+    stats::ReuseDistanceCounter counter_;
 };
 
 /** Per-run telemetry owner; see file comment for the lifecycle. */

@@ -1,0 +1,40 @@
+#include "trace/sampled_source.hpp"
+
+#include "util/logging.hpp"
+
+namespace mrp::trace {
+
+SampledTraceSource::SampledTraceSource(
+    std::unique_ptr<TraceSource> child, unsigned rate_log2)
+    : child_(std::move(child)), rateLog2_(rate_log2)
+{
+    fatalIf(!child_, ErrorCode::Config,
+            "sampled source needs a child source");
+    fatalIf(rateLog2_ == 0 || rateLog2_ >= 24, ErrorCode::Config,
+            "sampling rate log2 must be in [1, 24)");
+    name_ = child_->name() + kSampledNameMarker +
+            std::to_string(rateLog2_);
+}
+
+std::span<const Record>
+SampledTraceSource::nextChunk()
+{
+    const auto in = child_->nextChunk();
+    if (in.empty())
+        return {};
+    buf_.clear();
+    buf_.reserve(in.size());
+    for (const Record& r : in) {
+        if (r.isMem() && !shardsKeep(blockAddr(r.addr()), rateLog2_)) {
+            // Keep the record's one-instruction weight so the stream's
+            // instruction identity (warmup windows, MPKI denominators)
+            // is exactly the child's.
+            buf_.push_back(Record::nonMem(r.pc(), 1));
+            continue;
+        }
+        buf_.push_back(r);
+    }
+    return {buf_.data(), buf_.size()};
+}
+
+} // namespace mrp::trace

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <utility>
 
+#include "trace/sampled_source.hpp"
 #include "trace/wire_format.hpp"
 #include "trace/workloads.hpp"
 #include "util/json_writer.hpp"
@@ -175,6 +176,26 @@ TraceSpec::phaseMix(std::string name, InstCount instructions,
 }
 
 TraceSpec
+TraceSpec::sampled(TraceSpec child, unsigned rate_log2)
+{
+    fatalIf(child.kind_ == Kind::Borrowed, ErrorCode::Config,
+            "sampled specs need a self-contained child spec, not a "
+            "borrowed trace");
+    fatalIf(child.kind_ == Kind::Sampled, ErrorCode::Config,
+            "sampled specs do not nest ('" + child.name_ + "')");
+    fatalIf(rate_log2 == 0 || rate_log2 >= 24, ErrorCode::Config,
+            "sampling rate log2 must be in [1, 24)");
+    TraceSpec s;
+    s.kind_ = Kind::Sampled;
+    s.name_ = child.name_ + kSampledNameMarker +
+              std::to_string(rate_log2);
+    s.instructions_ = child.instructions_;
+    s.rateLog2_ = rate_log2;
+    s.children_.push_back(std::move(child));
+    return s;
+}
+
+TraceSpec
 TraceSpec::withInstructions(InstCount instructions) const
 {
     fatalIf(kind_ == Kind::Borrowed || kind_ == Kind::File,
@@ -183,6 +204,11 @@ TraceSpec::withInstructions(InstCount instructions) const
                 std::string(kind_ == Kind::File ? "file"
                                                 : "borrowed") +
                 " trace spec ('" + name_ + "')");
+    // A sampled spec resizes through its child, so the regenerated
+    // stream and the derived name stay consistent.
+    if (kind_ == Kind::Sampled)
+        return sampled(children_[0].withInstructions(instructions),
+                       rateLog2_);
     TraceSpec s = *this;
     s.instructions_ = instructions;
     s.zipf_.instructions = instructions;
@@ -288,6 +314,10 @@ TraceSpec::toJson() const
         out += "]}";
         return out;
     }
+    case Kind::Sampled:
+        return "{\"kind\": \"sampled\", \"rateLog2\": " +
+               std::to_string(rateLog2_) +
+               ", \"child\": " + children_[0].toJson() + "}";
     }
     fatalIf(true, ErrorCode::Internal, "unreachable trace spec kind");
     return {};
@@ -353,6 +383,13 @@ TraceSpec::fromJson(const json::Value& v, const std::string& what)
             children.push_back(fromJson(k, what));
         return phaseMix(name, insts, phase, std::move(children));
     }
+    if (kind == "sampled") {
+        const auto rate =
+            static_cast<unsigned>(requireU64(v, "rateLog2", what));
+        const auto& child =
+            v.require("child", json::Value::Type::Object, what);
+        return sampled(fromJson(child, what), rate);
+    }
     fatalIf(true, ErrorCode::CorruptInput,
             what + ": unknown trace spec kind '" + kind + "'");
     return TraceSpec();
@@ -400,6 +437,16 @@ TraceSpec::open(const OpenOptions& opts) const
             kids.push_back(c.open());
         src = makePhaseMix(name_, instructions_, phaseInsts_,
                            std::move(kids), chunk);
+        break;
+    }
+    case Kind::Sampled: {
+        // The child streams inline; decode-ahead (if requested) wraps
+        // the sampled stream below so the hand-off buffers final
+        // records, not soon-to-be-rewritten ones.
+        OpenOptions childOpts = opts;
+        childOpts.decodeAhead = false;
+        src = std::make_unique<SampledTraceSource>(
+            children_[0].open(childOpts), rateLog2_);
         break;
     }
     }

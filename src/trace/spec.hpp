@@ -44,6 +44,7 @@ class TraceSpec
         Zipf,     //!< streaming Zipf key-popularity family
         BlockIo,  //!< streaming block-I/O / storage-cache family
         PhaseMix, //!< phase-shifting combinator over child specs
+        Sampled,  //!< SHARDS-sampled decorator over one child spec
     };
 
     /** Delivery knobs — affect how bytes arrive, never what they are
@@ -72,6 +73,15 @@ class TraceSpec
     static TraceSpec phaseMix(std::string name, InstCount instructions,
                               InstCount phase_insts,
                               std::vector<TraceSpec> children);
+    /**
+     * SHARDS-sampled view of @p child at rate 2^-rate_log2: memory
+     * records whose block fails the hash threshold are rewritten to
+     * one-instruction non-memory records (instructions() stays equal
+     * to the child's), so the sampled stream drives a hierarchy scaled
+     * by the same rate — the sweep's cheap rung. rate_log2 must be in
+     * [1, 24); the child must be self-contained (not Borrowed).
+     */
+    static TraceSpec sampled(TraceSpec child, unsigned rate_log2);
 
     Kind kind() const { return kind_; }
 
@@ -126,7 +136,8 @@ class TraceSpec
     ZipfParams zipf_;        //!< Zipf
     BlockIoParams blockIo_;  //!< BlockIo
     InstCount phaseInsts_ = 0;          //!< PhaseMix
-    std::vector<TraceSpec> children_;   //!< PhaseMix
+    std::vector<TraceSpec> children_;   //!< PhaseMix / Sampled (one)
+    unsigned rateLog2_ = 0;             //!< Sampled
 };
 
 } // namespace mrp::trace

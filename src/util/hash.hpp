@@ -43,6 +43,32 @@ hashToIndex(std::uint64_t value, std::uint32_t table_size)
 }
 
 /**
+ * SHARDS spatial-sampling hash domain: block keys hash into
+ * [0, kShardsModulus) and a key is sampled iff its hash is below the
+ * sampler's threshold T, giving sampling rate T / kShardsModulus.
+ * Lowering T always selects a SUBSET of the previously sampled keys —
+ * the property the fixed-size (SHARDS_adj) variant relies on — and
+ * every consumer (the MRC samplers, trace::TraceSpec::sampled) uses
+ * THIS hash so a block's sampled-or-not fate is global and
+ * deterministic.
+ */
+inline constexpr std::uint64_t kShardsModulus = 1ull << 24;
+
+/** Hash of a block key in the SHARDS sampling domain. */
+constexpr std::uint64_t
+shardsHash(std::uint64_t block_key)
+{
+    return mix64(block_key) & (kShardsModulus - 1);
+}
+
+/** True iff @p block_key is sampled at rate 2^-rate_log2. */
+constexpr bool
+shardsKeep(std::uint64_t block_key, unsigned rate_log2)
+{
+    return shardsHash(block_key) < (kShardsModulus >> rate_log2);
+}
+
+/**
  * The i-th of a family of independent hash functions, used by the
  * skewed tables of SDBP.
  */
