@@ -19,6 +19,8 @@
  *                  [--kill-after-leases N]
  *                  [--abort-after-completions N]
  *                  [--metrics-out FILE]
+ *                  [--fleet-trace-out FILE] [--fleet-metrics-out FILE]
+ *                  [--straggler-k K]
  *
  * --worker-bin defaults to "mrp_worker" next to this binary. --queue
  * is the durable queue journal: it carries a fingerprint of the exact
@@ -35,8 +37,19 @@
  * (simulating a broker crash) after the Nth completion.
  *
  * --metrics-out writes the broker's queue telemetry (lease expiries,
- * requeues, worker restarts, heartbeat-latency histogram) as a
- * metrics JSON document via the standard telemetry export path.
+ * requeues, worker restarts, heartbeat-latency histogram) plus the
+ * runner.* batch counters as a metrics JSON document via the
+ * standard telemetry export path.
+ *
+ * --fleet-trace-out / --fleet-metrics-out switch on fleet
+ * observability (src/obs): workers ship per-run telemetry snapshots
+ * and phase trees over the wire, and the broker-side FleetCollector
+ * merges them into one Chrome trace_event timeline (open it in
+ * Perfetto or chrome://tracing) and one fleet metrics document with
+ * per-worker lease histograms and straggler analytics
+ * (--straggler-k sets the MAD threshold, default 3.5). Strictly
+ * observation-only: the study report bytes are identical with these
+ * flags on or off.
  */
 
 #include <cstdio>
@@ -67,7 +80,8 @@ usage()
         "       [--backoff SECONDS] [--restart-budget N]\n"
         "       [--worker-arg ARG]... [--fault SPEC]...\n"
         "       [--kill-after-leases N] [--abort-after-completions N]\n"
-        "       [--metrics-out FILE]\n%s",
+        "       [--metrics-out FILE] [--fleet-trace-out FILE]\n"
+        "       [--fleet-metrics-out FILE] [--straggler-k K]\n%s",
         cli::kSweepUsage);
     return 2;
 }
@@ -92,6 +106,9 @@ run(int argc, char** argv)
     bcfg.workerBin = defaultWorkerBin(argv[0]);
     bcfg.queuePath = "mrp_broker.queue";
     std::string metrics_out;
+    std::string fleet_trace_out;
+    std::string fleet_metrics_out;
+    double straggler_k = 3.5;
 
     for (int i = 1; i < argc; ++i) {
         if (cli::parseSweepArg(cfg, argc, argv, i))
@@ -139,6 +156,12 @@ run(int argc, char** argv)
                 std::strtoull(next(), nullptr, 10);
         } else if (arg == "--metrics-out") {
             metrics_out = next();
+        } else if (arg == "--fleet-trace-out") {
+            fleet_trace_out = next();
+        } else if (arg == "--fleet-metrics-out") {
+            fleet_metrics_out = next();
+        } else if (arg == "--straggler-k") {
+            straggler_k = std::atof(next());
         } else {
             return usage();
         }
@@ -146,6 +169,13 @@ run(int argc, char** argv)
 
     telemetry::MetricsRegistry registry;
     bcfg.metrics = &registry;
+    std::unique_ptr<obs::FleetCollector> collector;
+    if (!fleet_trace_out.empty() || !fleet_metrics_out.empty()) {
+        obs::FleetConfig fcfg;
+        fcfg.stragglerK = straggler_k;
+        collector = std::make_unique<obs::FleetCollector>(fcfg);
+        bcfg.collector = collector.get();
+    }
     const queue::Broker broker(bcfg);
 
     const auto setup = cli::buildStudySetup(cfg);
@@ -162,6 +192,24 @@ run(int argc, char** argv)
         runner::writeFile(metrics_out,
                           telemetry::metricsJson(rt, "") + "\n");
         std::fprintf(stderr, "wrote %s\n", metrics_out.c_str());
+    }
+    if (collector) {
+        if (!fleet_trace_out.empty()) {
+            runner::writeFile(fleet_trace_out,
+                              collector->traceJson());
+            std::fprintf(stderr, "wrote %s\n",
+                         fleet_trace_out.c_str());
+        }
+        if (!fleet_metrics_out.empty()) {
+            const telemetry::Snapshot broker_snap =
+                registry.snapshot();
+            runner::writeFile(
+                fleet_metrics_out,
+                collector->metricsJson(&broker_snap) + "\n");
+            std::fprintf(stderr, "wrote %s\n",
+                         fleet_metrics_out.c_str());
+        }
+        std::fputs(collector->stragglerText().c_str(), stderr);
     }
 
     cli::maybeWriteMrcProfiles(*setup, cfg);

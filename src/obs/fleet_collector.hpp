@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Broker-side aggregation of fleet observability: one FleetCollector
+ * per study turns the broker's lease/heartbeat/result event stream
+ * plus the workers' shipped OBS payloads into
+ *
+ *  - one merged Chrome trace_event timeline (traceJson): a process
+ *    per worker slot, lease spans (lease -> heartbeats -> result) on
+ *    thread 0, and the worker's mrp_prof phase tree nested inside
+ *    each span on thread 1 — loadable in Perfetto/chrome://tracing;
+ *  - fleet metrics (metricsJson): per-worker queue.* counters and
+ *    queue.lease_latency_ms histograms plus throughput gauges
+ *    (fleetSnapshot), and the sum/merge of every shipped worker
+ *    telemetry snapshot (mergedWorkerSnapshot, semantics in
+ *    telemetry::mergeInto);
+ *  - straggler analytics (stragglerReport): workers whose median
+ *    per-job service time deviates >= k * MAD from the fleet median.
+ *
+ * Counter mirroring contract: the broker calls requeued()/
+ * leaseExpired()/workerRestarted()/requeueExhausted() at exactly the
+ * call sites where it bumps its own queue.* counters, so the
+ * per-worker sums in fleetSnapshot always equal the broker registry's
+ * totals — the equality tools/fleet_trace_check enforces.
+ *
+ * The collector is observation-only: nothing it records feeds back
+ * into scheduling, results, or reports, so study output stays
+ * byte-identical whether a collector is attached or not. Timestamps
+ * come from an injectable clock (FleetConfig::clock) so the merged
+ * timeline can be golden-tested with a scripted time source.
+ */
+
+#ifndef MRP_OBS_FLEET_COLLECTOR_HPP
+#define MRP_OBS_FLEET_COLLECTOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/payload.hpp"
+#include "obs/span.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mrp::obs {
+
+struct FleetConfig
+{
+    /** Monotonic seconds source; default counts from collector
+     * construction (steady_clock). Tests inject a scripted clock. */
+    std::function<double()> clock;
+    /** Straggler threshold: flag a worker when its median service
+     * time is at least k MADs from the fleet median. */
+    double stragglerK = 3.5;
+};
+
+struct StragglerEntry
+{
+    unsigned worker = 0;
+    std::uint64_t jobs = 0;
+    double medianServiceMs = 0.0;
+    /** |worker median - fleet median| / MAD (0 when MAD is 0). */
+    double deviationMads = 0.0;
+    bool flagged = false;
+};
+
+struct StragglerReport
+{
+    double k = 3.5;
+    double fleetMedianMs = 0.0;
+    double madMs = 0.0; //!< median absolute deviation of service times
+    std::vector<StragglerEntry> workers;
+};
+
+class FleetCollector
+{
+  public:
+    explicit FleetCollector(FleetConfig cfg = {});
+
+    // --- recording (called by the broker) ---------------------------
+
+    /** A new executor batch begins. The first call fixes the study
+     * trace id from @p fingerprint; returns the 0-based batch
+     * sequence number (the span-derivation salt). */
+    std::uint64_t batchStarted(const std::string& fingerprint);
+
+    /** Worker @p slot spawned at batch start. */
+    void workerStarted(unsigned slot, std::uint64_t pid);
+
+    /** Worker @p slot respawned after dying mid-batch (mirrors the
+     * broker's queue.worker_restarts counter). */
+    void workerRestarted(unsigned slot, std::uint64_t pid);
+
+    /** Job @p job_id leased to @p slot as span @p span_id. */
+    void leaseGranted(unsigned slot, std::uint64_t job_id,
+                      std::uint64_t span_id, unsigned attempt,
+                      const std::string& label);
+
+    /** Heartbeat received for @p span_id. */
+    void heartbeat(unsigned slot, std::uint64_t span_id);
+
+    /** OBS payload received for @p span_id. */
+    void workerObs(unsigned slot, std::uint64_t span_id,
+                   WorkerRunObs obs);
+
+    /**
+     * Span closed. @p outcome is "ok", "error", "retryable_error"
+     * (result received) or "lease_expired" (the holder died or hung
+     * and the lease was revoked); @p reason carries the broker's
+     * cause string ("heartbeat-timeout", "worker-exit") for the
+     * trace annotation.
+     */
+    void spanClosed(unsigned slot, std::uint64_t span_id,
+                    const std::string& outcome,
+                    const std::string& reason = "");
+
+    // --- counter mirrors (see file comment) -------------------------
+    void requeued(unsigned slot);
+    void leaseExpired(unsigned slot);
+    void requeueExhausted(unsigned slot);
+
+    std::uint64_t traceId() const { return trace_id_; }
+
+    // --- export -----------------------------------------------------
+
+    /** Per-worker queue.* counters, queue.lease_latency_ms.worker<i>
+     * histograms, and queue.throughput_jobs_per_s.worker<i> gauges. */
+    telemetry::Snapshot fleetSnapshot() const;
+
+    /** Sum/merge (telemetry::mergeInto) of every shipped worker
+     * telemetry snapshot. */
+    telemetry::Snapshot mergedWorkerSnapshot() const;
+
+    StragglerReport stragglerReport() const;
+
+    /** The merged Chrome trace_event document (sorted, deterministic
+     * for a deterministic clock). */
+    std::string traceJson() const;
+
+    /** The fleet metrics document; when @p broker_snapshot is given
+     * it is embedded under "broker" so one file carries both sides of
+     * the counter-sum equality. */
+    std::string
+    metricsJson(const telemetry::Snapshot* broker_snapshot) const;
+
+    /** Human-readable straggler summary (one line per worker). */
+    std::string stragglerText() const;
+
+  private:
+    struct Span
+    {
+        std::uint64_t spanId = 0;
+        std::uint64_t jobId = 0;
+        unsigned attempt = 0;
+        unsigned worker = 0;
+        std::string label;
+        double startSeconds = 0.0;
+        double endSeconds = 0.0;
+        bool closed = false;
+        std::vector<double> beats; //!< heartbeat arrival times
+        std::string outcome;
+        std::string reason;
+        std::optional<WorkerRunObs> obs;
+    };
+
+    struct WorkerState
+    {
+        std::uint64_t pid = 0;
+        std::vector<std::pair<double, std::uint64_t>> starts;
+        std::uint64_t restarts = 0;
+        std::uint64_t heartbeats = 0;
+        std::uint64_t requeued = 0;
+        std::uint64_t leaseExpired = 0;
+        std::uint64_t requeueExhausted = 0;
+        std::uint64_t jobsClosed = 0; //!< spans closed with a result
+        std::vector<double> serviceMs; //!< result-closed spans only
+        bool leased = false;
+        double firstLease = 0.0;
+        double lastClose = 0.0;
+    };
+
+    double now() const { return cfg_.clock(); }
+    Span* openSpan(std::uint64_t span_id);
+    WorkerState& worker(unsigned slot) { return workers_[slot]; }
+
+    FleetConfig cfg_;
+    std::uint64_t trace_id_ = 0;
+    std::uint64_t batches_ = 0;
+    std::vector<Span> spans_; //!< in lease-grant order
+    std::map<std::uint64_t, std::size_t> open_; //!< spanId -> index
+    std::map<unsigned, WorkerState> workers_;
+};
+
+} // namespace mrp::obs
+
+#endif // MRP_OBS_FLEET_COLLECTOR_HPP

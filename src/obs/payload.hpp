@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The OBS wire payload: everything a worker ships about one executed
+ * job beyond its deterministic result — the per-run telemetry
+ * snapshot and the mrp_prof phase tree that previously died with the
+ * worker process.
+ *
+ * The payload rides its own OBS line (queue/wire.hpp) directly
+ * before the RESULT line, CRC-framed like every other framed message,
+ * and is bounded worker-side: a payload whose serialization exceeds
+ * the worker's --obs-max-bytes budget is replaced by a stub with
+ * truncated=true so the broker still sees the span's scalar facts.
+ * Keeping the RESULT payload untouched is what keeps study reports
+ * byte-identical with fleet observability on or off.
+ */
+
+#ifndef MRP_OBS_PAYLOAD_HPP
+#define MRP_OBS_PAYLOAD_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "prof/profiler.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/json_reader.hpp"
+
+namespace mrp::obs {
+
+/** One job's shipped observability record. */
+struct WorkerRunObs
+{
+    std::string label;
+    double wallSeconds = 0.0;
+    /** LLC accesses the telemetry session observed (0 for failed
+     * runs, which produce no telemetry). */
+    std::uint64_t accesses = 0;
+    /** True when the full payload blew the size budget and only the
+     * scalars survived. */
+    bool truncated = false;
+    /** Final registry snapshot of the run's telemetry session. */
+    std::optional<telemetry::Snapshot> metrics;
+    /** Root of the run's mrp_prof phase tree. */
+    std::optional<prof::PhaseStat> phases;
+};
+
+/** Serialize one record as a single-line-friendly JSON document. */
+std::string workerObsJson(const WorkerRunObs& o);
+
+/** Inverse of workerObsJson; malformed input throws
+ * FatalError(ErrorCode::CorruptInput). */
+WorkerRunObs workerObsFromJson(const json::Value& v,
+                               const std::string& what);
+
+/** Convenience: parse text then workerObsFromJson. */
+WorkerRunObs workerObsFromJson(const std::string& text,
+                               const std::string& what);
+
+} // namespace mrp::obs
+
+#endif // MRP_OBS_PAYLOAD_HPP

@@ -1,0 +1,59 @@
+#include "obs/span.hpp"
+
+#include <cstdio>
+
+#include "util/hash.hpp"
+
+namespace mrp::obs {
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::optional<std::uint64_t>
+parseHex16(std::string_view s)
+{
+    if (s.size() != 16)
+        return std::nullopt;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return std::nullopt;
+    }
+    return v;
+}
+
+std::uint64_t
+deriveTraceId(std::string_view fingerprint)
+{
+    // FNV-1a over the fingerprint text, finalized through mix64.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : fingerprint) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    h = mix64(h);
+    return h ? h : 1;
+}
+
+std::uint64_t
+deriveSpanId(std::uint64_t trace_id, std::uint64_t batch,
+             std::uint64_t job_id, unsigned attempt)
+{
+    const std::uint64_t h = hashCombine(
+        hashCombine(trace_id, batch),
+        hashCombine(job_id, static_cast<std::uint64_t>(attempt)));
+    return h ? h : 1;
+}
+
+} // namespace mrp::obs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Span context of the fleet observability layer: the identifiers
+ * that correlate broker and worker events across process boundaries.
+ *
+ * Every study gets one trace id (derived from the first batch
+ * fingerprint, so it is deterministic for a given study) and every
+ * lease gets a span id derived from (trace, batch, job, attempt) —
+ * re-leases of a requeued job are distinct spans of the same trace.
+ * Both ride the queue wire protocol (queue/wire.hpp, schema v2) as
+ * fixed-width lowercase hex so the line codecs stay trivially
+ * parseable.
+ *
+ * Ids are derived, not random: the observability layer must never
+ * perturb the determinism contract, and derived ids make merged
+ * traces reproducible enough to golden-test.
+ */
+
+#ifndef MRP_OBS_SPAN_HPP
+#define MRP_OBS_SPAN_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mrp::obs {
+
+/** The pair a JOB line carries; HB/RESULT/OBS echo only the span. */
+struct SpanContext
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+};
+
+/** Fixed-width (16 digit) lowercase hex of an id. */
+std::string hex16(std::uint64_t v);
+
+/** Inverse of hex16; nullopt unless exactly 16 lowercase hex
+ * digits. */
+std::optional<std::uint64_t> parseHex16(std::string_view s);
+
+/** Trace id of a study, derived from its batch fingerprint text.
+ * Never zero (zero is the "no context" sentinel). */
+std::uint64_t deriveTraceId(std::string_view fingerprint);
+
+/** Span id of one lease. @p batch disambiguates executor batches of
+ * one study (generations can repeat a job-id space); @p attempt makes
+ * re-leases distinct spans. Never zero. */
+std::uint64_t deriveSpanId(std::uint64_t trace_id,
+                           std::uint64_t batch,
+                           std::uint64_t job_id, unsigned attempt);
+
+} // namespace mrp::obs
+
+#endif // MRP_OBS_SPAN_HPP

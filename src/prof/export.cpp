@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "util/json_writer.hpp"
+#include "util/logging.hpp"
 
 namespace mrp::prof {
 
@@ -78,6 +79,36 @@ gitSha()
     while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
         sha.pop_back();
     return sha.empty() ? "unknown" : sha;
+}
+
+std::string
+phaseTreeJson(const PhaseStat& p, int indent)
+{
+    std::string out;
+    phaseJson(p, indent, &out);
+    return out;
+}
+
+PhaseStat
+phaseTreeFromJson(const json::Value& v, const std::string& what)
+{
+    fatalIf(!v.isObject(), ErrorCode::CorruptInput,
+            what + ": phase must be a JSON object");
+    PhaseStat p;
+    p.label =
+        v.require("label", json::Value::Type::String, what).string;
+    p.count =
+        v.require("count", json::Value::Type::Number, what).asU64();
+    p.inclusiveSeconds =
+        v.require("inclusiveSeconds", json::Value::Type::Number, what)
+            .number;
+    p.exclusiveSeconds =
+        v.require("exclusiveSeconds", json::Value::Type::Number, what)
+            .number;
+    for (const auto& c :
+         v.require("children", json::Value::Type::Array, what).array)
+        p.children.push_back(phaseTreeFromJson(c, what));
+    return p;
 }
 
 std::string

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "prof/profiler.hpp"
+#include "util/json_reader.hpp"
 
 namespace mrp::prof {
 
@@ -58,6 +59,24 @@ std::string benchJson(const std::string& name,
                       const std::vector<BenchRun>& runs,
                       const MachineInfo& machine,
                       const std::string& sha);
+
+/**
+ * One phase tree as a JSON object — the same
+ * `{label, count, inclusiveSeconds, exclusiveSeconds, children}`
+ * shape benchJson embeds under "phases". @p indent is the column the
+ * object starts at (children indent four further).
+ */
+std::string phaseTreeJson(const PhaseStat& p, int indent);
+
+/**
+ * Inverse of phaseTreeJson (and of the "phases" object inside a
+ * BENCH document). Malformed input — missing keys, wrong types at
+ * any depth — throws FatalError(ErrorCode::CorruptInput). The
+ * shortest-round-trip double formatter makes
+ * phaseTreeJson(phaseTreeFromJson(x)) byte-identical to x.
+ */
+PhaseStat phaseTreeFromJson(const json::Value& v,
+                            const std::string& what);
 
 /**
  * Append the phase tree of @p run as Chrome trace_event "X" events to

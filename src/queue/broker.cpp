@@ -8,6 +8,8 @@
 #include <optional>
 #include <thread>
 
+#include "obs/payload.hpp"
+#include "obs/span.hpp"
 #include "prof/profiler.hpp"
 #include "queue/wire.hpp"
 #include "queue/work_queue.hpp"
@@ -92,10 +94,12 @@ struct BrokerMetrics
 struct Slot
 {
     proc::Child child;
+    unsigned index = 0; //!< stable slot number (the obs worker id)
     bool alive = false;
     bool ready = false; //!< HELLO received and schema-checked
     bool busy = false;
     std::uint64_t jobId = 0;
+    std::uint64_t spanId = 0; //!< span of the held lease
     Clock::time_point lastBeat;
 };
 
@@ -162,6 +166,20 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
     for (const auto& [id, j] : reqJson)
         queue.ensureEnqueued(id, j);
 
+    // Span context: derived ids, never random (obs/span.hpp). The
+    // wire carries them whether or not a collector is listening; the
+    // batch sequence keeps re-run generations (same job-id space) on
+    // distinct spans.
+    obs::FleetCollector* const col = cfg_.collector;
+    const std::uint64_t batch_seq =
+        col ? col->batchStarted(fp_text) : 0;
+    const std::uint64_t trace_id =
+        col ? col->traceId() : obs::deriveTraceId(fp_text);
+    const auto labelOf = [&](std::uint64_t id) {
+        const auto& req = batch[id];
+        return req.label.empty() ? mixName(req.sources) : req.label;
+    };
+
     std::unique_ptr<runner::CheckpointJournal> journal;
     if (!options.journalPath.empty())
         journal = std::make_unique<runner::CheckpointJournal>(
@@ -176,6 +194,8 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
     const auto spawnWorker = [&]() {
         std::vector<std::string> args = {
             "--heartbeat-ms", std::to_string(cfg_.heartbeatMs)};
+        if (col)
+            args.emplace_back("--ship-obs");
         if (options.timeoutSeconds > 0.0) {
             args.emplace_back("--timeout");
             args.emplace_back(
@@ -207,13 +227,16 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
     // A failed attempt either requeues (budget left) with exponential
     // backoff, or completes the job with a synthesized failed-typed
     // result carrying in-process-identical identity fields.
-    const auto failAttempt = [&](std::uint64_t id, ErrorCode code,
+    const auto failAttempt = [&](unsigned slot, std::uint64_t id,
+                                 ErrorCode code,
                                  const std::string& reason,
                                  const std::string& detail) {
         const unsigned attempts = queue.job(id).attempts;
         if (attempts < cfg_.maxAttempts) {
             if (m.requeued)
                 m.requeued->add();
+            if (col)
+                col->requeued(slot);
             queue.requeue(id, reason, code);
             const double delay =
                 cfg_.backoffSeconds *
@@ -227,6 +250,8 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
         }
         if (m.requeueExhausted)
             m.requeueExhausted->add();
+        if (col)
+            col->requeueExhausted(slot);
         runner::RunResult out;
         stampIdentity(batch[id], id, out);
         out.error = "job failed after " + std::to_string(attempts) +
@@ -237,6 +262,8 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
     };
 
     std::vector<Slot> slots(cfg_.workers);
+    for (unsigned i = 0; i < cfg_.workers; ++i)
+        slots[i].index = i;
     const auto workerDied = [&](Slot& s, ErrorCode code,
                                 const std::string& reason,
                                 const std::string& detail) {
@@ -246,7 +273,13 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
         s.ready = false;
         if (s.busy) {
             s.busy = false;
-            failAttempt(s.jobId, code, reason,
+            // Whatever killed the holder, the *span* ends because its
+            // lease was revoked; the reason annotation keeps the
+            // worker-exit vs heartbeat-timeout distinction.
+            if (col)
+                col->spanClosed(s.index, s.spanId, "lease_expired",
+                                reason);
+            failAttempt(s.index, s.jobId, code, reason,
                         detail + " (" + status.toString() + ")");
         }
         if (restarts < cfg_.workerRestartBudget) {
@@ -256,6 +289,10 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
             s.child = spawnWorker();
             s.alive = true;
             s.lastBeat = Clock::now();
+            if (col)
+                col->workerRestarted(
+                    s.index,
+                    static_cast<std::uint64_t>(s.child.pid()));
         }
     };
 
@@ -264,6 +301,10 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
             s.child = spawnWorker();
             s.alive = true;
             s.lastBeat = Clock::now();
+            if (col)
+                col->workerStarted(
+                    s.index,
+                    static_cast<std::uint64_t>(s.child.pid()));
         }
     }
 
@@ -298,6 +339,29 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
                             m.heartbeatLatency->record(
                                 millisBetween(s.lastBeat, now));
                         s.lastBeat = now;
+                        if (col)
+                            col->heartbeat(s.index, hb->spanId);
+                    }
+                } else if (const auto ob = parseObs(line)) {
+                    // Observation-only by contract: a malformed
+                    // payload is dropped, never allowed to fail the
+                    // study. An OBS line is also liveness evidence —
+                    // a large payload must not eat into the
+                    // heartbeat deadline of the RESULT behind it.
+                    if (s.busy && ob->jobId == s.jobId) {
+                        s.lastBeat = now;
+                        if (col) {
+                            try {
+                                col->workerObs(
+                                    s.index, ob->spanId,
+                                    obs::workerObsFromJson(
+                                        ob->json,
+                                        "OBS payload for job " +
+                                            std::to_string(
+                                                ob->jobId)));
+                            } catch (const FatalError&) {
+                            }
+                        }
                     }
                 } else if (const auto res = parseResult(line)) {
                     fatalIf(!s.busy || res->jobId != s.jobId,
@@ -313,11 +377,23 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
                                 " does not parse");
                     s.busy = false;
                     s.lastBeat = now;
-                    if (!parsed->ok() &&
-                        isRetryable(parsed->errorCode)) {
+                    const bool retryable =
+                        !parsed->ok() && isRetryable(parsed->errorCode);
+                    if (col)
+                        col->spanClosed(
+                            s.index, res->spanId,
+                            parsed->ok()
+                                ? "ok"
+                                : (retryable ? "retryable_error"
+                                             : "error"),
+                            parsed->ok()
+                                ? ""
+                                : errorCodeName(parsed->errorCode));
+                    if (retryable) {
                         // failAttempt requeues while budget remains,
                         // else synthesizes the exhaustion failure.
-                        failAttempt(res->jobId, parsed->errorCode,
+                        failAttempt(s.index, res->jobId,
+                                    parsed->errorCode,
                                     "retryable-error",
                                     parsed->error);
                     } else {
@@ -346,6 +422,8 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
             if (s.busy) {
                 if (m.leaseExpired)
                     m.leaseExpired->add();
+                if (col)
+                    col->leaseExpired(s.index);
                 workerDied(
                     s, ErrorCode::Timeout, "heartbeat-timeout",
                     "lease expired: no heartbeat for " +
@@ -374,12 +452,19 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
                 break;
             queue.lease(*pick);
             ++leases_granted;
+            const unsigned attempt = queue.job(*pick).attempts;
             s.busy = true;
             s.jobId = *pick;
+            s.spanId = obs::deriveSpanId(trace_id, batch_seq, *pick,
+                                         attempt);
             s.lastBeat = Clock::now();
+            if (col)
+                col->leaseGranted(s.index, *pick, s.spanId, attempt,
+                                  labelOf(*pick));
             try {
                 s.child.writeLine(
-                    jobLine(*pick, queue.job(*pick).requestJson));
+                    jobLine(*pick, {trace_id, s.spanId},
+                            queue.job(*pick).requestJson));
             } catch (const FatalError&) {
                 workerDied(s, ErrorCode::Resource, "worker-exit",
                            "worker pipe broke during dispatch");
@@ -418,8 +503,10 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
     runner::RunSet set;
     set.jobs = cfg_.workers;
     set.results.reserve(n);
+    std::uint64_t done = 0, failed = 0, skipped = 0, retries = 0;
     for (std::size_t i = 0; i < n; ++i) {
         if (prefilled[i]) {
+            ++skipped;
             set.results.push_back(std::move(*prefilled[i]));
             continue;
         }
@@ -428,8 +515,20 @@ Broker::run(const std::vector<runner::RunRequest>& batch,
         fatalIf(!parsed, ErrorCode::Internal,
                 "queue journal holds an unparsable result for job " +
                     std::to_string(i));
+        parsed->ok() ? ++done : ++failed;
+        const unsigned attempts = queue.job(i).attempts;
+        if (attempts > 1)
+            retries += attempts - 1;
         set.results.push_back(std::move(*parsed));
         set.results.back().index = i;
+    }
+    // Mirror the in-process runner's batch counters so a broker
+    // --metrics-out covers runner.* and queue.* alike.
+    if (cfg_.metrics) {
+        cfg_.metrics->counter("runner.completed").add(done);
+        cfg_.metrics->counter("runner.failed").add(failed);
+        cfg_.metrics->counter("runner.skipped").add(skipped);
+        cfg_.metrics->counter("runner.retries").add(retries);
     }
     set.wallSeconds = watch.seconds();
     return set;

@@ -26,6 +26,15 @@
  *   queue.worker_restarts       workers respawned
  *   queue.requeue_exhausted     jobs failed after the lease budget
  *   queue.heartbeat_latency_ms  observed heartbeat intervals
+ *
+ * Fleet observability (when BrokerConfig::collector is set): every
+ * batch opens a trace (obs/span.hpp), every lease becomes a span on
+ * the wire, workers are asked to ship per-run OBS payloads, and the
+ * collector records lease/heartbeat/close events plus every payload
+ * — all strictly observation-only, so attaching a collector never
+ * changes a result or report byte. The collector's per-worker queue.*
+ * counters are bumped at exactly the same call sites as the registry
+ * counters above, so their sums always match.
  */
 
 #ifndef MRP_QUEUE_BROKER_HPP
@@ -35,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/fleet_collector.hpp"
 #include "runner/executor.hpp"
 #include "runner/experiment_runner.hpp"
 #include "telemetry/metrics.hpp"
@@ -65,6 +75,10 @@ struct BrokerConfig
     std::vector<std::string> workerArgs;
     /** Optional metrics sink (see file comment for the counters). */
     telemetry::MetricsRegistry* metrics = nullptr;
+    /** Optional fleet-observability sink. When set, workers are
+     * spawned with --ship-obs and every broker-side queue event is
+     * mirrored into the collector (see file comment). */
+    obs::FleetCollector* collector = nullptr;
 
     // --- chaos hooks (tests and the CI smoke job) -------------------
     /** SIGKILL the worker holding the Nth lease granted (0 = off). */

@@ -271,9 +271,14 @@ parseU64Token(const std::string& s)
     return static_cast<std::uint64_t>(v);
 }
 
-/** Strip "<verb> <id> " and checksum-verify the rest. */
+/**
+ * Strip "<verb> <id> " plus @p hex_ids space-separated hex16 tokens
+ * (two for JOB: trace then span; one for RESULT/OBS: span) and
+ * checksum-verify the rest.
+ */
 std::optional<FramedMsg>
-parseFramed(const std::string& line, const std::string& verb)
+parseFramed(const std::string& line, const std::string& verb,
+            unsigned hex_ids)
 {
     const std::string prefix = verb + " ";
     if (line.rfind(prefix, 0) != 0)
@@ -286,19 +291,46 @@ parseFramed(const std::string& line, const std::string& verb)
                                   id_end - prefix.size()));
     if (!id)
         return std::nullopt;
-    auto body = journal::unframeLine(line.substr(id_end + 1));
+    FramedMsg msg;
+    msg.jobId = *id;
+    std::size_t pos = id_end + 1;
+    std::uint64_t ids[2] = {0, 0};
+    for (unsigned i = 0; i < hex_ids; ++i) {
+        const std::size_t end = line.find(' ', pos);
+        if (end == std::string::npos)
+            return std::nullopt;
+        const auto v = obs::parseHex16(
+            std::string_view(line).substr(pos, end - pos));
+        if (!v)
+            return std::nullopt;
+        ids[i] = *v;
+        pos = end + 1;
+    }
+    if (hex_ids == 2) {
+        msg.traceId = ids[0];
+        msg.spanId = ids[1];
+    } else {
+        msg.spanId = ids[0];
+    }
+    auto body = journal::unframeLine(line.substr(pos));
     if (!body)
         return std::nullopt;
-    return FramedMsg{*id, std::move(*body)};
+    msg.json = std::move(*body);
+    return msg;
 }
 
 std::string
 framedLine(const std::string& verb, std::uint64_t job_id,
-           const std::string& json)
+           const std::string& hex_ids, const std::string& json)
 {
+    // A payload with a raw newline would silently shear into
+    // unparsable line fragments on the pipe; fail the writer instead.
+    fatalIf(json.find('\n') != std::string::npos, ErrorCode::Config,
+            verb + " payload must be a single line");
     std::string framed = journal::frameLine(json);
     framed.pop_back(); // frameLine appends the journal newline
-    return verb + " " + std::to_string(job_id) + " " + framed;
+    return verb + " " + std::to_string(job_id) + " " + hex_ids + " " +
+           framed;
 }
 
 } // namespace
@@ -409,22 +441,36 @@ helloLine(std::uint64_t pid)
 }
 
 std::string
-heartbeatLine(std::uint64_t job_id, std::uint64_t seq)
+heartbeatLine(std::uint64_t job_id, std::uint64_t span_id,
+              std::uint64_t seq)
 {
     return "HB " + std::to_string(job_id) + " " +
-           std::to_string(seq);
+           obs::hex16(span_id) + " " + std::to_string(seq);
 }
 
 std::string
-jobLine(std::uint64_t job_id, const std::string& request_json)
+jobLine(std::uint64_t job_id, const obs::SpanContext& ctx,
+        const std::string& request_json)
 {
-    return framedLine("JOB", job_id, request_json);
+    return framedLine("JOB", job_id,
+                      obs::hex16(ctx.traceId) + " " +
+                          obs::hex16(ctx.spanId),
+                      request_json);
 }
 
 std::string
-resultLine(std::uint64_t job_id, const std::string& result_json)
+resultLine(std::uint64_t job_id, std::uint64_t span_id,
+           const std::string& result_json)
 {
-    return framedLine("RESULT", job_id, result_json);
+    return framedLine("RESULT", job_id, obs::hex16(span_id),
+                      result_json);
+}
+
+std::string
+obsLine(std::uint64_t job_id, std::uint64_t span_id,
+        const std::string& obs_json)
+{
+    return framedLine("OBS", job_id, obs::hex16(span_id), obs_json);
 }
 
 std::optional<HelloMsg>
@@ -447,26 +493,38 @@ parseHeartbeat(const std::string& line)
 {
     if (line.rfind("HB ", 0) != 0)
         return std::nullopt;
-    const std::size_t sep = line.find(' ', 3);
-    if (sep == std::string::npos)
+    const std::size_t span_sep = line.find(' ', 3);
+    if (span_sep == std::string::npos)
         return std::nullopt;
-    const auto id = parseU64Token(line.substr(3, sep - 3));
-    const auto seq = parseU64Token(line.substr(sep + 1));
-    if (!id || !seq)
+    const std::size_t seq_sep = line.find(' ', span_sep + 1);
+    if (seq_sep == std::string::npos)
         return std::nullopt;
-    return HeartbeatMsg{*id, *seq};
+    const auto id = parseU64Token(line.substr(3, span_sep - 3));
+    const auto span = obs::parseHex16(
+        std::string_view(line).substr(span_sep + 1,
+                                      seq_sep - span_sep - 1));
+    const auto seq = parseU64Token(line.substr(seq_sep + 1));
+    if (!id || !span || !seq)
+        return std::nullopt;
+    return HeartbeatMsg{*id, *span, *seq};
 }
 
 std::optional<FramedMsg>
 parseJob(const std::string& line)
 {
-    return parseFramed(line, "JOB");
+    return parseFramed(line, "JOB", 2);
 }
 
 std::optional<FramedMsg>
 parseResult(const std::string& line)
 {
-    return parseFramed(line, "RESULT");
+    return parseFramed(line, "RESULT", 1);
+}
+
+std::optional<FramedMsg>
+parseObs(const std::string& line)
+{
+    return parseFramed(line, "OBS", 1);
 }
 
 } // namespace mrp::queue

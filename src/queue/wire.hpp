@@ -25,13 +25,22 @@
  *
  * Broker <-> worker wire protocol, one LF-terminated line per message
  * over the worker's stdin/stdout; JSON payloads are CRC-framed with
- * the journal idiom (journal::frameLine minus the newline):
+ * the journal idiom (journal::frameLine minus the newline). Since
+ * schema v2 every line carries span context (obs/span.hpp): a JOB
+ * line names the study trace and the lease span as 16-digit lowercase
+ * hex, and every worker reply echoes the span so the broker can
+ * correlate events to leases across requeues:
  *
  *   worker -> broker:  HELLO <pid> <schema>
- *                      HB <jobId> <seq>
- *                      RESULT <jobId> <crc8> <resultJson>
- *   broker -> worker:  JOB <jobId> <crc8> <requestJson>
+ *                      HB <jobId> <span16> <seq>
+ *                      OBS <jobId> <span16> <crc8> <obsJson>
+ *                      RESULT <jobId> <span16> <crc8> <resultJson>
+ *   broker -> worker:  JOB <jobId> <trace16> <span16> <crc8> <requestJson>
  *                      SHUTDOWN
+ *
+ * OBS is optional (workers ship it only when told to, directly before
+ * the RESULT of the same lease) and strictly observational: a broker
+ * may ignore or drop it without affecting any result byte.
  */
 
 #ifndef MRP_QUEUE_WIRE_HPP
@@ -41,6 +50,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/span.hpp"
 #include "runner/run_request.hpp"
 #include "util/journal.hpp"
 #include "util/json_reader.hpp"
@@ -78,30 +88,40 @@ struct HelloMsg
 struct HeartbeatMsg
 {
     std::uint64_t jobId = 0;
+    std::uint64_t spanId = 0;
     std::uint64_t seq = 0;
 };
 
-/** A JOB or RESULT line: id plus the CRC-verified JSON payload. */
+/** A JOB, RESULT, or OBS line: id and span context plus the
+ * CRC-verified JSON payload. traceId is only set for JOB lines
+ * (replies echo just the span). */
 struct FramedMsg
 {
     std::uint64_t jobId = 0;
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
     std::string json;
 };
 
 std::string helloLine(std::uint64_t pid);
-std::string heartbeatLine(std::uint64_t job_id, std::uint64_t seq);
-std::string jobLine(std::uint64_t job_id,
+std::string heartbeatLine(std::uint64_t job_id, std::uint64_t span_id,
+                          std::uint64_t seq);
+std::string jobLine(std::uint64_t job_id, const obs::SpanContext& ctx,
                     const std::string& request_json);
-std::string resultLine(std::uint64_t job_id,
+std::string resultLine(std::uint64_t job_id, std::uint64_t span_id,
                        const std::string& result_json);
+std::string obsLine(std::uint64_t job_id, std::uint64_t span_id,
+                    const std::string& obs_json);
 inline constexpr const char* kShutdownLine = "SHUTDOWN";
 
 /** Each parser returns nullopt unless the line is a well-formed
- * message of its kind (including payload checksum for JOB/RESULT). */
+ * message of its kind (including payload checksum for framed
+ * messages). */
 std::optional<HelloMsg> parseHello(const std::string& line);
 std::optional<HeartbeatMsg> parseHeartbeat(const std::string& line);
 std::optional<FramedMsg> parseJob(const std::string& line);
 std::optional<FramedMsg> parseResult(const std::string& line);
+std::optional<FramedMsg> parseObs(const std::string& line);
 
 } // namespace mrp::queue
 

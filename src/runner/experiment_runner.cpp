@@ -620,6 +620,21 @@ ExperimentRunner::run(const std::vector<RunRequest>& batch,
 
     const auto finish = [&]() {
         set.wallSeconds = batch_watch.seconds();
+        // Single-threaded again here, so plain counter adds are safe.
+        if (options.metrics) {
+            std::uint64_t done = 0, failed = 0, retries = 0;
+            for (const std::size_t i : pending) {
+                const RunResult& r = set.results[i];
+                r.ok() ? ++done : ++failed;
+                if (r.attempts > 1)
+                    retries += r.attempts - 1;
+            }
+            options.metrics->counter("runner.completed").add(done);
+            options.metrics->counter("runner.failed").add(failed);
+            options.metrics->counter("runner.retries").add(retries);
+            options.metrics->counter("runner.skipped")
+                .add(batch.size() - pending.size());
+        }
         if (sink)
             sink->batchEnd(set.wallSeconds);
         fatalIf(!journal_err.empty(), journal_err_code,

@@ -25,6 +25,7 @@
 
 #include "runner/executor.hpp"
 #include "runner/run_request.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mrp::runner {
 
@@ -85,6 +86,16 @@ struct RunnerOptions
      */
     bool progressStderr = false;
     std::string progressJsonlPath;
+
+    /**
+     * Optional metrics sink. When set, the batch records
+     * runner.completed / runner.failed / runner.skipped (resume
+     * prefill) / runner.retries counters — observation-only, never
+     * part of the deterministic report surface. The queue broker
+     * records the same counters for its batches, so a broker
+     * --metrics-out covers runner.* and queue.* alike.
+     */
+    telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class ExperimentRunner : public Executor

@@ -39,8 +39,12 @@ namespace mrp::journal {
  * ErrorCode::Config) journals written under a different schema — a
  * pre-queue checkpoint journal can never be silently misread as a
  * queue log.
+ *
+ * v2: span-context propagation on the wire — JOB lines carry the
+ * study trace id and the lease span id, HB/RESULT lines echo the
+ * span id, and workers may ship an OBS telemetry line per job.
  */
-inline constexpr unsigned kQueueSchemaVersion = 1;
+inline constexpr unsigned kQueueSchemaVersion = 2;
 
 /** Frame one JSON body as a journal line (checksum + body + \n). */
 std::string frameLine(const std::string& json);

@@ -1,0 +1,691 @@
+/**
+ * @file
+ * Fleet observability tests (src/obs): span id derivation, the OBS
+ * wire payload and every fromJson reader behind it (telemetry
+ * snapshots, phase trees — all malformed input must be typed
+ * CorruptInput), the telemetry::mergeInto fleet aggregation
+ * semantics, the FleetCollector's merged Chrome trace_event export
+ * against a golden file (scripted clock, 2 workers, a lease expiry
+ * mid-scenario), straggler analytics, and — against real mrp_worker
+ * processes — the headline determinism contract: study reports are
+ * byte-identical with fleet observability on or off, including
+ * through a SIGKILLed worker, while the collector's per-worker
+ * queue.* sums stay equal to the broker registry's totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/fleet_collector.hpp"
+#include "obs/payload.hpp"
+#include "obs/span.hpp"
+#include "prof/export.hpp"
+#include "queue/broker.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/report.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/json_reader.hpp"
+#include "util/logging.hpp"
+
+#ifndef MRP_WORKER_BIN
+#define MRP_WORKER_BIN "mrp_worker"
+#endif
+
+namespace mrp::obs {
+namespace {
+
+// ---------------------------------------------------------------- //
+// Span context
+
+TEST(SpanTest, Hex16RoundTrips)
+{
+    EXPECT_EQ(hex16(0), "0000000000000000");
+    EXPECT_EQ(hex16(0xdeadbeef), "00000000deadbeef");
+    for (const std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{1},
+          std::uint64_t{0x0123456789abcdefull}, ~std::uint64_t{0}}) {
+        const auto back = parseHex16(hex16(v));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, v);
+    }
+}
+
+TEST(SpanTest, ParseHex16RejectsAnythingButExact16LowerHex)
+{
+    EXPECT_FALSE(parseHex16(""));
+    EXPECT_FALSE(parseHex16("0123456789abcde"));   // 15 digits
+    EXPECT_FALSE(parseHex16("0123456789abcdef0")); // 17 digits
+    EXPECT_FALSE(parseHex16("0123456789ABCDEF"));  // uppercase
+    EXPECT_FALSE(parseHex16("0123456789abcdeg"));  // non-hex
+    EXPECT_FALSE(parseHex16(" 123456789abcdef"));
+}
+
+TEST(SpanTest, DerivedIdsAreStableDistinctAndNonZero)
+{
+    const auto t1 = deriveTraceId("study-fingerprint-a");
+    EXPECT_NE(t1, 0u);
+    EXPECT_EQ(t1, deriveTraceId("study-fingerprint-a"));
+    EXPECT_NE(t1, deriveTraceId("study-fingerprint-b"));
+    EXPECT_NE(deriveTraceId(""), 0u);
+
+    const auto s = deriveSpanId(t1, 0, 1, 1);
+    EXPECT_NE(s, 0u);
+    EXPECT_EQ(s, deriveSpanId(t1, 0, 1, 1));
+    // Each salt must separate spans: batch, job, attempt, trace.
+    EXPECT_NE(s, deriveSpanId(t1, 1, 1, 1));
+    EXPECT_NE(s, deriveSpanId(t1, 0, 2, 1));
+    EXPECT_NE(s, deriveSpanId(t1, 0, 1, 2));
+    EXPECT_NE(s, deriveSpanId(deriveTraceId("b"), 0, 1, 1));
+}
+
+// ---------------------------------------------------------------- //
+// Telemetry snapshot reader + merge semantics
+
+/** Entries are name-sorted, like every registry snapshot (mergeInto
+ * relies on that invariant). */
+telemetry::Snapshot
+sampleSnapshot()
+{
+    using Kind = telemetry::MetricSnapshot::Kind;
+    telemetry::Snapshot s;
+    telemetry::MetricSnapshot c;
+    c.name = "llc.demand_hits";
+    c.kind = Kind::Counter;
+    c.counter = 42;
+    s.metrics.push_back(c);
+    telemetry::MetricSnapshot h;
+    h.name = "llc.reuse_distance";
+    h.kind = Kind::Histogram;
+    h.histogram.bounds = {1, 2, 4};
+    h.histogram.counts = {3, 0, 5};
+    h.histogram.overflow = 2;
+    h.histogram.total = 10;
+    h.histogram.sum = 37;
+    s.metrics.push_back(h);
+    telemetry::MetricSnapshot g;
+    g.name = "mpppb.confidence";
+    g.kind = Kind::Gauge;
+    g.gauge = 0.625;
+    s.metrics.push_back(g);
+    return s;
+}
+
+TEST(SnapshotReaderTest, RoundTripsByteIdentically)
+{
+    const auto s = sampleSnapshot();
+    const std::string text = telemetry::snapshotJson(s, "  ");
+    const auto back = telemetry::snapshotFromJson(
+        json::parseJson(text, "snap"), "snap");
+    EXPECT_EQ(telemetry::snapshotJson(back, "  "), text);
+}
+
+TEST(SnapshotReaderTest, MalformedSnapshotIsCorruptInput)
+{
+    const auto expectCorrupt = [](const std::string& text) {
+        try {
+            telemetry::snapshotFromJson(json::parseJson(text, "t"),
+                                        "t");
+            FAIL() << "accepted: " << text;
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::CorruptInput) << text;
+        }
+    };
+    expectCorrupt("[]"); // not an object
+    expectCorrupt("{}"); // sections missing
+    expectCorrupt("{\"counters\": {}, \"gauges\": {}}");
+    expectCorrupt("{\"counters\": 3, \"gauges\": {}, "
+                  "\"histograms\": {}}");
+    expectCorrupt("{\"counters\": {\"a\": \"x\"}, \"gauges\": {}, "
+                  "\"histograms\": {}}");
+    // bounds/counts length mismatch
+    expectCorrupt(
+        "{\"counters\": {}, \"gauges\": {}, \"histograms\": "
+        "{\"h\": {\"bounds\": [1, 2], \"counts\": [1], "
+        "\"overflow\": 0, \"total\": 1, \"sum\": 1}}}");
+}
+
+TEST(MergeTest, CountersAddGaugesMaxHistogramsAddBucketwise)
+{
+    auto into = sampleSnapshot();
+    auto from = sampleSnapshot();
+    from.metrics[2].gauge = 0.25; // lower gauge must lose
+    telemetry::mergeInto(into, from);
+
+    const auto* c = into.find("llc.demand_hits");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->counter, 84);
+    const auto* g = into.find("mpppb.confidence");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->gauge, 0.625);
+    const auto* h = into.find("llc.reuse_distance");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->histogram.counts,
+              (std::vector<std::uint64_t>{6, 0, 10}));
+    EXPECT_EQ(h->histogram.overflow, 4u);
+    EXPECT_EQ(h->histogram.total, 20u);
+    EXPECT_EQ(h->histogram.sum, 74);
+}
+
+TEST(MergeTest, DisjointNamesAreKeptAndFoldIsOrderIndependent)
+{
+    using Kind = telemetry::MetricSnapshot::Kind;
+    telemetry::MetricSnapshot only;
+    only.name = "worker.only";
+    only.kind = Kind::Counter;
+    only.counter = 7;
+
+    auto a = sampleSnapshot();
+    telemetry::Snapshot b;
+    b.metrics.push_back(only);
+    telemetry::Snapshot ab;
+    telemetry::mergeInto(ab, a);
+    telemetry::mergeInto(ab, b);
+    telemetry::Snapshot ba;
+    telemetry::mergeInto(ba, b);
+    telemetry::mergeInto(ba, a);
+    EXPECT_EQ(telemetry::snapshotJson(ab, ""),
+              telemetry::snapshotJson(ba, ""));
+    ASSERT_NE(ab.find("worker.only"), nullptr);
+    EXPECT_EQ(ab.find("worker.only")->counter, 7);
+}
+
+TEST(MergeTest, MismatchedHistogramBoundsAreCorruptInput)
+{
+    auto into = sampleSnapshot();
+    auto from = sampleSnapshot();
+    from.metrics[1].histogram.bounds = {1, 2, 8};
+    try {
+        telemetry::mergeInto(into, from);
+        FAIL() << "merged histograms with different ladders";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptInput);
+    }
+}
+
+TEST(MergeTest, MismatchedKindsAreCorruptInput)
+{
+    auto into = sampleSnapshot();
+    auto from = sampleSnapshot();
+    from.metrics[0].kind = telemetry::MetricSnapshot::Kind::Gauge;
+    try {
+        telemetry::mergeInto(into, from);
+        FAIL() << "merged one name with two kinds";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptInput);
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Phase tree reader
+
+prof::PhaseStat
+samplePhases()
+{
+    prof::PhaseStat sim;
+    sim.label = "simulate";
+    sim.count = 1;
+    sim.inclusiveSeconds = 0.008;
+    sim.exclusiveSeconds = 0.008;
+    prof::PhaseStat root;
+    root.label = "run";
+    root.count = 1;
+    root.inclusiveSeconds = 0.01;
+    root.exclusiveSeconds = 0.002;
+    root.children.push_back(sim);
+    return root;
+}
+
+TEST(PhaseTreeReaderTest, RoundTripsByteIdentically)
+{
+    const auto p = samplePhases();
+    const std::string text = prof::phaseTreeJson(p, 4);
+    const auto back =
+        prof::phaseTreeFromJson(json::parseJson(text, "p"), "p");
+    EXPECT_EQ(prof::phaseTreeJson(back, 4), text);
+}
+
+TEST(PhaseTreeReaderTest, MalformedTreeIsCorruptInput)
+{
+    const auto expectCorrupt = [](const std::string& text) {
+        try {
+            prof::phaseTreeFromJson(json::parseJson(text, "t"), "t");
+            FAIL() << "accepted: " << text;
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::CorruptInput) << text;
+        }
+    };
+    expectCorrupt("7");
+    expectCorrupt("{}"); // label missing
+    expectCorrupt("{\"label\": \"x\", \"count\": 1, "
+                  "\"inclusiveSeconds\": 0, "
+                  "\"exclusiveSeconds\": 0, \"children\": 3}");
+    // Malformed grandchild: the reader must recurse.
+    expectCorrupt("{\"label\": \"x\", \"count\": 1, "
+                  "\"inclusiveSeconds\": 0, "
+                  "\"exclusiveSeconds\": 0, \"children\": [{}]}");
+}
+
+// ---------------------------------------------------------------- //
+// OBS wire payload
+
+TEST(PayloadTest, FullPayloadRoundTripsByteIdentically)
+{
+    WorkerRunObs o;
+    o.label = "suite1/LRU";
+    o.wallSeconds = 0.0125;
+    o.accesses = 40000;
+    o.metrics = sampleSnapshot();
+    o.phases = samplePhases();
+    const std::string text = workerObsJson(o);
+    // The payload rides a line protocol: one raw newline would shear
+    // it into unparsable fragments on the pipe.
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+    const auto back = workerObsFromJson(text, "obs");
+    EXPECT_EQ(workerObsJson(back), text);
+    EXPECT_EQ(back.label, o.label);
+    ASSERT_TRUE(back.metrics.has_value());
+    ASSERT_TRUE(back.phases.has_value());
+    EXPECT_FALSE(back.truncated);
+}
+
+TEST(PayloadTest, TruncatedStubRoundTripsWithoutBulkSections)
+{
+    WorkerRunObs o;
+    o.label = "big";
+    o.wallSeconds = 1.5;
+    o.accesses = 9;
+    o.truncated = true;
+    const std::string text = workerObsJson(o);
+    const auto back = workerObsFromJson(text, "obs");
+    EXPECT_EQ(workerObsJson(back), text);
+    EXPECT_TRUE(back.truncated);
+    EXPECT_FALSE(back.metrics.has_value());
+    EXPECT_FALSE(back.phases.has_value());
+}
+
+TEST(PayloadTest, MalformedPayloadIsCorruptInput)
+{
+    const auto expectCorrupt = [](const std::string& text) {
+        try {
+            workerObsFromJson(text, "obs");
+            FAIL() << "accepted: " << text;
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::CorruptInput) << text;
+        }
+    };
+    expectCorrupt("[]");
+    expectCorrupt("{\"label\": \"x\"}"); // scalars missing
+    expectCorrupt("{\"label\": 3, \"wallSeconds\": 0, "
+                  "\"accesses\": 0, \"truncated\": false}");
+    expectCorrupt("{\"label\": \"x\", \"wallSeconds\": 0, "
+                  "\"accesses\": 0, \"truncated\": false, "
+                  "\"metrics\": []}");
+    expectCorrupt("{\"label\": \"x\", \"wallSeconds\": 0, "
+                  "\"accesses\": 0, \"truncated\": false, "
+                  "\"phases\": 3}");
+    expectCorrupt("not json at all");
+}
+
+// ---------------------------------------------------------------- //
+// FleetCollector with a scripted clock
+
+/** The golden scenario: 2 workers, 2 jobs; worker 1's first lease
+ * dies to a heartbeat timeout and the job is re-leased to worker 0.
+ * Every timestamp is scripted, so the trace is fully deterministic. */
+class ScriptedFleet
+{
+  public:
+    ScriptedFleet()
+    {
+        FleetConfig cfg;
+        cfg.clock = [this] { return now_; };
+        collector = std::make_unique<FleetCollector>(cfg);
+    }
+
+    void
+    play()
+    {
+        auto& col = *collector;
+        const std::uint64_t batch = col.batchStarted("golden-fp");
+        const std::uint64_t trace = col.traceId();
+        spanA = deriveSpanId(trace, batch, 1, 1);
+        spanB = deriveSpanId(trace, batch, 2, 1);
+        spanC = deriveSpanId(trace, batch, 2, 2);
+
+        col.workerStarted(0, 101);
+        col.workerStarted(1, 202);
+        at(0.010), col.leaseGranted(0, 1, spanA, 1, "suite1/LRU");
+        at(0.012), col.leaseGranted(1, 2, spanB, 1, "suite2/SRRIP");
+        at(0.020), col.heartbeat(0, spanA);
+        at(0.022), col.heartbeat(1, spanB);
+        at(0.030);
+        {
+            WorkerRunObs o;
+            o.label = "suite1/LRU";
+            o.wallSeconds = 0.018;
+            o.accesses = 40000;
+            o.metrics = sampleSnapshot();
+            o.phases = samplePhases();
+            col.workerObs(0, spanA, std::move(o));
+        }
+        at(0.032), col.spanClosed(0, spanA, "ok");
+        // Worker 1 goes silent; the broker expires the lease.
+        at(0.040);
+        col.spanClosed(1, spanB, "lease_expired",
+                       "heartbeat-timeout");
+        col.leaseExpired(1);
+        col.requeued(1);
+        col.workerRestarted(1, 203);
+        at(0.050), col.leaseGranted(0, 2, spanC, 2, "suite2/SRRIP");
+        at(0.055), col.heartbeat(0, spanC);
+        at(0.060);
+        {
+            WorkerRunObs o;
+            o.label = "suite2/SRRIP";
+            o.wallSeconds = 0.009;
+            o.accesses = 40000;
+            o.truncated = true; // as if it blew --obs-max-bytes
+            col.workerObs(0, spanC, std::move(o));
+        }
+        at(0.062), col.spanClosed(0, spanC, "ok");
+    }
+
+    void at(double t) { now_ = t; }
+
+    std::unique_ptr<FleetCollector> collector;
+    std::uint64_t spanA = 0, spanB = 0, spanC = 0;
+
+  private:
+    double now_ = 0.0;
+};
+
+TEST(FleetCollectorTest, MergedTraceMatchesGoldenFile)
+{
+    ScriptedFleet fleet;
+    fleet.play();
+    const std::string got = fleet.collector->traceJson();
+
+    const auto golden_path =
+        std::filesystem::path(__FILE__).parent_path() / "golden" /
+        "fleet_trace.json";
+    if (std::getenv("MRP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream(golden_path) << got;
+        GTEST_SKIP() << "regenerated " << golden_path;
+    }
+    std::ifstream f(golden_path);
+    ASSERT_TRUE(f) << "missing golden file: " << golden_path
+                   << " (regenerate with MRP_UPDATE_GOLDEN=1)";
+    std::ostringstream want;
+    want << f.rdbuf();
+    EXPECT_EQ(got, want.str());
+}
+
+TEST(FleetCollectorTest, FleetSnapshotCountsTheScenario)
+{
+    ScriptedFleet fleet;
+    fleet.play();
+    const auto snap = fleet.collector->fleetSnapshot();
+
+    const auto counter = [&](const std::string& name) {
+        const auto* m = snap.find(name);
+        return m ? static_cast<std::int64_t>(m->counter)
+                 : std::int64_t{-1};
+    };
+    EXPECT_EQ(counter("queue.jobs.worker0"), 2);
+    EXPECT_EQ(counter("queue.jobs.worker1"), 0);
+    EXPECT_EQ(counter("queue.heartbeats.worker0"), 2);
+    EXPECT_EQ(counter("queue.heartbeats.worker1"), 1);
+    EXPECT_EQ(counter("queue.lease_expired.worker0"), 0);
+    EXPECT_EQ(counter("queue.lease_expired.worker1"), 1);
+    EXPECT_EQ(counter("queue.requeued.worker1"), 1);
+    EXPECT_EQ(counter("queue.worker_restarts.worker1"), 1);
+    EXPECT_EQ(counter("queue.requeue_exhausted.worker1"), 0);
+
+    const auto* lat = snap.find("queue.lease_latency_ms.worker0");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->histogram.total, 2u); // 22 ms + 12 ms
+    const auto* thr =
+        snap.find("queue.throughput_jobs_per_s.worker0");
+    ASSERT_NE(thr, nullptr);
+    // 2 jobs over [0.010, 0.062] s.
+    EXPECT_NEAR(thr->gauge, 2.0 / 0.052, 1e-9);
+
+    // The shipped snapshots merged once (span C was truncated).
+    const auto runs = fleet.collector->mergedWorkerSnapshot();
+    const auto* hits = runs.find("llc.demand_hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_EQ(hits->counter, 42);
+}
+
+TEST(FleetCollectorTest, MetricsJsonEmbedsBrokerSnapshotAndParses)
+{
+    ScriptedFleet fleet;
+    fleet.play();
+    telemetry::MetricsRegistry reg;
+    reg.counter("queue.requeued").add(1);
+    const auto broker_snap = reg.snapshot();
+    const std::string text =
+        fleet.collector->metricsJson(&broker_snap) + "\n";
+    const auto doc = json::parseJson(text, "fleet-metrics");
+    EXPECT_EQ(doc.require("doc", json::Value::Type::String, "d")
+                  .string,
+              "mrp-fleet-metrics-v1");
+    EXPECT_NE(doc.get("fleet"), nullptr);
+    EXPECT_NE(doc.get("workerRuns"), nullptr);
+    EXPECT_NE(doc.get("broker"), nullptr);
+    EXPECT_NE(doc.get("stragglers"), nullptr);
+    // Both sides of the counter-sum equality live in one document.
+    const auto fleet_side = telemetry::snapshotFromJson(
+        *doc.get("fleet"), "fleet");
+    ASSERT_NE(fleet_side.find("queue.requeued.worker1"), nullptr);
+    EXPECT_EQ(fleet_side.find("queue.requeued.worker1")->counter, 1);
+}
+
+TEST(FleetCollectorTest, UnclosedSpanExportsAsOpen)
+{
+    FleetConfig cfg;
+    double now = 0.0;
+    cfg.clock = [&now] { return now; };
+    FleetCollector col(cfg);
+    const auto batch = col.batchStarted("fp");
+    const auto span = deriveSpanId(col.traceId(), batch, 1, 1);
+    col.workerStarted(0, 11);
+    now = 0.5;
+    col.leaseGranted(0, 1, span, 1, "left-open");
+    now = 0.6;
+    col.heartbeat(0, span);
+    const std::string trace = col.traceJson();
+    EXPECT_NE(trace.find("\"outcome\": \"open\""), std::string::npos);
+}
+
+TEST(FleetCollectorTest, StragglerFlaggedBeyondKMads)
+{
+    FleetConfig cfg;
+    double now = 0.0;
+    cfg.clock = [&now] { return now; };
+    FleetCollector col(cfg);
+    const auto batch = col.batchStarted("fp");
+    std::uint64_t job = 1;
+    const auto runJob = [&](unsigned slot, double service_s) {
+        const auto span =
+            deriveSpanId(col.traceId(), batch, job, 1);
+        col.leaseGranted(slot, job, span, 1, "j");
+        now += service_s;
+        col.spanClosed(slot, span, "ok");
+        ++job;
+    };
+    // Worker 0: 10, 10, 12, 12 ms. Worker 1: one 100 ms job.
+    // Fleet median 12 ms, MAD 2 ms -> worker 1 sits 44 MADs out.
+    runJob(0, 0.010);
+    runJob(0, 0.010);
+    runJob(0, 0.012);
+    runJob(0, 0.012);
+    runJob(1, 0.100);
+
+    const auto rep = col.stragglerReport();
+    // Service times come out of clock subtraction, so compare with a
+    // float tolerance, not exactly.
+    EXPECT_NEAR(rep.fleetMedianMs, 12.0, 1e-9);
+    EXPECT_NEAR(rep.madMs, 2.0, 1e-9);
+    ASSERT_EQ(rep.workers.size(), 2u);
+    EXPECT_FALSE(rep.workers[0].flagged);
+    EXPECT_TRUE(rep.workers[1].flagged);
+    EXPECT_NEAR(rep.workers[1].deviationMads, 44.0, 1e-6);
+    EXPECT_NE(col.stragglerText().find("** STRAGGLER **"),
+              std::string::npos);
+}
+
+TEST(FleetCollectorTest, NoJobsMeansNoStragglers)
+{
+    FleetCollector col;
+    const auto rep = col.stragglerReport();
+    EXPECT_TRUE(rep.workers.empty());
+    EXPECT_EQ(rep.madMs, 0.0);
+}
+
+// ---------------------------------------------------------------- //
+// Against real workers: the determinism contract
+
+class FleetObsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        for (const auto& p : temp_paths_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    tempPath(const std::string& name)
+    {
+        const std::string p = "/tmp/mrp_obs_" + name;
+        std::remove(p.c_str());
+        temp_paths_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> temp_paths_;
+};
+
+queue::BrokerConfig
+obsBrokerConfig(const std::string& queue_path, unsigned workers)
+{
+    queue::BrokerConfig cfg;
+    cfg.workerBin = MRP_WORKER_BIN;
+    cfg.workers = workers;
+    cfg.queuePath = queue_path;
+    cfg.heartbeatMs = 10;
+    cfg.heartbeatTimeoutMs = 400;
+    cfg.backoffSeconds = 0.001;
+    return cfg;
+}
+
+runner::RunRequest
+obsRequest(unsigned index, const char* policy)
+{
+    sim::SingleCoreConfig cfg;
+    cfg.hierarchy.llcBytes = 128 * 1024;
+    return runner::RunRequest::singleCore(
+        trace::TraceSpec::suite(index, 40000),
+        runner::PolicySpec::byName(policy), cfg);
+}
+
+std::vector<runner::RunRequest>
+obsBatch()
+{
+    std::vector<runner::RunRequest> batch;
+    for (unsigned w : {1u, 2u, 3u})
+        for (const char* p : {"LRU", "SRRIP"})
+            batch.push_back(obsRequest(w, p));
+    return batch;
+}
+
+/** Sum of a fleet counter over every .worker<i> suffix. */
+std::int64_t
+workerSum(const telemetry::Snapshot& snap, const std::string& leaf)
+{
+    std::int64_t sum = 0;
+    for (const auto& m : snap.metrics)
+        if (m.name.rfind(leaf + ".worker", 0) == 0)
+            sum += m.counter;
+    return sum;
+}
+
+TEST_F(FleetObsTest, ReportsAreByteIdenticalWithObservabilityOn)
+{
+    const auto batch = obsBatch();
+    const auto reference = runner::ExperimentRunner(1).run(batch);
+    const std::string want = runner::toJson(reference);
+
+    for (const unsigned workers : {1u, 2u}) {
+        FleetCollector collector;
+        auto cfg = obsBrokerConfig(
+            tempPath("det" + std::to_string(workers) + ".jsonl"),
+            workers);
+        cfg.collector = &collector;
+        const queue::Broker broker(cfg);
+        const auto set = broker.run(batch);
+        EXPECT_EQ(runner::toJson(set), want)
+            << "report changed with obs on at --workers " << workers;
+
+        // Every job produced exactly one ok span carrying a shipped
+        // payload with the run's telemetry.
+        const auto snap = collector.fleetSnapshot();
+        EXPECT_EQ(workerSum(snap, "queue.jobs"),
+                  static_cast<std::int64_t>(batch.size()));
+        const auto runs = collector.mergedWorkerSnapshot();
+        EXPECT_FALSE(runs.metrics.empty())
+            << "workers shipped no OBS payloads";
+        const std::string trace = collector.traceJson();
+        EXPECT_NE(trace.find("\"outcome\": \"ok\""),
+                  std::string::npos);
+        EXPECT_NE(trace.find(hex16(collector.traceId())),
+                  std::string::npos);
+    }
+}
+
+TEST_F(FleetObsTest, SigkilledWorkerClosesSpansAsLeaseExpired)
+{
+    const auto batch = obsBatch();
+    const auto reference = runner::ExperimentRunner(1).run(batch);
+
+    telemetry::MetricsRegistry metrics;
+    FleetCollector collector;
+    auto cfg = obsBrokerConfig(tempPath("kill.jsonl"), 2);
+    cfg.metrics = &metrics;
+    cfg.collector = &collector;
+    cfg.killWorkerAfterLeases = 2; // SIGKILL the 2nd lease's holder
+    const queue::Broker broker(cfg);
+
+    const auto set = broker.run(batch);
+    EXPECT_EQ(runner::toJson(set), runner::toJson(reference));
+
+    const std::string trace = collector.traceJson();
+    EXPECT_NE(trace.find("\"outcome\": \"lease_expired\""),
+              std::string::npos);
+    EXPECT_NE(trace.find("\"reason\": "), std::string::npos);
+
+    // The mirroring contract: per-worker sums equal the broker
+    // registry's totals, chaos included.
+    const auto snap = collector.fleetSnapshot();
+    for (const char* leaf :
+         {"queue.requeued", "queue.lease_expired",
+          "queue.worker_restarts", "queue.requeue_exhausted"}) {
+        EXPECT_EQ(workerSum(snap, leaf),
+                  metrics.counter(leaf).value())
+            << leaf;
+    }
+    EXPECT_GE(workerSum(snap, "queue.requeued"), 1);
+    EXPECT_GE(workerSum(snap, "queue.worker_restarts"), 1);
+}
+
+} // namespace
+} // namespace mrp::obs

@@ -192,21 +192,32 @@ TEST_F(QueueTest, ProtocolLinesRoundTrip)
     EXPECT_EQ(hello->pid, 4242u);
     EXPECT_EQ(hello->schema, kWireSchemaVersion);
 
-    const auto hb = parseHeartbeat(heartbeatLine(7, 19));
+    const auto hb = parseHeartbeat(heartbeatLine(7, 0xabcdu, 19));
     ASSERT_TRUE(hb.has_value());
     EXPECT_EQ(hb->jobId, 7u);
+    EXPECT_EQ(hb->spanId, 0xabcdu);
     EXPECT_EQ(hb->seq, 19u);
 
     const std::string payload = "{\"k\": [1, 2]}";
-    const auto job = parseJob(jobLine(3, payload));
+    const obs::SpanContext ctx{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+    const auto job = parseJob(jobLine(3, ctx, payload));
     ASSERT_TRUE(job.has_value());
     EXPECT_EQ(job->jobId, 3u);
+    EXPECT_EQ(job->traceId, ctx.traceId);
+    EXPECT_EQ(job->spanId, ctx.spanId);
     EXPECT_EQ(job->json, payload);
 
-    const auto res = parseResult(resultLine(9, payload));
+    const auto res = parseResult(resultLine(9, ctx.spanId, payload));
     ASSERT_TRUE(res.has_value());
     EXPECT_EQ(res->jobId, 9u);
+    EXPECT_EQ(res->spanId, ctx.spanId);
     EXPECT_EQ(res->json, payload);
+
+    const auto ob = parseObs(obsLine(5, ctx.spanId, payload));
+    ASSERT_TRUE(ob.has_value());
+    EXPECT_EQ(ob->jobId, 5u);
+    EXPECT_EQ(ob->spanId, ctx.spanId);
+    EXPECT_EQ(ob->json, payload);
 }
 
 TEST_F(QueueTest, ProtocolParsersRejectGarbageAndBadChecksums)
@@ -214,11 +225,17 @@ TEST_F(QueueTest, ProtocolParsersRejectGarbageAndBadChecksums)
     EXPECT_FALSE(parseHello("HELLO").has_value());
     EXPECT_FALSE(parseHello("HELLO x y").has_value());
     EXPECT_FALSE(parseHeartbeat("HB 1").has_value());
+    // v1-shaped lines (no span context) are rejected at parse time.
+    EXPECT_FALSE(parseHeartbeat("HB 1 19").has_value());
     EXPECT_FALSE(parseJob("JOB 1 deadbeef {}").has_value());
     EXPECT_FALSE(parseResult("").has_value());
     EXPECT_FALSE(parseResult("RESULT 1").has_value());
+    // Span ids must be exactly 16 lowercase hex digits.
+    EXPECT_FALSE(
+        parseResult("RESULT 1 DEADBEEF00000000 deadbeef {}")
+            .has_value());
     // A corrupted payload byte must fail the CRC frame.
-    std::string line = resultLine(1, "{\"a\": 1}");
+    std::string line = resultLine(1, 0xbeef, "{\"a\": 1}");
     line[line.size() - 2] ^= 0x20;
     EXPECT_FALSE(parseResult(line).has_value());
 }
