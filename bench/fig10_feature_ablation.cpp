@@ -104,7 +104,7 @@ main(int argc, char** argv)
     std::vector<double> lru_ws;
     for (const auto& mix : split.test) {
         const bench::MixSources sources(suite, mix);
-        std::array<double, 4> single{};
+        std::vector<double> single(4, 0.0);
         for (unsigned c = 0; c < 4; ++c)
             single[c] = single_ipc[mix.benchmarks[c]];
         lru_ws.push_back(

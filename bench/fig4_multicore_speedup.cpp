@@ -32,7 +32,7 @@ main()
 
     for (const auto& mix : split.test) {
         const bench::MixSources sources(suite, mix);
-        std::array<double, 4> single{};
+        std::vector<double> single(4, 0.0);
         for (unsigned c = 0; c < 4; ++c)
             single[c] = single_ipc[mix.benchmarks[c]];
         const double lru_ws =

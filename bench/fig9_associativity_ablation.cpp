@@ -28,7 +28,7 @@ main()
     std::vector<double> lru_ws;
     for (const auto& mix : split.test) {
         const bench::MixSources sources(suite, mix);
-        std::array<double, 4> single{};
+        std::vector<double> single(4, 0.0);
         for (unsigned c = 0; c < 4; ++c)
             single[c] = single_ipc[mix.benchmarks[c]];
         lru_ws.push_back(
@@ -41,7 +41,7 @@ main()
         std::vector<double> ws;
         for (std::size_t m = 0; m < split.test.size(); ++m) {
             const bench::MixSources sources(suite, split.test[m]);
-            std::array<double, 4> single{};
+            std::vector<double> single(4, 0.0);
             for (unsigned c = 0; c < 4; ++c)
                 single[c] = single_ipc[split.test[m].benchmarks[c]];
             const auto r = sim::runMultiCore(

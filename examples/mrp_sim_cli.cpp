@@ -18,6 +18,22 @@
  *               [--stream materialize|buffered|mmap] [--decode-ahead]
  *               [--chunk-records N]
  *   mrp_sim_cli --benchmark scan.a --dump file.mrpt   (export trace)
+ *   mrp_sim_cli --mix scan.a,zipf [--partition 10,6]
+ *               [--slo-mpki 2.5] [--qos] [--require-slo]
+ *               [--qos-epoch N] [--qos-breach N] [--qos-calm N]
+ *               [--qos-min-ways N] [--qos-hysteresis F]
+ *               [--measure-cycles N] ...
+ *
+ * Multi-tenant mode (see README "Multi-tenant LLC"): --mix runs a
+ * comma-separated list of >= 2 benchmarks as one shared-LLC
+ * multi-core run, one core per name. --partition pins each tenant
+ * (= core) to a fixed way count (the counts must sum to the LLC's
+ * associativity); --slo-mpki attaches MPKI ceilings (one value =
+ * tenant 0, or a full comma list); --qos enables the epoch-driven
+ * controller that moves one way per epoch toward breached SLOs.
+ * --require-slo exits 1 when a final measured MPKI exceeds its
+ * ceiling — the CI gate. Reports gain per-tenant outcome fields and
+ * the QoS resize schedule, byte-identical at any --jobs.
  *
  * Streaming (see README "Streaming traces"): traces are pulled chunk
  * by chunk through the TraceSource API, so a trace file is never fully
@@ -118,6 +134,12 @@ usage()
         "                   [--progress-jsonl FILE] [--seed N]\n"
         "                   [--stream materialize|buffered|mmap]\n"
         "                   [--decode-ahead] [--chunk-records N]\n"
+        "       mrp_sim_cli --mix NAME,NAME[,...]\n"
+        "                   [--partition W,W[,...]] [--slo-mpki S[,S...]]\n"
+        "                   [--qos] [--require-slo] [--qos-epoch N]\n"
+        "                   [--qos-breach N] [--qos-calm N]\n"
+        "                   [--qos-min-ways N] [--qos-hysteresis F]\n"
+        "                   [--measure-cycles N] ...\n"
         "streaming benchmarks: zipf[:THETA], blkio, phase\n");
     return 2;
 }
@@ -193,6 +215,22 @@ streamFamilySpec(const std::string& name, InstCount insts,
     return std::nullopt;
 }
 
+/** Resolve one --benchmark/--mix name: generator family, suite, or
+ * held-out workload. */
+trace::TraceSpec
+resolveBenchmark(const std::string& name, InstCount insts,
+                 std::uint64_t seed)
+{
+    if (auto fam = streamFamilySpec(name, insts, seed))
+        return *fam;
+    const auto idx = benchmarkIndex(name);
+    fatalIf(!idx, ErrorCode::Config,
+            "unknown benchmark '" + name + "' (--list)");
+    return *idx >= 1000
+               ? trace::TraceSpec::heldOut(*idx - 1000, insts, seed)
+               : trace::TraceSpec::suite(*idx, insts, seed);
+}
+
 int run(int argc, char** argv);
 
 } // namespace
@@ -237,6 +275,13 @@ run(int argc, char** argv)
     std::uint64_t seed = 0;
     std::string stream_mode = "buffered";
     trace::TraceSpec::OpenOptions oopts;
+    std::string mix_arg;
+    std::vector<unsigned> partition;
+    std::vector<double> slo_mpki;
+    bool qos = false;
+    bool require_slo = false;
+    tenant::QosConfig qos_cfg;
+    Cycle measure_cycles = 0; //!< 0 = driver default
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -312,6 +357,35 @@ run(int argc, char** argv)
                       "--stream wants materialize, buffered, or "
                       "mmap (got '" + stream_mode + "')");
             }
+        } else if (arg == "--mix") {
+            mix_arg = next();
+        } else if (arg == "--partition") {
+            for (const auto& w : splitCommas(next()))
+                partition.push_back(static_cast<unsigned>(
+                    std::strtoul(w.c_str(), nullptr, 10)));
+        } else if (arg == "--slo-mpki") {
+            for (const auto& s : splitCommas(next()))
+                slo_mpki.push_back(std::atof(s.c_str()));
+        } else if (arg == "--qos") {
+            qos = true;
+        } else if (arg == "--require-slo") {
+            require_slo = true;
+        } else if (arg == "--qos-epoch") {
+            qos_cfg.epochInstructions =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--qos-breach") {
+            qos_cfg.breachEpochs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--qos-calm") {
+            qos_cfg.calmEpochs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--qos-min-ways") {
+            qos_cfg.minWays = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--qos-hysteresis") {
+            qos_cfg.hysteresisFrac = std::atof(next());
+        } else if (arg == "--measure-cycles") {
+            measure_cycles = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--decode-ahead") {
             oopts.decodeAhead = true;
         } else if (arg == "--chunk-records") {
@@ -322,11 +396,36 @@ run(int argc, char** argv)
             return usage();
         }
     }
-    if (benchmark.empty() == trace_path.empty())
+    const bool mix_mode = !mix_arg.empty();
+    if (mix_mode) {
+        fatalIf(!benchmark.empty() || !trace_path.empty() ||
+                    !dump_path.empty() ||
+                    stream_mode == "materialize",
+                ErrorCode::Config,
+                "--mix replaces --benchmark/--trace/--dump and does "
+                "not support --stream materialize");
+    } else if (benchmark.empty() == trace_path.empty()) {
         return usage(); // exactly one source required
+    }
+
+    std::vector<trace::TraceSpec> mix_specs;
+    std::string mix_name;
+    if (mix_mode) {
+        const auto names = splitCommas(mix_arg);
+        fatalIf(names.size() < 2, ErrorCode::Config,
+                "--mix needs >= 2 comma-separated benchmarks");
+        for (const auto& n : names) {
+            mix_specs.push_back(resolveBenchmark(n, insts, seed));
+            if (!mix_name.empty())
+                mix_name += "+";
+            mix_name += mix_specs.back().displayName();
+        }
+    }
 
     std::optional<trace::TraceSpec> spec;
-    if (!trace_path.empty()) {
+    if (mix_mode) {
+        // resolved above; the single-source paths below are skipped
+    } else if (!trace_path.empty()) {
         spec.emplace(trace::TraceSpec::file(trace_path));
     } else if (auto fam = streamFamilySpec(benchmark, insts, seed)) {
         spec = std::move(fam);
@@ -361,7 +460,7 @@ run(int argc, char** argv)
     // (the pre-streaming behavior) and run from memory. Identical
     // reports, maximal RSS — useful mainly as the equivalence anchor.
     std::optional<trace::Trace> held;
-    if (stream_mode == "materialize") {
+    if (!mix_mode && stream_mode == "materialize") {
         held.emplace(trace::materialize(*spec->open(oopts)));
         spec.emplace(trace::TraceSpec::borrowed(*held));
     }
@@ -377,6 +476,52 @@ run(int argc, char** argv)
         cfg.telemetry.enabled = true;
         if (epoch > 0)
             cfg.telemetry.epochAccesses = epoch;
+    }
+
+    // Multi-tenant mix configuration (the driver validates the
+    // partition against the LLC geometry and core count).
+    sim::MultiCoreConfig mcfg;
+    if (mix_mode) {
+        const unsigned ncores =
+            static_cast<unsigned>(mix_specs.size());
+        mcfg.hierarchy.llcBytes = llc_kb * 1024;
+        mcfg.hierarchy.prefetchEnabled = prefetch;
+        mcfg.seed = seed;
+        // FIESTA warmup is a total budget across cores; keep the
+        // per-core share equal to the single-core fraction.
+        mcfg.warmupInstructions = static_cast<InstCount>(
+            warmup * static_cast<double>(insts) *
+            static_cast<double>(ncores));
+        if (measure_cycles > 0)
+            mcfg.measureCycles = measure_cycles;
+        if (telemetry) {
+            mcfg.telemetry.enabled = true;
+            if (epoch > 0)
+                mcfg.telemetry.epochAccesses = epoch;
+        }
+        if (!partition.empty()) {
+            fatalIf(partition.size() != mix_specs.size(),
+                    ErrorCode::Config,
+                    "--partition needs one way count per --mix entry");
+            mcfg.tenancy.tenants.resize(ncores);
+            for (unsigned t = 0; t < ncores; ++t)
+                mcfg.tenancy.tenants[t].ways = partition[t];
+            if (!slo_mpki.empty()) {
+                fatalIf(slo_mpki.size() != 1 &&
+                            slo_mpki.size() != mix_specs.size(),
+                        ErrorCode::Config,
+                        "--slo-mpki wants one value (tenant 0) or "
+                        "one per tenant");
+                for (std::size_t t = 0; t < slo_mpki.size(); ++t)
+                    mcfg.tenancy.tenants[t].sloMpki = slo_mpki[t];
+            }
+            mcfg.tenancy.qos = qos_cfg;
+            mcfg.tenancy.qos.enabled = qos;
+        } else {
+            fatalIf(!slo_mpki.empty() || qos || require_slo,
+                    ErrorCode::Config,
+                    "--slo-mpki/--qos/--require-slo need --partition");
+        }
     }
 
     const auto policies = splitCommas(policy);
@@ -403,7 +548,7 @@ run(int argc, char** argv)
     const bool profiling = ropts.profile || ropts.progressStderr ||
                            !ropts.progressJsonlPath.empty();
 
-    if (policies.size() == 1 && json_path.empty() &&
+    if (!mix_mode && policies.size() == 1 && json_path.empty() &&
         csv_path.empty() && !resilience && !telemetry && !profiling) {
         // Single-run path: the detailed per-run report.
         const auto src = spec->open(oopts);
@@ -435,17 +580,23 @@ run(int argc, char** argv)
     std::vector<runner::RunRequest> batch;
     batch.reserve(policies.size());
     for (const auto& p : policies) {
-        batch.push_back(runner::RunRequest::singleCore(
-            *spec, runner::PolicySpec::byName(p), cfg));
+        if (mix_mode)
+            batch.push_back(runner::RunRequest::multiCore(
+                mix_specs, runner::PolicySpec::byName(p), mcfg));
+        else
+            batch.push_back(runner::RunRequest::singleCore(
+                *spec, runner::PolicySpec::byName(p), cfg));
         batch.back().openOptions = oopts;
     }
 
     const runner::ExperimentRunner pool(jobs);
     const auto set = pool.run(batch, ropts);
 
+    const std::string display =
+        mix_mode ? mix_name : spec->displayName();
     std::printf("# %s: %zu policies, %u worker(s), %.2fs wall\n",
-                spec->displayName().c_str(), set.results.size(),
-                set.jobs, set.wallSeconds);
+                display.c_str(), set.results.size(), set.jobs,
+                set.wallSeconds);
     std::printf("%-12s %10s %10s %14s %10s\n", "policy", "IPC",
                 "MPKI", "insts", "misses");
     bool failed = false;
@@ -461,6 +612,21 @@ run(int argc, char** argv)
                     static_cast<unsigned long long>(r.instructions),
                     static_cast<unsigned long long>(
                         r.llcDemandMisses));
+        for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+            const auto& o = r.tenants[t];
+            std::printf("  tenant %zu: ways %u -> %u, mpki %.3f",
+                        t, o.waysInitial, o.waysFinal, o.mpki);
+            if (o.sloMpki > 0.0) {
+                const bool met = o.mpki <= o.sloMpki;
+                std::printf(" (slo %.3f %s)", o.sloMpki,
+                            met ? "met" : "VIOLATED");
+                if (require_slo && !met)
+                    failed = true;
+            }
+            std::printf("\n");
+        }
+        if (!r.tenants.empty())
+            std::printf("  qos resizes: %zu\n", r.qosSchedule.size());
     }
 
     const runner::ReportOptions opts{timing};
@@ -494,8 +660,7 @@ run(int argc, char** argv)
         }
         runner::writeFile(
             prof_out_path,
-            prof::benchJson(spec->displayName(), bruns,
-                            prof::machineInfo(),
+            prof::benchJson(display, bruns, prof::machineInfo(),
                             prof::gitSha()));
         std::fprintf(stderr, "wrote %s\n", prof_out_path.c_str());
     }

@@ -63,7 +63,9 @@ class Hierarchy
     PolicyCache& llc() { return llc_; }
     const PolicyCache& llc() const { return llc_; }
     BasicCache& l1(CoreId core) { return l1_[core]; }
+    const BasicCache& l1(CoreId core) const { return l1_[core]; }
     BasicCache& l2(CoreId core) { return l2_[core]; }
+    const BasicCache& l2(CoreId core) const { return l2_[core]; }
 
     const HierarchyConfig& config() const { return cfg_; }
 

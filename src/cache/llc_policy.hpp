@@ -26,6 +26,22 @@ class MetricsRegistry;
 
 namespace mrp::cache {
 
+/**
+ * Bitmask of ways a fill may use (bit w = way w allowed). Zero means
+ * "unrestricted": the whole set is available. Way-partitioned policies
+ * return a proper subset; the cache then confines both the
+ * invalid-way scan and victim selection to it. Caps associativity at
+ * 64 ways for partitioned configurations only.
+ */
+using WayMask = std::uint64_t;
+
+/** Mask with the low @p ways bits set (ways == 64 yields all-ones). */
+constexpr WayMask
+fullWayMask(std::uint32_t ways)
+{
+    return ways >= 64 ? ~WayMask{0} : (WayMask{1} << ways) - 1;
+}
+
 /** Interface implemented by every LLC management policy. */
 class LlcPolicy
 {
@@ -72,6 +88,45 @@ class LlcPolicy
      */
     virtual std::uint32_t victimWay(const AccessInfo& info,
                                     std::uint32_t set) = 0;
+
+    /**
+     * Restrict which ways the fill for @p info may use in @p set.
+     * Zero (the default) means unrestricted. Way-partitioning policies
+     * return the owning tenant's partition mask; the cache confines
+     * the invalid-way scan and victim selection to it.
+     */
+    virtual WayMask
+    fillWays(const AccessInfo& info, std::uint32_t set)
+    {
+        (void)info;
+        (void)set;
+        return 0;
+    }
+
+    /**
+     * Choose a victim among the ways set in @p mask (never zero, and
+     * every masked way is valid). The default delegates to victimWay —
+     * correct whenever fillWays returned "unrestricted"; policies that
+     * partition must override and stay inside the mask.
+     */
+    virtual std::uint32_t
+    victimWayIn(const AccessInfo& info, std::uint32_t set, WayMask mask)
+    {
+        (void)mask;
+        return victimWay(info, set);
+    }
+
+    /**
+     * The tenant (partition owner) an access belongs to; 0 when the
+     * cache is unpartitioned. Blocks are tagged with this at fill so
+     * tenants with colliding address spaces never cross-hit.
+     */
+    virtual std::uint32_t
+    tenantOf(const AccessInfo& info) const
+    {
+        (void)info;
+        return 0;
+    }
 
     /** The missing block was installed at (@p set, @p way). */
     virtual void onFill(const AccessInfo& info, std::uint32_t set,

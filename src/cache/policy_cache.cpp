@@ -22,12 +22,13 @@ PolicyCache::blockAt(std::uint32_t set, std::uint32_t way)
 }
 
 int
-PolicyCache::findWay(std::uint32_t set, std::uint64_t tag) const
+PolicyCache::findWay(std::uint32_t set, std::uint64_t tag,
+                     std::uint32_t owner) const
 {
     const Block* base =
         &blocks_[static_cast<std::size_t>(set) * geom_.ways()];
     for (std::uint32_t w = 0; w < geom_.ways(); ++w)
-        if (base[w].valid && base[w].tag == tag)
+        if (base[w].valid && base[w].tag == tag && base[w].owner == owner)
             return static_cast<int>(w);
     return -1;
 }
@@ -55,6 +56,7 @@ PolicyCache::access(const AccessInfo& info)
     MRP_PROF_SCOPE_HOT("llc.access");
     const std::uint32_t set = geom_.setIndex(info.addr);
     const std::uint64_t tag = geom_.tag(info.addr);
+    const std::uint32_t owner = policy_->tenantOf(info);
 
     switch (info.type) {
       case AccessType::Load:
@@ -84,7 +86,7 @@ PolicyCache::access(const AccessInfo& info)
     }
 
     LlcResult result;
-    const int hit_way = findWay(set, tag);
+    const int hit_way = findWay(set, tag, owner);
     if (hit_way >= 0) {
         result.hit = true;
         if (info.type == AccessType::Writeback)
@@ -132,11 +134,18 @@ PolicyCache::access(const AccessInfo& info)
     if (observer_)
         observer_->onAccess(info, false, set, -1);
 
-    // Find an invalid way first: bypassing when a way is free would
-    // waste capacity, so the policy is only consulted for full sets.
+    // The fill may be confined to a partition; zero means the whole
+    // set is available.
+    const WayMask fill_mask = policy_->fillWays(info, set);
+    const WayMask allowed =
+        fill_mask != 0 ? fill_mask : fullWayMask(geom_.ways());
+
+    // Find an invalid allowed way first: bypassing when a way is free
+    // would waste capacity, so the policy is only consulted for full
+    // (within the partition) sets.
     std::uint32_t fill_way = geom_.ways();
     for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
-        if (!blockAt(set, w).valid) {
+        if ((allowed >> w & 1) != 0 && !blockAt(set, w).valid) {
             fill_way = w;
             break;
         }
@@ -151,9 +160,12 @@ PolicyCache::access(const AccessInfo& info)
                 observer_->onBypass(info, set);
             return result;
         }
-        fill_way = policy_->victimWay(info, set);
-        panicIf(fill_way >= geom_.ways(),
-                "policy returned an out-of-range victim way");
+        fill_way = fill_mask != 0
+                       ? policy_->victimWayIn(info, set, fill_mask)
+                       : policy_->victimWay(info, set);
+        panicIf(fill_way >= geom_.ways() ||
+                    (allowed >> fill_way & 1) == 0,
+                "policy returned a victim way outside the fill mask");
         Block& victim = blockAt(set, fill_way);
         result.victim.valid = true;
         result.victim.blockAddress = geom_.blockAddrOf(set, victim.tag);
@@ -173,6 +185,7 @@ PolicyCache::access(const AccessInfo& info)
 
     Block& slot = blockAt(set, fill_way);
     slot.tag = tag;
+    slot.owner = owner;
     slot.valid = true;
     slot.dirty = info.type == AccessType::Writeback;
     if (tel_)
@@ -186,7 +199,25 @@ PolicyCache::access(const AccessInfo& info)
 bool
 PolicyCache::contains(Addr addr) const
 {
-    return findWay(geom_.setIndex(addr), geom_.tag(addr)) >= 0;
+    // Presence check is owner-agnostic: any tenant's copy counts.
+    const std::uint32_t set = geom_.setIndex(addr);
+    const std::uint64_t tag = geom_.tag(addr);
+    const Block* base =
+        &blocks_[static_cast<std::size_t>(set) * geom_.ways()];
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+std::uint64_t
+PolicyCache::ownerBlockCount(std::uint32_t owner) const
+{
+    std::uint64_t n = 0;
+    for (const Block& b : blocks_)
+        if (b.valid && b.owner == owner)
+            ++n;
+    return n;
 }
 
 std::uint64_t

@@ -64,6 +64,9 @@ class PolicyCache
     /** LLC demand misses attributed to a core. */
     std::uint64_t demandMissesOf(CoreId core) const;
 
+    /** Valid blocks currently owned by tenant @p owner (O(cache)). */
+    std::uint64_t ownerBlockCount(std::uint32_t owner) const;
+
     /** Zero all statistics (end of warmup). */
     void resetStats();
 
@@ -71,6 +74,7 @@ class PolicyCache
     struct Block
     {
         std::uint64_t tag = 0;
+        std::uint32_t owner = 0; //!< tenant id; 0 when unpartitioned
         bool valid = false;
         bool dirty = false;
     };
@@ -90,7 +94,8 @@ class PolicyCache
     };
 
     Block& blockAt(std::uint32_t set, std::uint32_t way);
-    int findWay(std::uint32_t set, std::uint64_t tag) const;
+    int findWay(std::uint32_t set, std::uint64_t tag,
+                std::uint32_t owner) const;
 
     CacheGeometry geom_;
     std::unique_ptr<LlcPolicy> policy_;

@@ -223,6 +223,15 @@ MpppbPolicy::victimWay(const cache::AccessInfo& info, std::uint32_t set)
                  : srrip_->victimWay(info, set);
 }
 
+std::uint32_t
+MpppbPolicy::victimWayIn(const cache::AccessInfo& info, std::uint32_t set,
+                         cache::WayMask mask)
+{
+    MRP_PROF_SCOPE_HOT("llc.victim");
+    return mdpp_ ? mdpp_->victimWayIn(info, set, mask)
+                 : srrip_->victimWayIn(info, set, mask);
+}
+
 void
 MpppbPolicy::onFill(const cache::AccessInfo& info, std::uint32_t set,
                     std::uint32_t way)

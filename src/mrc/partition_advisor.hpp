@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Knee-based way-partition advisor: turns one MRC profile per tenant
+ * into a suggested LLC way split for the multi-tenant driver
+ * (src/tenant/).
+ *
+ * The knee of a tenant's miss-ratio curve is the smallest profiled
+ * capacity that already captures most of the achievable miss-ratio
+ * reduction; capacity beyond it buys little. Splitting ways in
+ * proportion to the knees gives cache-hungry tenants the capacity
+ * they can convert into hits and stops streaming tenants from
+ * hoarding ways they cannot use — the classic utility-based
+ * partitioning argument, driven here by the one-pass MRC engine
+ * instead of set-dueling hardware monitors.
+ *
+ * Determinism contract: the advice is a pure function of the profiles
+ * and the knobs (largest-remainder rounding with lowest-index tie
+ * break), so the emitted JSON is byte-stable across reruns and CI can
+ * diff it.
+ */
+
+#ifndef MRP_MRC_PARTITION_ADVISOR_HPP
+#define MRP_MRC_PARTITION_ADVISOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "mrc/profile.hpp"
+#include "util/types.hpp"
+
+namespace mrp::mrc {
+
+struct PartitionAdvisorConfig
+{
+    /** Total LLC capacity the partition will carve up. */
+    Addr llcBytes = 0;
+    /** Total LLC ways to split (the sum of the suggestion). */
+    unsigned llcWays = 0;
+    /** Floor per tenant; the QoS controller uses the same floor. */
+    unsigned minWays = 1;
+    /** A tenant's knee captures this fraction of its achievable
+     * miss-ratio reduction (base capacity -> largest capacity). */
+    double kneeFraction = 0.9;
+};
+
+/** Advice for one tenant, in corpus order. */
+struct TenantAdvice
+{
+    std::string benchmark;
+    /** Smallest profiled capacity capturing kneeFraction of the
+     * tenant's achievable miss-ratio reduction. */
+    Addr kneeBytes = 0;
+    /** Miss ratio the curve predicts at the knee. */
+    double kneeMissRatio = 0.0;
+    /** Suggested ways out of llcWays. */
+    unsigned ways = 0;
+};
+
+struct PartitionAdvice
+{
+    std::vector<TenantAdvice> tenants;
+
+    /** Comma-joined way counts — the exact value mrp_sim_cli's
+     * --partition flag takes. */
+    std::string partitionFlag() const;
+
+    /** Deterministic JSON document, newline-terminated. */
+    std::string toJson(const PartitionAdvisorConfig& cfg) const;
+};
+
+/**
+ * Suggest a way split for @p profiles (one per tenant, in tenant
+ * order) over an LLC of cfg.llcBytes / cfg.llcWays.
+ *
+ * Knees are converted to way shares by largest-remainder rounding
+ * after reserving cfg.minWays per tenant; remainder ties break to the
+ * lowest tenant index. Throws FatalError(Config) when the profiles
+ * are empty, the geometry is degenerate, or minWays cannot be met.
+ */
+PartitionAdvice
+suggestPartition(const std::vector<MrcProfile>& profiles,
+                 const PartitionAdvisorConfig& cfg);
+
+} // namespace mrp::mrc
+
+#endif // MRP_MRC_PARTITION_ADVISOR_HPP

@@ -32,6 +32,21 @@ LruPolicy::victimWay(const cache::AccessInfo&, std::uint32_t set)
     return victim;
 }
 
+std::uint32_t
+LruPolicy::victimWayIn(const cache::AccessInfo&, std::uint32_t set,
+                       cache::WayMask mask)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if ((mask >> w & 1) == 0)
+            continue;
+        if (victim == ways_ || stamps_[base + w] < stamps_[base + victim])
+            victim = w;
+    }
+    return victim;
+}
+
 void
 LruPolicy::onFill(const cache::AccessInfo&, std::uint32_t set,
                   std::uint32_t way)
@@ -61,6 +76,20 @@ std::uint32_t
 RandomPolicy::victimWay(const cache::AccessInfo&, std::uint32_t)
 {
     return static_cast<std::uint32_t>(rng_.below(ways_));
+}
+
+std::uint32_t
+RandomPolicy::victimWayIn(const cache::AccessInfo&, std::uint32_t,
+                          cache::WayMask mask)
+{
+    // Uniform over the masked ways: pick the k-th set bit.
+    const unsigned count =
+        static_cast<unsigned>(__builtin_popcountll(mask));
+    std::uint64_t k = rng_.below(count);
+    for (std::uint32_t w = 0;; ++w) {
+        if ((mask >> w & 1) != 0 && k-- == 0)
+            return w;
+    }
 }
 
 } // namespace mrp::policy

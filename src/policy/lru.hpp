@@ -24,6 +24,9 @@ class LruPolicy : public cache::LlcPolicy
                std::uint32_t way) override;
     std::uint32_t victimWay(const cache::AccessInfo& info,
                             std::uint32_t set) override;
+    std::uint32_t victimWayIn(const cache::AccessInfo& info,
+                              std::uint32_t set,
+                              cache::WayMask mask) override;
     void onFill(const cache::AccessInfo& info, std::uint32_t set,
                 std::uint32_t way) override;
 
@@ -52,6 +55,9 @@ class RandomPolicy : public cache::LlcPolicy
     }
     std::uint32_t victimWay(const cache::AccessInfo& info,
                             std::uint32_t set) override;
+    std::uint32_t victimWayIn(const cache::AccessInfo& info,
+                              std::uint32_t set,
+                              cache::WayMask mask) override;
     void onFill(const cache::AccessInfo&, std::uint32_t,
                 std::uint32_t) override
     {

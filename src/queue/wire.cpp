@@ -256,6 +256,55 @@ driverFromJson(const Value& v, const std::string& what,
     d.seed = reqU64(v, "seed", what);
 }
 
+std::string
+tenancyJson(const tenant::TenancyConfig& t)
+{
+    std::string out = "{" + json::key("tenants") + "[";
+    for (std::size_t i = 0; i < t.tenants.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "{" + json::key("ways") +
+               std::to_string(t.tenants[i].ways) + ", " +
+               json::key("sloMpki") +
+               json::formatDouble(t.tenants[i].sloMpki) + "}";
+    }
+    out += "], " + json::key("qos") + "{";
+    out += json::key("enabled") +
+           std::string(t.qos.enabled ? "true" : "false");
+    out += ", " + json::key("epochInstructions") +
+           std::to_string(t.qos.epochInstructions);
+    out += ", " + json::key("breachEpochs") +
+           std::to_string(t.qos.breachEpochs);
+    out += ", " + json::key("calmEpochs") +
+           std::to_string(t.qos.calmEpochs);
+    out += ", " + json::key("hysteresisFrac") +
+           json::formatDouble(t.qos.hysteresisFrac);
+    out += ", " + json::key("minWays") +
+           std::to_string(t.qos.minWays);
+    out += "}}";
+    return out;
+}
+
+tenant::TenancyConfig
+tenancyFromJson(const Value& v, const std::string& what)
+{
+    tenant::TenancyConfig t;
+    for (const auto& e : reqArr(v, "tenants", what).array) {
+        tenant::TenantConfig tc;
+        tc.ways = reqUnsigned(e, "ways", what);
+        tc.sloMpki = reqDouble(e, "sloMpki", what);
+        t.tenants.push_back(tc);
+    }
+    const auto& q = reqObj(v, "qos", what);
+    t.qos.enabled = reqBool(q, "enabled", what);
+    t.qos.epochInstructions = reqU64(q, "epochInstructions", what);
+    t.qos.breachEpochs = reqUnsigned(q, "breachEpochs", what);
+    t.qos.calmEpochs = reqUnsigned(q, "calmEpochs", what);
+    t.qos.hysteresisFrac = reqDouble(q, "hysteresisFrac", what);
+    t.qos.minWays = reqUnsigned(q, "minWays", what);
+    return t;
+}
+
 // --- line-protocol helpers ------------------------------------------
 
 /** Full-string unsigned parse; nullopt on anything else. */
@@ -373,7 +422,13 @@ requestJson(const runner::RunRequest& request)
         const auto& c =
             std::get<sim::MultiCoreConfig>(request.config);
         out += driverJson(c) + ", " + json::key("measureCycles") +
-               std::to_string(c.measureCycles) + "}";
+               std::to_string(c.measureCycles);
+        // Tenancy travels only when configured, so non-tenant job
+        // payloads stay byte-identical to the previous schema.
+        if (c.tenancy.configured())
+            out += ", " + json::key("tenancy") +
+                   tenancyJson(c.tenancy);
+        out += "}";
     } else {
         out += driverJson(
                    std::get<sim::SingleCoreConfig>(request.config)) +
@@ -405,11 +460,14 @@ requestFromJson(const json::Value& v, const std::string& what)
     r.policy.name = name;
 
     const auto& srcs = reqArr(v, "sources", what).array;
-    const std::size_t expected = mode == "multi" ? 4u : 1u;
-    fatalIf(srcs.size() != expected, ErrorCode::CorruptInput,
-            what + ": " + mode + " request needs " +
-                std::to_string(expected) + " sources, got " +
-                std::to_string(srcs.size()));
+    if (mode == "multi")
+        fatalIf(srcs.size() < 2, ErrorCode::CorruptInput,
+                what + ": multi request needs >= 2 sources, got " +
+                    std::to_string(srcs.size()));
+    else
+        fatalIf(srcs.size() != 1, ErrorCode::CorruptInput,
+                what + ": single request needs 1 source, got " +
+                    std::to_string(srcs.size()));
     for (const auto& s : srcs)
         r.sources.push_back(trace::TraceSpec::fromJson(s, what));
 
@@ -418,6 +476,8 @@ requestFromJson(const json::Value& v, const std::string& what)
         sim::MultiCoreConfig c;
         driverFromJson(cfg, what, c);
         c.measureCycles = reqU64(cfg, "measureCycles", what);
+        if (const auto* t = cfg.get("tenancy"))
+            c.tenancy = tenancyFromJson(*t, what + " tenancy");
         r.config = std::move(c);
     } else {
         sim::SingleCoreConfig c;

@@ -279,13 +279,16 @@ class ProgressSink
 void
 validate(const RunRequest& req, std::size_t idx)
 {
-    const std::size_t expect = req.isMultiCore() ? 4 : 1;
-    fatalIf(req.sources.size() != expect,
-            "request " + std::to_string(idx) + ": " +
-                std::to_string(req.sources.size()) +
-                " source(s) for a " +
-                (req.isMultiCore() ? "multi-core" : "single-core") +
-                " config (need " + std::to_string(expect) + ")");
+    if (req.isMultiCore())
+        fatalIf(req.sources.size() < 2,
+                "request " + std::to_string(idx) + ": " +
+                    std::to_string(req.sources.size()) +
+                    " source(s) for a multi-core config (need >= 2)");
+    else
+        fatalIf(req.sources.size() != 1,
+                "request " + std::to_string(idx) + ": " +
+                    std::to_string(req.sources.size()) +
+                    " source(s) for a single-core config (need 1)");
     fatalIf(req.policy.name.empty(),
             "request " + std::to_string(idx) + ": empty policy name");
 }
@@ -336,23 +339,27 @@ executeInto(const RunRequest& req, RunResult& out)
         fatalIf(req.policy.name == "MIN" && byNameOnly(req.policy),
                 "MIN needs a single-core request (two-pass oracle)");
         const auto factory = resolveFactory(req.policy);
-        std::array<std::unique_ptr<trace::TraceSource>, 4> opened;
-        std::array<trace::TraceSource*, 4> mix{};
-        for (unsigned c = 0; c < 4; ++c) {
+        const std::size_t n = req.sources.size();
+        std::vector<std::unique_ptr<trace::TraceSource>> opened(n);
+        std::vector<trace::TraceSource*> mix(n, nullptr);
+        for (std::size_t c = 0; c < n; ++c) {
             opened[c] = req.sources[c].open(req.openOptions);
             mix[c] = opened[c].get();
         }
-        const auto r = sim::runMultiCore(mix, factory, cfg);
+        const auto r = sim::runMultiCore(
+            std::span<trace::TraceSource* const>(mix), factory, cfg);
         out.policy = req.policy.name;
         out.ipc = 0.0;
         out.instructions = 0;
         out.coreIpc.assign(r.ipc.begin(), r.ipc.end());
-        for (unsigned c = 0; c < 4; ++c) {
+        for (std::size_t c = 0; c < n; ++c) {
             out.ipc += r.ipc[c];
             out.instructions += r.instructions[c];
         }
         out.llcDemandMisses = r.llcDemandMisses;
         out.mpki = r.mpki;
+        out.tenants = r.tenants;
+        out.qosSchedule = r.qosSchedule;
         out.telemetry = r.telemetry;
         return;
     }

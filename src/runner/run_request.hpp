@@ -89,7 +89,7 @@ struct PolicySpec
  */
 struct RunRequest
 {
-    /** 1 spec => single-core run; 4 specs => multi-core mix run. */
+    /** 1 spec => single-core run; >= 2 specs => multi-core mix run. */
     std::vector<trace::TraceSpec> sources;
     PolicySpec policy;
     /** Driver configuration matching the source count. */
@@ -122,6 +122,18 @@ struct RunRequest
         RunRequest r;
         r.sources.assign(std::make_move_iterator(mix.begin()),
                          std::make_move_iterator(mix.end()));
+        r.policy = std::move(policy);
+        r.config = std::move(cfg);
+        return r;
+    }
+
+    /** N-core mix (>= 2 sources); tenancy configs size to the mix. */
+    static RunRequest
+    multiCore(std::vector<trace::TraceSpec> mix, PolicySpec policy,
+              sim::MultiCoreConfig cfg = {})
+    {
+        RunRequest r;
+        r.sources = std::move(mix);
         r.policy = std::move(policy);
         r.config = std::move(cfg);
         return r;
@@ -163,6 +175,14 @@ struct RunResult
     std::uint64_t llcDemandMisses = 0;
     std::uint64_t llcBypasses = 0;
     std::vector<double> coreIpc; //!< per-core IPCs (multi-core only)
+    /**
+     * Tenancy outcome, present iff the request configured tenants
+     * (empty vectors otherwise, and the report/journal fields are
+     * omitted for byte-compat with non-tenant artifacts). All values
+     * are simulated outcomes, so they survive checkpoint/resume.
+     */
+    std::vector<sim::TenantOutcome> tenants;
+    std::vector<tenant::QosResize> qosSchedule;
     /**
      * Present iff the request's config enabled telemetry. Excluded
      * from the checkpoint journal, so runs restored by --resume carry

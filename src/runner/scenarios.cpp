@@ -1,0 +1,100 @@
+#include "runner/scenarios.hpp"
+
+#include "util/logging.hpp"
+
+namespace mrp::runner {
+
+namespace {
+
+RunRequest
+mixRequest(std::vector<trace::TraceSpec> mix,
+           const ScenarioConfig& cfg,
+           const tenant::TenancyConfig& tenancy,
+           const std::string& label)
+{
+    sim::MultiCoreConfig mc = cfg.sim;
+    mc.tenancy = tenancy;
+    auto r = RunRequest::multiCore(std::move(mix), cfg.policy, mc);
+    r.label = label;
+    return r;
+}
+
+} // namespace
+
+std::vector<RunRequest>
+noisyNeighborBatch(const trace::TraceSpec& victim,
+                   const trace::TraceSpec& aggressor,
+                   const std::vector<unsigned>& victimWays,
+                   const ScenarioConfig& cfg)
+{
+    const std::uint32_t llc_ways = cfg.sim.hierarchy.llcWays;
+    std::vector<RunRequest> batch;
+
+    // The interference measurement: same mix, no partition.
+    batch.push_back(mixRequest({victim, aggressor}, cfg, {},
+                               "shared"));
+
+    for (const unsigned v : victimWays) {
+        fatalIf(v == 0 || v >= llc_ways, ErrorCode::Config,
+                "victim ways " + std::to_string(v) +
+                    " must leave the aggressor >= 1 of " +
+                    std::to_string(llc_ways) + " LLC ways");
+        tenant::TenancyConfig t;
+        t.tenants.resize(2);
+        t.tenants[0].ways = v;
+        t.tenants[1].ways = llc_ways - v;
+        const std::string split = std::to_string(v) + "/" +
+                                  std::to_string(llc_ways - v);
+        batch.push_back(mixRequest({victim, aggressor}, cfg, t,
+                                   "part:" + split));
+    }
+
+    if (cfg.qos) {
+        fatalIf(victimWays.empty(), ErrorCode::Config,
+                "QoS scenario needs at least one --victim-ways split "
+                "as its starting partition");
+        const unsigned v = victimWays.back();
+        tenant::TenancyConfig t;
+        t.tenants.resize(2);
+        t.tenants[0].ways = v;
+        t.tenants[0].sloMpki = cfg.victimSloMpki;
+        t.tenants[1].ways = llc_ways - v;
+        t.qos.enabled = true;
+        batch.push_back(mixRequest(
+            {victim, aggressor}, cfg, t,
+            "qos:" + std::to_string(v) + "/" +
+                std::to_string(llc_ways - v)));
+    }
+    return batch;
+}
+
+std::vector<RunRequest>
+mixCampaign(const std::vector<std::vector<trace::TraceSpec>>& mixes,
+            const tenant::TenancyConfig& tenancy,
+            const ScenarioConfig& cfg)
+{
+    fatalIf(mixes.empty(), ErrorCode::Config,
+            "mix campaign needs at least one mix");
+    std::vector<RunRequest> batch;
+    for (const auto& mix : mixes) {
+        fatalIf(mix.size() < 2, ErrorCode::Config,
+                "every campaign mix needs >= 2 workloads");
+        fatalIf(tenancy.configured() &&
+                    tenancy.tenants.size() != mix.size(),
+                ErrorCode::Config,
+                "tenancy arity " +
+                    std::to_string(tenancy.tenants.size()) +
+                    " does not match mix arity " +
+                    std::to_string(mix.size()));
+        std::string label;
+        for (const auto& s : mix) {
+            if (!label.empty())
+                label += "+";
+            label += s.displayName();
+        }
+        batch.push_back(mixRequest(mix, cfg, tenancy, label));
+    }
+    return batch;
+}
+
+} // namespace mrp::runner

@@ -1,11 +1,19 @@
 /**
  * @file
- * Four-core multi-programmed simulation driver following the paper's
+ * Multi-programmed simulation driver following the paper's
  * FIESTA-inspired methodology (§4.2): each core replays an
  * equal-standalone-time region of its benchmark, looping as needed, so
  * all cores stay active for the whole measurement; warmup runs until a
  * total instruction budget is reached; each thread is then measured
- * over a fixed window of its own cycles.
+ * over a fixed window of its own cycles. The driver takes any number
+ * of cores >= 2 (the paper's mixes use 4).
+ *
+ * With a TenancyConfig the LLC is way-partitioned per core (one tenant
+ * per core, private predictor state, owner-tagged blocks) and warmup
+ * switches to a per-core share of the budget, which makes each
+ * tenant's measured window a pure function of its own stream — the
+ * fixed-partition isolation contract DESIGN.md documents. Enabling QoS
+ * adds the epoch-driven partition resizer on top.
  */
 
 #ifndef MRP_SIM_MULTI_CORE_HPP
@@ -15,10 +23,13 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "cache/hierarchy.hpp"
 #include "sim/driver_config.hpp"
 #include "sim/policies.hpp"
+#include "tenant/config.hpp"
+#include "tenant/qos.hpp"
 #include "trace/source.hpp"
 #include "trace/trace.hpp"
 
@@ -39,19 +50,41 @@ struct MultiCoreConfig : DriverConfig
     MultiCoreConfig() { hierarchy = cache::multiCoreConfig(); }
 
     Cycle measureCycles = 500000; //!< per-core window
+
+    /**
+     * Optional multi-tenant LLC: one tenant per core. Empty (the
+     * default) preserves the shared-cache behaviour bit for bit.
+     */
+    tenant::TenancyConfig tenancy{};
 };
 
-/** Measured outcome of one 4-core mix run. */
+/** Per-tenant outcome of a partitioned run (one per core). */
+struct TenantOutcome
+{
+    std::uint32_t waysInitial = 0; //!< configured partition size
+    std::uint32_t waysFinal = 0;   //!< partition size after QoS
+    std::uint64_t demandMisses = 0; //!< LLC demand misses, measured
+    InstCount instructions = 0;     //!< retired in the measured window
+    double mpki = 0.0;
+    double sloMpki = 0.0; //!< configured ceiling; 0 = best effort
+};
+
+/** Measured outcome of one multi-core mix run. */
 struct MultiCoreResult
 {
     std::string mixName;
     std::string policy;
-    std::array<double, 4> ipc{};
-    std::array<InstCount, 4> instructions{};
+    std::vector<double> ipc;
+    std::vector<InstCount> instructions;
     std::uint64_t llcDemandMisses = 0;
     double mpki = 0.0; //!< LLC demand misses per kilo (all cores)
     /** Present iff cfg.telemetry.enabled; covers the measured window. */
     std::shared_ptr<const telemetry::RunTelemetry> telemetry;
+
+    /** One entry per core iff the run was tenancy-configured. */
+    std::vector<TenantOutcome> tenants;
+    /** QoS resize schedule (empty unless QoS ran); deterministic. */
+    std::vector<tenant::QosResize> qosSchedule;
 
     /**
      * Weighted speedup given per-benchmark standalone IPCs:
@@ -60,26 +93,30 @@ struct MultiCoreResult
      * @p single_ipc must supply exactly one value per core.
      */
     double weightedSpeedup(std::span<const double> single_ipc) const;
-
-    /** Convenience overload for the current 4-core callers. */
-    double
-    weightedSpeedup(const std::array<double, 4>& single_ipc) const
-    {
-        return weightedSpeedup(std::span<const double>(single_ipc));
-    }
 };
 
 /**
- * Run a 4-source mix under the policy built by @p factory. Each core
- * owns one source exclusively for the whole run (the drivers loop the
- * sources via reset(), so each must be independently resettable — the
- * TraceSpec factory hands out exactly such sources). Results are
- * byte-identical for any chunking or delivery mode of the same four
- * record sequences.
+ * Run a mix of >= 2 sources under the policy built by @p factory, one
+ * core per source. Each core owns its source exclusively for the whole
+ * run (the drivers loop the sources via reset(), so each must be
+ * independently resettable — the TraceSpec factory hands out exactly
+ * such sources). Results are byte-identical for any chunking or
+ * delivery mode of the same record sequences.
  */
-MultiCoreResult runMultiCore(const std::array<trace::TraceSource*, 4>& mix,
+MultiCoreResult runMultiCore(std::span<trace::TraceSource* const> mix,
                              const PolicyFactory& factory,
                              const MultiCoreConfig& cfg = {});
+
+/** Convenience overload for the 4-core paper mixes. */
+inline MultiCoreResult
+runMultiCore(const std::array<trace::TraceSource*, 4>& mix,
+             const PolicyFactory& factory,
+             const MultiCoreConfig& cfg = {})
+{
+    return runMultiCore(
+        std::span<trace::TraceSource* const>(mix.data(), mix.size()),
+        factory, cfg);
+}
 
 /**
  * Standalone IPC of one benchmark on the multi-core hierarchy with an

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/feature_sets.hpp"
+#include "policy/ehc.hpp"
 #include "policy/hawkeye.hpp"
 #include "policy/lru.hpp"
 #include "policy/perceptron.hpp"
@@ -85,6 +86,7 @@ registerBuiltins(Registry& r)
     add("DRRIP", geomFactory<policy::DrripPolicy>());
     add("MDPP", geomFactory<policy::MdppPolicy>());
     add("SHiP", geomFactory<policy::ShipPolicy>());
+    add("EHC", geomFactory<policy::EhcPolicy>());
     add("SDBP", coresFactory<policy::SdbpPolicy>());
     add("Perceptron", coresFactory<policy::PerceptronPolicy>(), 2);
     add("Hawkeye", coresFactory<policy::HawkeyePolicy>(), 1);

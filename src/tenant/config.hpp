@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-tenant LLC configuration: per-tenant partition sizes and SLOs,
+ * and the QoS controller's knobs. One tenant per core; an empty tenant
+ * list means the cache is shared exactly as before this subsystem
+ * existed.
+ */
+
+#ifndef MRP_TENANT_CONFIG_HPP
+#define MRP_TENANT_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrp::tenant {
+
+/** One tenant (= one core) of a partitioned LLC. */
+struct TenantConfig
+{
+    std::uint32_t ways = 0; //!< initial partition size, in LLC ways
+    double sloMpki = 0.0;   //!< MPKI ceiling; 0 = best-effort tenant
+};
+
+/**
+ * QoS controller parameters. The controller observes per-tenant MPKI
+ * once per epoch (epochs are counted in *total* retired instructions
+ * across cores, so the schedule is a pure function of the interleaved
+ * simulation — deterministic at any --jobs) and moves at most one way
+ * per epoch.
+ */
+struct QosConfig
+{
+    bool enabled = false;
+    std::uint64_t epochInstructions = 100000; //!< epoch length (total)
+    unsigned breachEpochs = 2;  //!< consecutive breaches before a grant
+    unsigned calmEpochs = 4;    //!< consecutive calm epochs before return
+    double hysteresisFrac = 0.1; //!< calm means mpki < slo*(1-frac)
+    std::uint32_t minWays = 1;  //!< no tenant shrinks below this
+};
+
+/** Full tenancy description for a multi-core run. */
+struct TenancyConfig
+{
+    std::vector<TenantConfig> tenants; //!< one per core; empty = shared
+    QosConfig qos;
+
+    bool configured() const { return !tenants.empty(); }
+};
+
+/**
+ * Explain why @p cfg is invalid for a cache with @p llcWays ways and
+ * @p cores cores, or return the empty string if it is valid. Checks:
+ * one tenant per core, partition sizes that sum exactly to the
+ * associativity with every tenant owning at least one way, at most
+ * 64 ways (the WayMask width), and QoS knobs in range.
+ */
+std::string describeInvalid(const TenancyConfig& cfg,
+                            std::uint32_t llcWays, unsigned cores);
+
+} // namespace mrp::tenant
+
+#endif // MRP_TENANT_CONFIG_HPP

@@ -1,0 +1,117 @@
+#include "tenant/partition.hpp"
+
+#include "tenant/config.hpp"
+#include "util/logging.hpp"
+
+namespace mrp::tenant {
+
+std::string
+describeInvalid(const TenancyConfig& cfg, std::uint32_t llcWays,
+                unsigned cores)
+{
+    if (!cfg.configured())
+        return "";
+    if (cfg.tenants.size() != cores)
+        return "tenancy needs exactly one tenant per core (" +
+               std::to_string(cfg.tenants.size()) + " tenants, " +
+               std::to_string(cores) + " cores)";
+    if (llcWays > 64)
+        return "way-partitioning supports at most 64 ways";
+    std::uint64_t sum = 0;
+    for (std::size_t t = 0; t < cfg.tenants.size(); ++t) {
+        if (cfg.tenants[t].ways == 0)
+            return "tenant " + std::to_string(t) +
+                   " must own at least one way";
+        if (cfg.tenants[t].sloMpki < 0.0)
+            return "tenant " + std::to_string(t) +
+                   " has a negative SLO";
+        sum += cfg.tenants[t].ways;
+    }
+    if (sum != llcWays)
+        return "partition sizes sum to " + std::to_string(sum) +
+               " but the LLC has " + std::to_string(llcWays) + " ways";
+    if (cfg.qos.enabled) {
+        if (cfg.qos.epochInstructions == 0)
+            return "QoS epoch length must be positive";
+        if (cfg.qos.minWays == 0)
+            return "QoS minWays must be at least 1";
+        if (cfg.qos.hysteresisFrac < 0.0 || cfg.qos.hysteresisFrac >= 1.0)
+            return "QoS hysteresis fraction must be in [0, 1)";
+    }
+    return "";
+}
+
+PartitionMap::PartitionMap(const std::vector<std::uint32_t>& sizes,
+                           std::uint32_t llcWays)
+    : masks_(sizes.size(), 0), llcWays_(llcWays)
+{
+    fatalIf(sizes.empty(), ErrorCode::Config,
+            "partition map needs at least one tenant");
+    fatalIf(llcWays > 64, ErrorCode::Config,
+            "way-partitioning supports at most 64 ways");
+    std::uint32_t next = 0;
+    for (std::size_t t = 0; t < sizes.size(); ++t) {
+        fatalIf(sizes[t] == 0, ErrorCode::Config,
+                "every tenant needs at least one way");
+        fatalIf(next + sizes[t] > llcWays, ErrorCode::Config,
+                "partition sizes exceed the associativity");
+        for (std::uint32_t w = 0; w < sizes[t]; ++w)
+            masks_[t] |= cache::WayMask{1} << (next + w);
+        next += sizes[t];
+    }
+    fatalIf(next != llcWays, ErrorCode::Config,
+            "partition sizes must sum to the associativity");
+    checkInvariants();
+}
+
+cache::WayMask
+PartitionMap::maskOf(unsigned tenant) const
+{
+    panicIf(tenant >= masks_.size(), "tenant out of range");
+    return masks_[tenant];
+}
+
+std::uint32_t
+PartitionMap::waysOf(unsigned tenant) const
+{
+    return static_cast<std::uint32_t>(
+        __builtin_popcountll(maskOf(tenant)));
+}
+
+unsigned
+PartitionMap::tenantOfWay(std::uint32_t way) const
+{
+    panicIf(way >= llcWays_, "way out of range");
+    for (unsigned t = 0; t < masks_.size(); ++t)
+        if ((masks_[t] >> way & 1) != 0)
+            return t;
+    panic("way owned by no tenant"); // unreachable: masks cover
+}
+
+void
+PartitionMap::moveWay(unsigned from, unsigned to)
+{
+    panicIf(from == to, "resize needs two distinct tenants");
+    panicIf(waysOf(from) < 2, "donor would drop below one way");
+    // The donor's highest way: 63 - clz is its index.
+    const std::uint32_t way = static_cast<std::uint32_t>(
+        63 - __builtin_clzll(maskOf(from)));
+    masks_[from] &= ~(cache::WayMask{1} << way);
+    masks_[to] |= cache::WayMask{1} << way;
+    checkInvariants();
+}
+
+void
+PartitionMap::checkInvariants() const
+{
+    cache::WayMask seen = 0;
+    for (const cache::WayMask m : masks_) {
+        panicIf(m == 0, "tenant with an empty partition");
+        panicIf((seen & m) != 0, "overlapping partitions");
+        seen |= m;
+    }
+    panicIf(seen != cache::fullWayMask(llcWays_),
+            "partitions do not cover the cache");
+}
+
+} // namespace mrp::tenant

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The way-partition map: which LLC ways each tenant owns. Masks are
+ * always a disjoint cover of the associativity, every tenant keeps at
+ * least one way, and resizes move exactly one way at a time with a
+ * deterministic choice of which (the donor's highest way), so a
+ * resize schedule replays byte-identically.
+ */
+
+#ifndef MRP_TENANT_PARTITION_HPP
+#define MRP_TENANT_PARTITION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/llc_policy.hpp"
+
+namespace mrp::tenant {
+
+/** Per-tenant way masks over one LLC. */
+class PartitionMap
+{
+  public:
+    /**
+     * Assign contiguous way ranges in tenant order: tenant 0 gets ways
+     * [0, ways[0]), tenant 1 the next ways[1], and so on. @p sizes must
+     * sum exactly to @p llcWays with every entry >= 1.
+     */
+    PartitionMap(const std::vector<std::uint32_t>& sizes,
+                 std::uint32_t llcWays);
+
+    unsigned tenants() const
+    {
+        return static_cast<unsigned>(masks_.size());
+    }
+    cache::WayMask maskOf(unsigned tenant) const;
+    std::uint32_t waysOf(unsigned tenant) const;
+
+    /** The tenant currently owning @p way. */
+    unsigned tenantOfWay(std::uint32_t way) const;
+
+    /**
+     * Move one way from @p from to @p to: the donor's highest way, so
+     * repeated moves are reproducible. @p from must own at least two
+     * ways.
+     */
+    void moveWay(unsigned from, unsigned to);
+
+  private:
+    void checkInvariants() const;
+
+    std::vector<cache::WayMask> masks_;
+    std::uint32_t llcWays_;
+};
+
+} // namespace mrp::tenant
+
+#endif // MRP_TENANT_PARTITION_HPP

@@ -1,0 +1,121 @@
+#include "tenant/qos.hpp"
+
+#include "util/logging.hpp"
+
+namespace mrp::tenant {
+
+QosController::QosController(const TenancyConfig& cfg,
+                             PartitionMap& partition)
+    : cfg_(cfg), partition_(partition),
+      breachStreak_(cfg.tenants.size(), 0),
+      calmStreak_(cfg.tenants.size(), 0)
+{
+    fatalIf(!cfg.qos.enabled, ErrorCode::Config,
+            "QosController needs qos.enabled");
+    fatalIf(cfg.tenants.size() != partition.tenants(), ErrorCode::Config,
+            "QoS tenant count does not match the partition map");
+}
+
+unsigned
+QosController::pickDonor(unsigned needy,
+                         std::span<const double> mpki) const
+{
+    const unsigned n = partition_.tenants();
+    unsigned donor = n;
+    for (unsigned t = 0; t < n; ++t) {
+        if (t == needy)
+            continue;
+        // Never shrink a tenant below the floor, and never rob an SLO
+        // tenant that is itself above its ceiling.
+        if (partition_.waysOf(t) <= cfg_.qos.minWays)
+            continue;
+        const double slo = cfg_.tenants[t].sloMpki;
+        if (slo > 0.0 && mpki[t] > slo)
+            continue;
+        if (donor == n || partition_.waysOf(t) > partition_.waysOf(donor))
+            donor = t; // largest partition; ties keep the lowest id
+    }
+    return donor;
+}
+
+unsigned
+QosController::pickReturnee(unsigned calm) const
+{
+    const unsigned n = partition_.tenants();
+    unsigned best = n;
+    std::uint32_t best_deficit = 0;
+    for (unsigned t = 0; t < n; ++t) {
+        if (t == calm)
+            continue;
+        const std::uint32_t have = partition_.waysOf(t);
+        const std::uint32_t want = cfg_.tenants[t].ways;
+        if (have >= want)
+            continue;
+        const std::uint32_t deficit = want - have;
+        if (best == n || deficit > best_deficit) {
+            best = t; // biggest deficit; ties keep the lowest id
+            best_deficit = deficit;
+        }
+    }
+    return best;
+}
+
+bool
+QosController::onEpoch(std::span<const double> mpki)
+{
+    const unsigned n = partition_.tenants();
+    fatalIf(mpki.size() != n, ErrorCode::Config,
+            "QoS epoch needs one MPKI value per tenant");
+    const std::uint64_t epoch = epoch_++;
+
+    for (unsigned t = 0; t < n; ++t) {
+        const double slo = cfg_.tenants[t].sloMpki;
+        if (slo <= 0.0)
+            continue;
+        if (mpki[t] > slo) {
+            ++breachStreak_[t];
+            calmStreak_[t] = 0;
+        } else if (mpki[t] < slo * (1.0 - cfg_.qos.hysteresisFrac)) {
+            ++calmStreak_[t];
+            breachStreak_[t] = 0;
+        } else {
+            // Inside the hysteresis band: hold steady.
+            breachStreak_[t] = 0;
+            calmStreak_[t] = 0;
+        }
+    }
+
+    // One action per epoch, tenants scanned in id order: grants (SLO
+    // protection) take priority over returns (fairness restoration).
+    for (unsigned t = 0; t < n; ++t) {
+        if (cfg_.tenants[t].sloMpki <= 0.0 ||
+            breachStreak_[t] < cfg_.qos.breachEpochs)
+            continue;
+        const unsigned donor = pickDonor(t, mpki);
+        breachStreak_[t] = 0;
+        if (donor == n)
+            continue; // nobody can donate; retry after the next streak
+        partition_.moveWay(donor, t);
+        resizes_.push_back({epoch, donor, t});
+        return true;
+    }
+    for (unsigned t = 0; t < n; ++t) {
+        if (cfg_.tenants[t].sloMpki <= 0.0 ||
+            calmStreak_[t] < cfg_.qos.calmEpochs)
+            continue;
+        // Only give back ways borrowed beyond the configured size.
+        if (partition_.waysOf(t) <= cfg_.tenants[t].ways ||
+            partition_.waysOf(t) <= cfg_.qos.minWays)
+            continue;
+        const unsigned returnee = pickReturnee(t);
+        calmStreak_[t] = 0;
+        if (returnee == n)
+            continue;
+        partition_.moveWay(t, returnee);
+        resizes_.push_back({epoch, t, returnee});
+        return true;
+    }
+    return false;
+}
+
+} // namespace mrp::tenant

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The QoS controller: a per-epoch state machine that resizes the way
+ * partition to hold each SLO tenant under its MPKI ceiling.
+ *
+ * Determinism contract: decisions depend only on the per-tenant MPKI
+ * series handed to onEpoch (itself a pure function of the interleaved
+ * simulation), the TenancyConfig, and the partition state — never on
+ * wall time, thread count, or iteration order of anything unordered.
+ * Ties break toward the lowest tenant id, and at most one way moves
+ * per epoch, so the full resize schedule replays byte-identically.
+ *
+ * Per SLO tenant: `breachEpochs` consecutive epochs above the ceiling
+ * earn a one-way grant from the largest best-effort (or non-breaching)
+ * partition; `calmEpochs` consecutive epochs below ceiling*(1 -
+ * hysteresisFrac) return one borrowed way to the tenant furthest
+ * below its configured size. Epochs inside the hysteresis band reset
+ * both streaks.
+ */
+
+#ifndef MRP_TENANT_QOS_HPP
+#define MRP_TENANT_QOS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tenant/config.hpp"
+#include "tenant/partition.hpp"
+
+namespace mrp::tenant {
+
+/** One partition resize, for reports and determinism diffs. */
+struct QosResize
+{
+    std::uint64_t epoch = 0; //!< epoch index at which it happened
+    unsigned from = 0;       //!< donor tenant
+    unsigned to = 0;         //!< receiving tenant
+};
+
+/** Epoch-driven partition resizer enforcing per-tenant MPKI SLOs. */
+class QosController
+{
+  public:
+    QosController(const TenancyConfig& cfg, PartitionMap& partition);
+
+    /**
+     * Feed one epoch of per-tenant MPKI (one value per tenant, in
+     * tenant order). Applies at most one resize; returns true if the
+     * partition changed.
+     */
+    bool onEpoch(std::span<const double> mpki);
+
+    std::uint64_t epochs() const { return epoch_; }
+    const std::vector<QosResize>& resizes() const { return resizes_; }
+
+  private:
+    /** Donor for a grant to @p needy; tenants() if none qualifies. */
+    unsigned pickDonor(unsigned needy,
+                       std::span<const double> mpki) const;
+    /** Receiver for a way returned by @p calm; tenants() if none. */
+    unsigned pickReturnee(unsigned calm) const;
+
+    TenancyConfig cfg_;
+    PartitionMap& partition_;
+    std::vector<unsigned> breachStreak_;
+    std::vector<unsigned> calmStreak_;
+    std::uint64_t epoch_ = 0;
+    std::vector<QosResize> resizes_;
+};
+
+} // namespace mrp::tenant
+
+#endif // MRP_TENANT_QOS_HPP

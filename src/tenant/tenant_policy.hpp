@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The way-partitioning LLC policy wrapper. It holds one full inner
+ * policy instance per tenant — so predictor/sampler training state is
+ * private to each tenant by construction — and confines every tenant's
+ * fills to its partition mask. Combined with owner-tagged blocks in
+ * PolicyCache (tenants never hit each other's lines), a tenant's
+ * hit/miss stream at fixed partition sizes is a pure function of its
+ * own access stream: byte-identical whatever the co-runners do.
+ */
+
+#ifndef MRP_TENANT_TENANT_POLICY_HPP
+#define MRP_TENANT_TENANT_POLICY_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/llc_policy.hpp"
+#include "tenant/config.hpp"
+#include "tenant/partition.hpp"
+
+namespace mrp::tenant {
+
+/**
+ * Builds one inner policy instance. Structurally identical to
+ * sim::PolicyFactory, declared here so mrp_tenant needs no dependency
+ * on the driver layer.
+ */
+using InnerPolicyFactory =
+    std::function<std::unique_ptr<cache::LlcPolicy>(
+        const cache::CacheGeometry&, unsigned cores)>;
+
+/** Way-partitioned LLC policy: one inner policy per tenant. */
+class TenantPartitionPolicy : public cache::LlcPolicy
+{
+  public:
+    TenantPartitionPolicy(const cache::CacheGeometry& geom,
+                          unsigned cores, const TenancyConfig& cfg,
+                          const InnerPolicyFactory& inner);
+
+    std::string name() const override;
+    void onHit(const cache::AccessInfo& info, std::uint32_t set,
+               std::uint32_t way) override;
+    void onMiss(const cache::AccessInfo& info, std::uint32_t set) override;
+    bool shouldBypass(const cache::AccessInfo& info,
+                      std::uint32_t set) override;
+    std::uint32_t victimWay(const cache::AccessInfo& info,
+                            std::uint32_t set) override;
+    std::uint32_t victimWayIn(const cache::AccessInfo& info,
+                              std::uint32_t set,
+                              cache::WayMask mask) override;
+    void onFill(const cache::AccessInfo& info, std::uint32_t set,
+                std::uint32_t way) override;
+    void onEvict(std::uint32_t set, std::uint32_t way) override;
+    cache::WayMask fillWays(const cache::AccessInfo& info,
+                            std::uint32_t set) override;
+    std::uint32_t tenantOf(const cache::AccessInfo& info) const override;
+    void attachTelemetry(telemetry::MetricsRegistry& registry) override;
+
+    /** The live partition map (the QoS controller resizes through it). */
+    PartitionMap& partition() { return partition_; }
+    const PartitionMap& partition() const { return partition_; }
+
+    /** Tenant @p t's private inner policy (tests/introspection). */
+    cache::LlcPolicy& inner(unsigned t) { return *inners_[t]; }
+
+  private:
+    cache::LlcPolicy& innerOf(const cache::AccessInfo& info)
+    {
+        return *inners_[info.core];
+    }
+
+    PartitionMap partition_;
+    std::vector<std::unique_ptr<cache::LlcPolicy>> inners_;
+};
+
+} // namespace mrp::tenant
+
+#endif // MRP_TENANT_TENANT_POLICY_HPP

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <vector>
+
 #include "sim/multi_core.hpp"
 #include "sim/single_core.hpp"
 #include "trace/source.hpp"
@@ -116,26 +119,32 @@ TEST(MultiCoreTest, WeightedSpeedupMath)
 {
     MultiCoreResult r;
     r.ipc = {1.0, 2.0, 0.5, 1.0};
-    const double ws = r.weightedSpeedup({2.0, 2.0, 1.0, 0.5});
+    const std::vector<double> single = {2.0, 2.0, 1.0, 0.5};
+    const double ws = r.weightedSpeedup(single);
     EXPECT_DOUBLE_EQ(ws, 0.5 + 1.0 + 0.5 + 2.0);
-    EXPECT_THROW(r.weightedSpeedup({0.0, 1.0, 1.0, 1.0}), FatalError);
+    const std::vector<double> zero = {0.0, 1.0, 1.0, 1.0};
+    EXPECT_THROW(r.weightedSpeedup(zero), FatalError);
 }
 
-TEST(MultiCoreTest, WeightedSpeedupAcceptsSpanValidatedAgainstCores)
+TEST(MultiCoreTest, WeightedSpeedupValidatedAgainstCoreCount)
 {
     MultiCoreResult r;
     r.ipc = {1.0, 2.0, 0.5, 1.0};
     // Any contiguous range of the right length works via std::span.
-    const std::vector<double> single = {2.0, 2.0, 1.0, 0.5};
-    EXPECT_DOUBLE_EQ(r.weightedSpeedup(std::span<const double>(single)),
-                     r.weightedSpeedup({2.0, 2.0, 1.0, 0.5}));
+    const std::array<double, 4> arr = {2.0, 2.0, 1.0, 0.5};
+    const std::vector<double> vec = {2.0, 2.0, 1.0, 0.5};
+    EXPECT_DOUBLE_EQ(r.weightedSpeedup(arr), r.weightedSpeedup(vec));
     // A length mismatch against the core count must be rejected.
     const std::vector<double> three = {1.0, 1.0, 1.0};
-    EXPECT_THROW(r.weightedSpeedup(std::span<const double>(three)),
-                 FatalError);
+    EXPECT_THROW(r.weightedSpeedup(three), FatalError);
     const std::vector<double> five = {1.0, 1.0, 1.0, 1.0, 1.0};
-    EXPECT_THROW(r.weightedSpeedup(std::span<const double>(five)),
-                 FatalError);
+    EXPECT_THROW(r.weightedSpeedup(five), FatalError);
+    // N-core results size the validation to N, not to a fixed 4.
+    MultiCoreResult two;
+    two.ipc = {1.0, 2.0};
+    const std::vector<double> pair = {1.0, 1.0};
+    EXPECT_DOUBLE_EQ(two.weightedSpeedup(pair), 3.0);
+    EXPECT_THROW(two.weightedSpeedup(vec), FatalError);
 }
 
 TEST(MultiCoreTest, StandaloneIpcIsPositiveAndBounded)
